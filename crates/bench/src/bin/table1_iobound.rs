@@ -1,0 +1,67 @@
+//! Table 1 — PFS read performance with and without prefetching for
+//! **I/O-bound** workloads (no computation between reads).
+//!
+//! Paper finding to reproduce: prefetching gives *no significant benefit*
+//! when there is nothing to overlap with — the one-request-ahead prefetch
+//! has no head start — and at small request sizes it is slightly *slower*
+//! because of the prefetch-buffer copy and issue overhead.
+//!
+//! Configuration: M_RECORD, stripe unit 64 KB, stripe group 8, 8 compute
+//! nodes × 8 I/O nodes, 8 MB of file per node, zero inter-read delay.
+
+use paragon_bench::{kb, run_logged, save_record, stamp_config, REQUEST_SIZES};
+use paragon_metrics::{ExperimentRecord, Table};
+use paragon_workload::ExperimentConfig;
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1: PFS Read Performance with and without Prefetching \
+         (stripe unit 64KB, stripe group 8, I/O-bound)",
+        &[
+            "Request size (KB)",
+            "File size (MB/node)",
+            "Read BW no-prefetch (MB/s)",
+            "Read BW prefetch (MB/s)",
+            "Hit ratio",
+        ],
+    );
+    let mut record = ExperimentRecord::new(
+        "TAB1",
+        "Read bandwidth with vs without prefetching, I/O-bound M_RECORD workload",
+    );
+
+    for sz in REQUEST_SIZES {
+        let base = ExperimentConfig::paper_iobound(sz, 8);
+        if record.config.is_empty() {
+            stamp_config(&mut record, &base);
+        }
+        let no_pf = run_logged(&format!("{}KB no-pf", kb(sz)), &base);
+        let pf = run_logged(&format!("{}KB pf", kb(sz)), &base.clone().with_prefetch());
+        table.row(&[
+            format!("{}", kb(sz)),
+            "8".to_owned(),
+            format!("{:.2}", no_pf.bandwidth_mb_s()),
+            format!("{:.2}", pf.bandwidth_mb_s()),
+            format!("{:.2}", pf.prefetch.hit_ratio()),
+        ]);
+        record.point(
+            &[("request_kb", &kb(sz).to_string())],
+            &[
+                ("bw_no_prefetch_mb_s", no_pf.bandwidth_mb_s()),
+                ("bw_prefetch_mb_s", pf.bandwidth_mb_s()),
+                ("hit_ratio", pf.prefetch.hit_ratio()),
+                ("hits_inflight", pf.prefetch.hits_inflight as f64),
+                ("hits_ready", pf.prefetch.hits_ready as f64),
+            ],
+        );
+    }
+
+    println!("\n{}", table.render());
+    println!(
+        "Paper's finding: bandwidths comparable in all sizes; prefetching slightly\n\
+         slower at 64 KB (copy + issue overhead, no computation to hide I/O behind).\n\
+         Note the hits are overwhelmingly *in-flight* hits: the prefetch has no\n\
+         head start, so the demand read still waits out most of the disk time."
+    );
+    save_record(&record);
+}

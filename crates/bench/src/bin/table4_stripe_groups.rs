@@ -1,0 +1,70 @@
+//! Table 4 — PFS read performance **with prefetching** for different
+//! stripe groups: striping across all 8 I/O nodes (R) versus striping
+//! 8 ways across a single I/O node (R'), 8 compute nodes, no delays.
+//!
+//! Shape to reproduce: the 8-node group wins everywhere (one RAID array
+//! must carry all the traffic in the 1-node configuration); the speedup
+//! R/R' grows with request size and is smallest at 64 KB, where the
+//! prefetching overhead is most pronounced.
+
+use paragon_bench::{kb, run_logged, save_record, stamp_config, REQUEST_SIZES};
+use paragon_metrics::{ExperimentRecord, Table};
+use paragon_workload::{ExperimentConfig, StripeLayout};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 4: PFS Read Performance with Prefetching for different Stripe groups (8 CN)",
+        &[
+            "Request size (KB)",
+            "File size (MB/node)",
+            "BW sgroup=8 R (MB/s)",
+            "BW sgroup=1 R' (MB/s)",
+            "Speedup R/R'",
+        ],
+    );
+    let mut record = ExperimentRecord::new(
+        "TAB4",
+        "Read bandwidth with prefetching: stripe group of 8 I/O nodes vs 8 ways on 1",
+    );
+    let mut max_speedup: f64 = 0.0;
+
+    for sz in REQUEST_SIZES {
+        // R: across all 8 I/O nodes (the testbed default).
+        let wide = ExperimentConfig::paper_iobound(sz, 8).with_prefetch();
+        if record.config.is_empty() {
+            stamp_config(&mut record, &wide);
+        }
+        let r_wide = run_logged(&format!("{}KB sgroup=8", kb(sz)), &wide);
+        // R': 8 stripe files all on I/O node 0.
+        let mut narrow = ExperimentConfig::paper_iobound(sz, 8).with_prefetch();
+        narrow.layout = StripeLayout::WaysOnOne { ways: 8, ion: 0 };
+        let r_narrow = run_logged(&format!("{}KB sgroup=1", kb(sz)), &narrow);
+
+        let speedup = r_wide.bandwidth_mb_s() / r_narrow.bandwidth_mb_s();
+        max_speedup = max_speedup.max(speedup);
+        table.row(&[
+            format!("{}", kb(sz)),
+            "8".to_owned(),
+            format!("{:.2}", r_wide.bandwidth_mb_s()),
+            format!("{:.2}", r_narrow.bandwidth_mb_s()),
+            format!("{:.2}", speedup),
+        ]);
+        record.point(
+            &[("request_kb", &kb(sz).to_string())],
+            &[
+                ("bw_sgroup8_mb_s", r_wide.bandwidth_mb_s()),
+                ("bw_sgroup1_mb_s", r_narrow.bandwidth_mb_s()),
+                ("speedup", speedup),
+            ],
+        );
+    }
+
+    println!("\n{}", table.render());
+    println!(
+        "Maximum speedup observed: {max_speedup:.2}x.\n\
+         Paper's finding: striping across 8 I/O nodes beats 8-way striping on one\n\
+         node; the speedup is smallest at 64 KB where prefetching overhead is most\n\
+         pronounced (the paper's lost digit reports only 'a factor of _._')."
+    );
+    save_record(&record);
+}

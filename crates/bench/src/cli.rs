@@ -1,0 +1,366 @@
+//! Argument parsing and execution for the `paragonctl` binary, kept in
+//! the library so the parsing rules are unit-testable.
+
+
+use paragon_core::{PredictorKind, PrefetchConfig};
+use paragon_machine::Calibration;
+use paragon_metrics::ExperimentRecord;
+use paragon_pfs::IoMode;
+use paragon_sim::SimDuration;
+use paragon_workload::{run, AccessPattern, ExperimentConfig, RunResult, StripeLayout};
+
+use std::process::ExitCode;
+
+/// The help text.
+pub const USAGE: &str = "\
+paragonctl — drive the simulated Paragon PFS
+
+USAGE:
+    paragonctl run [OPTIONS]
+
+OPTIONS:
+    --mode <m_unix|m_log|m_sync|m_record|m_global|m_async>   [m_record]
+    --cn <N>              compute nodes                      [8]
+    --ion <N>             I/O nodes                          [8]
+    --request-kb <N>      request size                       [64]
+    --file-mb <N>         total file size                    [64]
+    --su-kb <N>           stripe unit                        [64]
+    --sgroup <N>          stripe across first N I/O nodes    [all]
+    --ways-on-one <N>     stripe N ways on I/O node 0 instead
+    --delay-ms <N>        compute delay between reads        [0]
+    --seed <N>            simulation seed                    [42]
+    --prefetch            enable the prefetch prototype
+    --depth <N>           prefetch depth (implies --prefetch) [1]
+    --strided-predictor   use the stride detector (implies --prefetch)
+    --pattern <mode|strided:BYTES|random|reread:N>           [mode]
+    --separate            one private file per node
+    --buffered            disable Fast Path (server buffer cache on)
+    --verify              verify returned bytes against the pattern
+    --compare             also run with prefetching toggled, print both
+    --trace <N>           record and print up to N trace events
+    --json                emit a JSON ExperimentRecord instead of text
+";
+
+pub(crate) struct Args(pub Vec<String>);
+
+impl Args {
+    fn flag(&mut self, name: &str) -> bool {
+        match self.0.iter().position(|a| a == name) {
+            Some(i) => {
+                self.0.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        match self.0.iter().position(|a| a == name) {
+            Some(i) => {
+                if i + 1 >= self.0.len() {
+                    return Err(format!("{name} needs a value"));
+                }
+                let v = self.0.remove(i + 1);
+                self.0.remove(i);
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name)? {
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+            None => Ok(default),
+        }
+    }
+}
+
+pub(crate) fn parse_mode(s: &str) -> Result<IoMode, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "m_unix" | "unix" | "0" => IoMode::MUnix,
+        "m_log" | "log" | "1" => IoMode::MLog,
+        "m_sync" | "sync" | "2" => IoMode::MSync,
+        "m_record" | "record" | "3" => IoMode::MRecord,
+        "m_global" | "global" | "4" => IoMode::MGlobal,
+        "m_async" | "async" | "5" => IoMode::MAsync,
+        other => return Err(format!("unknown mode {other}")),
+    })
+}
+
+pub(crate) fn parse_pattern(s: &str) -> Result<AccessPattern, String> {
+    if s == "mode" {
+        return Ok(AccessPattern::ModeDriven);
+    }
+    if s == "random" {
+        return Ok(AccessPattern::Random);
+    }
+    if let Some(stride) = s.strip_prefix("strided:") {
+        let stride = stride
+            .parse()
+            .map_err(|_| format!("bad stride in {s}"))?;
+        return Ok(AccessPattern::Strided { stride });
+    }
+    if let Some(passes) = s.strip_prefix("reread:") {
+        let passes = passes
+            .parse()
+            .map_err(|_| format!("bad pass count in {s}"))?;
+        return Ok(AccessPattern::Reread { passes });
+    }
+    Err(format!("unknown pattern {s}"))
+}
+
+pub(crate) fn build_config(args: &mut Args) -> Result<ExperimentConfig, String> {
+    let cn: usize = args.parsed("--cn", 8)?;
+    let ion: usize = args.parsed("--ion", 8)?;
+    let request_kb: u32 = args.parsed("--request-kb", 64)?;
+    let file_mb: u64 = args.parsed("--file-mb", 64)?;
+    let su_kb: u64 = args.parsed("--su-kb", 64)?;
+    let sgroup: usize = args.parsed("--sgroup", ion)?;
+    let ways: usize = args.parsed("--ways-on-one", 0)?;
+    let delay_ms: u64 = args.parsed("--delay-ms", 0)?;
+    let seed: u64 = args.parsed("--seed", 42)?;
+    let depth: u32 = args.parsed("--depth", 0)?;
+    let mode = parse_mode(&args.value("--mode")?.unwrap_or_else(|| "m_record".into()))?;
+    let pattern = parse_pattern(&args.value("--pattern")?.unwrap_or_else(|| "mode".into()))?;
+    let strided_pred = args.flag("--strided-predictor");
+    let prefetch_on = args.flag("--prefetch") || depth > 0 || strided_pred;
+
+    let mut cfg = ExperimentConfig {
+        seed,
+        compute_nodes: cn,
+        io_nodes: ion,
+        calib: Calibration::paragon_1995(),
+        mode,
+        fast_path: !args.flag("--buffered"),
+        stripe_unit: su_kb * 1024,
+        layout: if ways > 0 {
+            StripeLayout::WaysOnOne { ways, ion: 0 }
+        } else {
+            StripeLayout::Across { factor: sgroup }
+        },
+        request_size: request_kb * 1024,
+        file_size: file_mb << 20,
+        delay: SimDuration::from_millis(delay_ms),
+        prefetch: None,
+        access: pattern,
+        separate_files: args.flag("--separate"),
+        verify_data: args.flag("--verify"),
+        trace_cap: args.parsed("--trace", 0)?,
+    };
+    if prefetch_on {
+        let mut pc = PrefetchConfig::with_depth(depth.max(1));
+        pc.copy_bw = cfg.calib.cn_copy_bw;
+        if strided_pred {
+            pc.predictor = PredictorKind::Strided;
+        }
+        cfg.prefetch = Some(pc);
+    }
+    Ok(cfg)
+}
+
+fn report_text(label: &str, r: &RunResult) {
+    println!("== {label}");
+    println!("  bandwidth       {:>10.2} MB/s", r.bandwidth_mb_s());
+    println!("  elapsed         {:>10}", r.elapsed);
+    println!("  mean access     {:>10}", r.read_time_mean());
+    println!("  total bytes     {:>10} MB", r.total_bytes >> 20);
+    println!("  node imbalance  {:>10.3}", r.node_imbalance());
+    println!(
+        "  disk            {:>10} requests ({} seq, {} near, {} far)",
+        r.disk.requests, r.disk.sequential_hits, r.disk.near_seeks, r.disk.far_seeks
+    );
+    if r.prefetch_enabled {
+        let p = &r.prefetch;
+        println!(
+            "  prefetch        hits {} ({} ready / {} in-flight), misses {}, \
+             wasted {}, hidden {}",
+            p.hits(),
+            p.hits_ready,
+            p.hits_inflight,
+            p.misses,
+            p.wasted,
+            p.overlap_saved
+        );
+    }
+    if r.verify_failures > 0 {
+        println!("  !! VERIFY FAILURES: {}", r.verify_failures);
+    }
+}
+
+fn report_json(cfg: &ExperimentConfig, results: &[(&str, RunResult)]) {
+    let mut rec = ExperimentRecord::new("CTL", "paragonctl run");
+    rec.config("mode", cfg.mode)
+        .config("compute_nodes", cfg.compute_nodes)
+        .config("io_nodes", cfg.io_nodes)
+        .config("request_kb", cfg.request_size / 1024)
+        .config("file_mb", cfg.file_size >> 20)
+        .config("delay_ms", cfg.delay.as_millis())
+        .config("seed", cfg.seed);
+    for (label, r) in results {
+        rec.point(
+            &[("run", label)],
+            &[
+                ("bw_mb_s", r.bandwidth_mb_s()),
+                ("mean_access_s", r.read_time_mean().as_secs_f64()),
+                ("hit_ratio", r.prefetch.hit_ratio()),
+                ("node_imbalance", r.node_imbalance()),
+                ("verify_failures", r.verify_failures as f64),
+            ],
+        );
+    }
+    println!("{}", rec.to_json());
+}
+
+/// Entry point: parse `argv` (without the program name), run, report.
+pub fn main_impl(argv: Vec<String>) -> ExitCode {
+    if argv.first().map(String::as_str) != Some("run") {
+        eprint!("{USAGE}");
+        return if argv.first().map(String::as_str) == Some("--help") {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let mut args = Args(argv[1..].to_vec());
+    let json = args.flag("--json");
+    let compare = args.flag("--compare");
+    let cfg = match build_config(&mut args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.0.is_empty() {
+        eprintln!("error: unrecognized arguments {:?}\n\n{USAGE}", args.0);
+        return ExitCode::FAILURE;
+    }
+
+    let mut results: Vec<(&str, RunResult)> = Vec::new();
+    if compare {
+        let mut off = cfg.clone();
+        off.prefetch = None;
+        let on = if cfg.prefetch.is_some() {
+            cfg.clone()
+        } else {
+            cfg.clone().with_prefetch()
+        };
+        results.push(("no-prefetch", run(&off)));
+        results.push(("prefetch", run(&on)));
+    } else {
+        results.push((
+            if cfg.prefetch.is_some() { "prefetch" } else { "no-prefetch" },
+            run(&cfg),
+        ));
+    }
+
+    if json {
+        report_json(&cfg, &results);
+    } else {
+        for (label, r) in &results {
+            report_text(label, r);
+            if !r.trace.is_empty() {
+                println!("-- trace ({} events) --", r.trace.len());
+                for e in &r.trace {
+                    println!("{:>14}  {}", format!("{}", e.time), e.label);
+                }
+            }
+        }
+        if compare {
+            let gain = results[1].1.bandwidth_mb_s() / results[0].1.bandwidth_mb_s();
+            println!("== prefetch gain: {gain:.2}x");
+        }
+    }
+    if results.iter().any(|(_, r)| r.verify_failures > 0) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_pfs::IoMode;
+    use paragon_workload::{AccessPattern, StripeLayout};
+
+    fn args(s: &str) -> Args {
+        Args(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn defaults_are_the_paper_testbed() {
+        let cfg = build_config(&mut args("")).unwrap();
+        assert_eq!(cfg.compute_nodes, 8);
+        assert_eq!(cfg.io_nodes, 8);
+        assert_eq!(cfg.request_size, 64 * 1024);
+        assert_eq!(cfg.mode, IoMode::MRecord);
+        assert!(cfg.fast_path);
+        assert!(cfg.prefetch.is_none());
+        assert_eq!(cfg.layout, StripeLayout::Across { factor: 8 });
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let mut a = args(
+            "--mode m_async --cn 4 --ion 2 --request-kb 128 --file-mb 16 \
+             --su-kb 16 --sgroup 2 --delay-ms 25 --seed 7 --depth 3 \
+             --pattern reread:2 --separate --buffered --verify",
+        );
+        let cfg = build_config(&mut a).unwrap();
+        assert!(a.0.is_empty(), "unconsumed args: {:?}", a.0);
+        assert_eq!(cfg.mode, IoMode::MAsync);
+        assert_eq!(cfg.compute_nodes, 4);
+        assert_eq!(cfg.stripe_unit, 16 * 1024);
+        assert_eq!(cfg.delay.as_millis(), 25);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.prefetch.as_ref().unwrap().depth, 3);
+        assert_eq!(cfg.access, AccessPattern::Reread { passes: 2 });
+        assert!(cfg.separate_files);
+        assert!(!cfg.fast_path);
+        assert!(cfg.verify_data);
+    }
+
+    #[test]
+    fn mode_aliases_and_numbers() {
+        assert_eq!(parse_mode("M_UNIX").unwrap(), IoMode::MUnix);
+        assert_eq!(parse_mode("record").unwrap(), IoMode::MRecord);
+        assert_eq!(parse_mode("5").unwrap(), IoMode::MAsync);
+        assert!(parse_mode("m_bogus").is_err());
+    }
+
+    #[test]
+    fn pattern_grammar() {
+        assert_eq!(parse_pattern("mode").unwrap(), AccessPattern::ModeDriven);
+        assert_eq!(parse_pattern("random").unwrap(), AccessPattern::Random);
+        assert_eq!(
+            parse_pattern("strided:65536").unwrap(),
+            AccessPattern::Strided { stride: 65536 }
+        );
+        assert_eq!(
+            parse_pattern("reread:4").unwrap(),
+            AccessPattern::Reread { passes: 4 }
+        );
+        assert!(parse_pattern("strided:").is_err());
+        assert!(parse_pattern("zigzag").is_err());
+    }
+
+    #[test]
+    fn ways_on_one_overrides_sgroup() {
+        let cfg = build_config(&mut args("--ways-on-one 8")).unwrap();
+        assert_eq!(cfg.layout, StripeLayout::WaysOnOne { ways: 8, ion: 0 });
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(build_config(&mut args("--request-kb")).is_err());
+        assert!(build_config(&mut args("--cn x")).is_err());
+    }
+
+    #[test]
+    fn strided_predictor_implies_prefetch() {
+        let cfg = build_config(&mut args("--strided-predictor")).unwrap();
+        let pc = cfg.prefetch.unwrap();
+        assert_eq!(pc.predictor, paragon_core::PredictorKind::Strided);
+    }
+}

@@ -1,0 +1,213 @@
+//! The prefetch buffer list.
+//!
+//! Prefetched data lands in per-file buffers in **compute-node memory**
+//! (not the I/O nodes): a list of `(offset, size, data)` entries hanging
+//! off the open file, initialized at open, freed at close — exactly the
+//! structure §3 of the paper describes. An entry holds the ART handle of
+//! its asynchronous read, so a demand read that arrives early can wait on
+//! the in-flight request instead of reissuing it.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use paragon_os::AsyncHandle;
+use paragon_pfs::PfsError;
+
+/// One prefetch buffer: the anticipated request and its asynchronous read.
+pub struct PrefetchEntry {
+    /// Anticipated request offset.
+    pub offset: u64,
+    /// Anticipated request length.
+    pub len: u32,
+    /// The asynchronous read filling this buffer.
+    pub handle: AsyncHandle<Result<Bytes, PfsError>>,
+}
+
+impl PrefetchEntry {
+    /// True once the data has arrived.
+    pub fn is_ready(&self) -> bool {
+        self.handle.is_done()
+    }
+}
+
+/// FIFO-bounded list of prefetch buffers for one open file.
+pub struct PrefetchList {
+    entries: VecDeque<PrefetchEntry>,
+    max_entries: usize,
+    /// Byte budget for pinned compute-node memory (the paper's buffers
+    /// live in the compute node's 16–32 MB).
+    max_bytes: u64,
+}
+
+impl PrefetchList {
+    /// A list holding at most `max_entries` buffers (compute-node memory
+    /// is finite; the prototype's depth-1 engine needs only one). No
+    /// byte cap.
+    pub fn new(max_entries: usize) -> Self {
+        Self::with_byte_cap(max_entries, u64::MAX)
+    }
+
+    /// A list bounded both by entry count and by pinned bytes.
+    pub fn with_byte_cap(max_entries: usize, max_bytes: u64) -> Self {
+        assert!(max_entries > 0, "prefetch list needs at least one slot");
+        assert!(max_bytes > 0, "prefetch list needs a nonzero byte budget");
+        PrefetchList {
+            entries: VecDeque::with_capacity(max_entries.min(64)),
+            max_entries,
+            max_bytes,
+        }
+    }
+
+    /// Live buffers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no buffers are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of compute-node memory the list pins (anticipated sizes; an
+    /// in-flight buffer's memory is already allocated).
+    pub fn pinned_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len as u64).sum()
+    }
+
+    /// True if some buffer already covers a request at `offset`.
+    pub fn covers(&self, offset: u64, len: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.offset == offset && e.len >= len)
+    }
+
+    /// Insert a new buffer; if the list is over its entry or byte limit,
+    /// the oldest entries are evicted and returned (the caller counts
+    /// them wasted). An entry bigger than the whole byte budget still
+    /// occupies the list alone — refusing it would silently disable
+    /// prefetching.
+    pub fn insert(&mut self, entry: PrefetchEntry) -> Vec<PrefetchEntry> {
+        let mut evicted = Vec::new();
+        self.entries.push_back(entry);
+        while self.entries.len() > self.max_entries
+            || (self.pinned_bytes() > self.max_bytes && self.entries.len() > 1)
+        {
+            evicted.push(self.entries.pop_front().expect("over cap implies nonempty"));
+        }
+        evicted
+    }
+
+    /// Remove and return the buffer answering a demand read at `offset`
+    /// of `len` bytes, if one exists.
+    pub fn take_match(&mut self, offset: u64, len: u32) -> Option<PrefetchEntry> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.offset == offset && e.len >= len)?;
+        self.entries.remove(idx)
+    }
+
+    /// Drain every remaining buffer (file close frees the list).
+    pub fn drain(&mut self) -> Vec<PrefetchEntry> {
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_os::{ArtConfig, ArtPool};
+    use paragon_sim::Sim;
+
+    fn entry(sim: &Sim, pool: &ArtPool, offset: u64, len: u32) -> PrefetchEntry {
+        let pool = pool.clone();
+        let sim2 = sim.clone();
+        let h = sim.spawn(async move {
+            pool.submit(async move { Ok(Bytes::from(vec![0u8; 4])) })
+                .await
+        });
+        sim2.run();
+        PrefetchEntry {
+            offset,
+            len,
+            handle: h.try_take().unwrap(),
+        }
+    }
+
+    fn fixture() -> (Sim, ArtPool) {
+        let sim = Sim::new(1);
+        let pool = ArtPool::new(&sim, ArtConfig::instant());
+        (sim, pool)
+    }
+
+    #[test]
+    fn exact_match_is_taken_once() {
+        let (sim, pool) = fixture();
+        let mut list = PrefetchList::new(4);
+        list.insert(entry(&sim, &pool, 1000, 64));
+        assert!(list.covers(1000, 64));
+        assert!(!list.covers(1000, 128)); // longer than buffered
+        assert!(!list.covers(999, 64));
+        let e = list.take_match(1000, 64).unwrap();
+        assert_eq!(e.offset, 1000);
+        assert!(list.take_match(1000, 64).is_none());
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn shorter_demand_reads_match_longer_buffers() {
+        let (sim, pool) = fixture();
+        let mut list = PrefetchList::new(4);
+        list.insert(entry(&sim, &pool, 0, 128));
+        assert!(list.take_match(0, 64).is_some());
+    }
+
+    #[test]
+    fn full_list_evicts_fifo() {
+        let (sim, pool) = fixture();
+        let mut list = PrefetchList::new(2);
+        assert!(list.insert(entry(&sim, &pool, 0, 10)).is_empty());
+        assert!(list.insert(entry(&sim, &pool, 10, 10)).is_empty());
+        let evicted = list.insert(entry(&sim, &pool, 20, 10));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].offset, 0);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.pinned_bytes(), 20);
+    }
+
+    #[test]
+    fn byte_cap_evicts_several_small_for_one_large() {
+        let (sim, pool) = fixture();
+        let mut list = PrefetchList::with_byte_cap(16, 100);
+        for i in 0..4u64 {
+            assert!(list.insert(entry(&sim, &pool, i * 25, 25)).is_empty());
+        }
+        // An 80-byte entry forces all four 25-byte evictions: even
+        // 80 + 25 = 105 still exceeds the 100-byte budget.
+        let evicted = list.insert(entry(&sim, &pool, 1000, 80));
+        assert_eq!(evicted.len(), 4);
+        assert_eq!(list.pinned_bytes(), 80);
+    }
+
+    #[test]
+    fn oversized_entry_occupies_the_list_alone() {
+        let (sim, pool) = fixture();
+        let mut list = PrefetchList::with_byte_cap(16, 100);
+        list.insert(entry(&sim, &pool, 0, 50));
+        let evicted = list.insert(entry(&sim, &pool, 100, 500));
+        assert_eq!(evicted.len(), 1); // the small one goes
+        assert_eq!(list.len(), 1); // the big one stays, alone
+    }
+
+    #[test]
+    fn drain_empties_the_list() {
+        let (sim, pool) = fixture();
+        let mut list = PrefetchList::new(4);
+        list.insert(entry(&sim, &pool, 0, 10));
+        list.insert(entry(&sim, &pool, 10, 10));
+        let drained = list.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(list.is_empty());
+        assert_eq!(list.pinned_bytes(), 0);
+    }
+}

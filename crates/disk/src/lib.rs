@@ -1,0 +1,21 @@
+//! # paragon-disk — disk and RAID models
+//!
+//! Simulated storage for the Paragon I/O nodes: a first-order disk timing
+//! model (controller overhead + seek/rotation + media transfer, with a
+//! sequential window standing in for the track buffer), FIFO or C-SCAN
+//! request scheduling, and a RAID-3-style array striping a logical device
+//! over synchronized members.
+//!
+//! Every device carries *real bytes* in a sparse in-memory store, so the
+//! layers above (UFS, PFS, the prefetcher) can be tested for data integrity
+//! as well as timing.
+
+mod disk;
+mod params;
+mod raid;
+mod store;
+
+pub use disk::{Disk, DiskOp, DiskStats};
+pub use params::{DiskParams, SchedPolicy};
+pub use raid::{RaidArray, StripeMap, StripePiece};
+pub use store::{BlockStore, STORE_PAGE};

@@ -1,0 +1,13 @@
+//! # paragon-mesh — 2-D mesh interconnect model
+//!
+//! The Paragon's nodes are connected by a 2-D mesh with dimension-order
+//! (XY) wormhole routing. This crate provides the topology/routing math and
+//! a typed message transport with a calibrated timing model: software
+//! send/receive overheads, per-hop router latency, wire time at link
+//! bandwidth, and NIC serialization under fan-in.
+
+mod net;
+mod topology;
+
+pub use net::{Envelope, Mesh, MeshParams, MeshStats};
+pub use topology::{Coord, NodeId, Topology};

@@ -1,0 +1,16 @@
+//! # paragon-metrics — tables, ASCII figures, and experiment records
+//!
+//! Rendering and aggregation for the experiment harness: aligned-text
+//! [`Table`]s (the paper's tables), multi-series [`AsciiChart`]s (the
+//! paper's figures), JSON [`ExperimentRecord`]s for the
+//! paper-vs-measured bookkeeping, and the numeric [`summary`] helpers.
+
+mod chart;
+mod hist;
+mod record;
+mod table;
+
+pub use chart::{AsciiChart, Series};
+pub use hist::Histogram;
+pub use record::{summary, DataPoint, ExperimentRecord};
+pub use table::Table;

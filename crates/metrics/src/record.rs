@@ -1,0 +1,151 @@
+//! Machine-readable experiment records (JSON via serde).
+//!
+//! Every experiment binary emits one [`ExperimentRecord`] per run so the
+//! paper-vs-measured comparison in `EXPERIMENTS.md` can be regenerated
+//! mechanically.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One measured data point.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DataPoint {
+    /// Point coordinates/settings, e.g. `{"request_kb": "64"}`.
+    pub params: BTreeMap<String, String>,
+    /// Measured values, e.g. `{"bw_mb_s": 3.17, "hit_ratio": 0.96}`.
+    pub values: BTreeMap<String, f64>,
+}
+
+/// One experiment's full record.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id from DESIGN.md (e.g. "TAB1", "FIG4").
+    pub id: String,
+    /// What the experiment reproduces.
+    pub description: String,
+    /// Global configuration (machine shape, calibration name, seed …).
+    pub config: BTreeMap<String, String>,
+    /// Measured points.
+    pub points: Vec<DataPoint>,
+}
+
+impl ExperimentRecord {
+    /// Start a record.
+    pub fn new(id: &str, description: &str) -> Self {
+        ExperimentRecord {
+            id: id.to_owned(),
+            description: description.to_owned(),
+            config: BTreeMap::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Add a config entry.
+    pub fn config(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.config.insert(key.to_owned(), value.to_string());
+        self
+    }
+
+    /// Add a data point from `(param, value)` slices.
+    pub fn point(&mut self, params: &[(&str, &str)], values: &[(&str, f64)]) -> &mut Self {
+        self.points.push(DataPoint {
+            params: params
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            values: values.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        });
+        self
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record serializes")
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Numeric summary helpers used across the harness.
+pub mod summary {
+    /// Arithmetic mean; zero for an empty slice.
+    pub fn mean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Smallest value; +inf for an empty slice.
+    pub fn min(xs: &[f64]) -> f64 {
+        xs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest value; -inf for an empty slice.
+    pub fn max(xs: &[f64]) -> f64 {
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Population standard deviation; zero for fewer than two samples.
+    pub fn stddev(xs: &[f64]) -> f64 {
+        if xs.len() < 2 {
+            return 0.0;
+        }
+        let m = mean(xs);
+        (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+
+    /// Relative spread `(max - min) / mean`; zero when degenerate. The
+    /// paper's "benefits should be equally distributed amongst the
+    /// processors" check uses this across per-node bandwidths.
+    pub fn imbalance(xs: &[f64]) -> f64 {
+        let m = mean(xs);
+        if xs.is_empty() || m == 0.0 {
+            0.0
+        } else {
+            (max(xs) - min(xs)) / m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::summary::*;
+    use super::*;
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let mut r = ExperimentRecord::new("TAB1", "I/O-bound read bandwidth");
+        r.config("compute_nodes", 8)
+            .config("seed", 42)
+            .point(
+                &[("request_kb", "64")],
+                &[("bw_no_prefetch", 3.1), ("bw_prefetch", 2.9)],
+            );
+        let back = ExperimentRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.points[0].values["bw_prefetch"], 2.9);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(min(&xs), 2.0);
+        assert_eq!(max(&xs), 8.0);
+        assert!((stddev(&xs) - 2.23606797749979).abs() < 1e-12);
+        assert!((imbalance(&xs) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert_eq!(imbalance(&[]), 0.0);
+    }
+}

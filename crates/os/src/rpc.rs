@@ -1,0 +1,313 @@
+//! Typed request/reply messaging over the mesh.
+//!
+//! The Paragon OS server structure is client/server message passing: a
+//! compute node sends a request message to an I/O or service node and the
+//! reply (including any file data) comes back over the mesh. Both legs pay
+//! the mesh timing model — software send/receive overheads plus wire time
+//! proportional to the payload, so a 1 MB read reply really does occupy
+//! the I/O node's NIC for 1 MB worth of link time.
+//!
+//! One [`RpcNet`] is built per machine; each node claims its single
+//! mailbox either as a [`RpcClient`] (compute nodes) or by installing a
+//! server handler with [`RpcNet::serve`] (I/O and service nodes).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use paragon_mesh::{Mesh, MeshParams, NodeId, Topology};
+use paragon_sim::sync::{oneshot, OneshotSender};
+use paragon_sim::Sim;
+
+/// Types that know their size on the wire. Headers are added by the RPC
+/// layer; implementations report payload bytes only.
+pub trait WireSize {
+    /// Serialized payload size in bytes.
+    fn wire_bytes(&self) -> u64;
+}
+
+/// Fixed per-message header cost (routing, request ids, lengths).
+pub const RPC_HEADER_BYTES: u64 = 64;
+
+enum RpcWire<Req, Resp> {
+    Call {
+        id: u64,
+        reply_to: NodeId,
+        req: Req,
+    },
+    Reply {
+        id: u64,
+        resp: Resp,
+    },
+}
+
+/// Counters for one RPC network.
+#[derive(Debug, Default, Clone)]
+pub struct RpcStats {
+    pub calls: u64,
+    pub replies: u64,
+}
+
+/// The machine-wide RPC fabric. Clone freely.
+pub struct RpcNet<Req, Resp> {
+    sim: Sim,
+    mesh: Mesh<RpcWire<Req, Resp>>,
+    stats: Rc<RefCell<RpcStats>>,
+}
+
+impl<Req, Resp> Clone for RpcNet<Req, Resp> {
+    fn clone(&self) -> Self {
+        RpcNet {
+            sim: self.sim.clone(),
+            mesh: self.mesh.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<Req, Resp> RpcNet<Req, Resp>
+where
+    Req: WireSize + 'static,
+    Resp: WireSize + 'static,
+{
+    /// Build the fabric over `topo`.
+    pub fn new(sim: &Sim, topo: Topology, params: MeshParams) -> Self {
+        RpcNet {
+            sim: sim.clone(),
+            mesh: Mesh::new(sim, topo, params),
+            stats: Rc::new(RefCell::new(RpcStats::default())),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RpcStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Claim `node`'s mailbox as a client endpoint. Spawns the node's
+    /// receive loop, which routes replies to their waiting callers.
+    pub fn client(&self, node: NodeId) -> RpcClient<Req, Resp> {
+        let mut rx = self.mesh.bind(node);
+        let pending: Pending<Resp> = Rc::new(RefCell::new(HashMap::new()));
+        let pending2 = pending.clone();
+        self.sim.spawn_named("rpc-client-rx", async move {
+            while let Some(env) = rx.recv().await {
+                match env.payload {
+                    RpcWire::Reply { id, resp } => {
+                        if let Some(tx) = pending2.borrow_mut().remove(&id) {
+                            tx.send(resp);
+                        }
+                        // A missing entry means the caller timed out and
+                        // dropped its receiver; the reply is discarded.
+                    }
+                    RpcWire::Call { .. } => {
+                        panic!("client node {} received a Call", node.0)
+                    }
+                }
+            }
+        });
+        RpcClient {
+            net: self.clone(),
+            node,
+            pending,
+            next_id: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Install `handler` as `node`'s server. Each incoming call runs as its
+    /// own task (the Paragon OS server was multithreaded), so one slow disk
+    /// request does not head-of-line-block the rest.
+    pub fn serve<H>(&self, node: NodeId, handler: H)
+    where
+        H: Fn(NodeId, Req) -> Pin<Box<dyn Future<Output = Resp>>> + 'static,
+    {
+        let mut rx = self.mesh.bind(node);
+        let net = self.clone();
+        self.sim.spawn_named("rpc-server", async move {
+            while let Some(env) = rx.recv().await {
+                match env.payload {
+                    RpcWire::Call { id, reply_to, req } => {
+                        let fut = handler(env.src, req);
+                        let net2 = net.clone();
+                        net.sim.spawn_named("rpc-handler", async move {
+                            let resp = fut.await;
+                            net2.stats.borrow_mut().replies += 1;
+                            let bytes = resp.wire_bytes() + RPC_HEADER_BYTES;
+                            net2.mesh
+                                .send(node, reply_to, bytes, RpcWire::Reply { id, resp })
+                                .await;
+                        });
+                    }
+                    RpcWire::Reply { .. } => {
+                        panic!("server node {} received a Reply", node.0)
+                    }
+                }
+            }
+        });
+    }
+}
+
+type Pending<Resp> = Rc<RefCell<HashMap<u64, OneshotSender<Resp>>>>;
+
+/// A node's client endpoint; issue calls with [`RpcClient::call`].
+pub struct RpcClient<Req, Resp> {
+    net: RpcNet<Req, Resp>,
+    node: NodeId,
+    pending: Pending<Resp>,
+    next_id: Rc<Cell<u64>>,
+}
+
+impl<Req, Resp> Clone for RpcClient<Req, Resp> {
+    fn clone(&self) -> Self {
+        RpcClient {
+            net: self.net.clone(),
+            node: self.node,
+            pending: self.pending.clone(),
+            next_id: self.next_id.clone(),
+        }
+    }
+}
+
+impl<Req, Resp> RpcClient<Req, Resp>
+where
+    Req: WireSize + 'static,
+    Resp: WireSize + 'static,
+{
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send `req` to `dst` and wait for its reply.
+    pub async fn call(&self, dst: NodeId, req: Req) -> Resp {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        let (tx, rx) = oneshot();
+        self.pending.borrow_mut().insert(id, tx);
+        self.net.stats.borrow_mut().calls += 1;
+        let bytes = req.wire_bytes() + RPC_HEADER_BYTES;
+        self.net
+            .mesh
+            .send(
+                self.node,
+                dst,
+                bytes,
+                RpcWire::Call {
+                    id,
+                    reply_to: self.node,
+                    req,
+                },
+            )
+            .await;
+        rx.await.expect("rpc fabric dropped a pending reply")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_sim::SimDuration;
+
+    #[derive(Debug)]
+    struct Ping(u64);
+    #[derive(Debug)]
+    struct Pong(u64, Vec<u8>);
+
+    impl WireSize for Ping {
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+    impl WireSize for Pong {
+        fn wire_bytes(&self) -> u64 {
+            8 + self.1.len() as u64
+        }
+    }
+
+    fn net(sim: &Sim, params: MeshParams) -> RpcNet<Ping, Pong> {
+        RpcNet::new(sim, Topology::new(3, 1), params)
+    }
+
+    #[test]
+    fn call_reply_roundtrip() {
+        let sim = Sim::new(1);
+        let net = net(&sim, MeshParams::instant());
+        net.serve(NodeId(1), |_src, Ping(x)| {
+            Box::pin(async move { Pong(x * 2, vec![0; 16]) })
+        });
+        let client = net.client(NodeId(0));
+        let h = sim.spawn(async move { client.call(NodeId(1), Ping(21)).await.0 });
+        sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(h.try_take(), Some(42));
+        let st = net.stats();
+        assert_eq!((st.calls, st.replies), (1, 1));
+    }
+
+    #[test]
+    fn reply_data_pays_wire_time() {
+        let sim = Sim::new(1);
+        let params = MeshParams {
+            link_bw: 1e6, // 1 MB/s so a 1 MB reply costs ~1 s
+            hop_latency: SimDuration::ZERO,
+            send_overhead: SimDuration::ZERO,
+            recv_overhead: SimDuration::ZERO,
+            local_overhead: SimDuration::ZERO,
+        };
+        let net = net(&sim, params);
+        net.serve(NodeId(1), |_src, Ping(x)| {
+            Box::pin(async move { Pong(x, vec![7; 1_000_000]) })
+        });
+        let client = net.client(NodeId(0));
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            client.call(NodeId(1), Ping(0)).await;
+            s.now().as_millis_round()
+        });
+        sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(10));
+        let ms = h.try_take().unwrap();
+        assert!((1000..1100).contains(&ms), "reply took {ms} ms");
+    }
+
+    #[test]
+    fn concurrent_calls_are_demultiplexed() {
+        let sim = Sim::new(1);
+        let net = net(&sim, MeshParams::instant());
+        let s = sim.clone();
+        // Handler finishes in *reverse* arrival order to stress the
+        // pending-map routing.
+        net.serve(NodeId(1), move |_src, Ping(x)| {
+            let s = s.clone();
+            Box::pin(async move {
+                s.sleep(SimDuration::from_millis(100 - x * 10)).await;
+                Pong(x + 100, Vec::new())
+            })
+        });
+        let client = net.client(NodeId(0));
+        let mut handles = Vec::new();
+        for x in 0..5u64 {
+            let c = client.clone();
+            handles.push(sim.spawn(async move { c.call(NodeId(1), Ping(x)).await.0 }));
+        }
+        sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(1));
+        let got: Vec<u64> = handles.iter().map(|h| h.try_take().unwrap()).collect();
+        assert_eq!(got, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn two_servers_one_client() {
+        let sim = Sim::new(1);
+        let net = net(&sim, MeshParams::instant());
+        net.serve(NodeId(1), |_s, Ping(x)| Box::pin(async move { Pong(x + 1, Vec::new()) }));
+        net.serve(NodeId(2), |_s, Ping(x)| Box::pin(async move { Pong(x + 2, Vec::new()) }));
+        let client = net.client(NodeId(0));
+        let h = sim.spawn(async move {
+            let a = client.call(NodeId(1), Ping(0)).await.0;
+            let b = client.call(NodeId(2), Ping(0)).await.0;
+            (a, b)
+        });
+        sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(h.try_take(), Some((1, 2)));
+    }
+}

@@ -1,0 +1,527 @@
+//! The client half of the PFS: one [`PfsFile`] per (node, open file).
+//!
+//! A read takes the mode-specific pointer step (a token/range RPC to the
+//! pointer server for shared-pointer modes; a local record computation for
+//! per-node-pointer modes), declusters the byte range over the stripe
+//! group, sends one coalesced request per I/O node concurrently, and
+//! scatters the replies into the user buffer. Blocking and asynchronous
+//! (`aread`, via the ART machinery) variants are provided; the prefetch
+//! engine in `paragon-core` is built on [`PfsFile::transfer_read`] +
+//! [`PfsFile::advance_pointer`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use paragon_mesh::NodeId;
+use paragon_os::{ArtPool, AsyncHandle, RpcClient};
+use paragon_sim::{Sim, SimDuration};
+
+use crate::meta::FileMeta;
+use crate::modes::IoMode;
+use crate::proto::{PfsError, PfsRequest, PfsResponse, PtrRequest};
+
+/// Open-time options.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenOptions {
+    /// Use Fast Path I/O (bypass the I/O nodes' buffer caches). This is
+    /// the PFS default for large transfers; disable to model buffered
+    /// mounts.
+    pub fast_path: bool,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions { fast_path: true }
+    }
+}
+
+/// Client-side counters for one open file.
+#[derive(Debug, Default, Clone)]
+pub struct ClientStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+/// Client-side timing knobs (from the machine calibration).
+#[derive(Debug, Clone)]
+pub struct ClientParams {
+    /// Per-call system-call overhead.
+    pub syscall: SimDuration,
+    /// M_RECORD node-ordered record bookkeeping per call.
+    pub record_bookkeeping: SimDuration,
+}
+
+struct FileState {
+    /// Collective round counter (M_RECORD / M_GLOBAL).
+    round: u64,
+    /// Local byte pointer (M_ASYNC).
+    local_offset: u64,
+}
+
+/// One node's handle on an open PFS file. Clone freely; clones share the
+/// file pointer state (they are the same open).
+#[derive(Clone)]
+pub struct PfsFile {
+    sim: Sim,
+    rpc: RpcClient<PfsRequest, PfsResponse>,
+    arts: ArtPool,
+    params: Rc<ClientParams>,
+    meta: Rc<FileMeta>,
+    /// Mesh id of each machine I/O node, indexed by I/O-node index.
+    io_node_ids: Rc<Vec<NodeId>>,
+    service_node: NodeId,
+    rank: u16,
+    nprocs: u16,
+    mode: IoMode,
+    fast_path: bool,
+    size_at_open: u64,
+    state: Rc<RefCell<FileState>>,
+    stats: Rc<RefCell<ClientStats>>,
+}
+
+impl PfsFile {
+    /// Assemble a handle. Library users go through `ParallelFs::open`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        sim: Sim,
+        rpc: RpcClient<PfsRequest, PfsResponse>,
+        arts: ArtPool,
+        params: ClientParams,
+        meta: FileMeta,
+        io_node_ids: Rc<Vec<NodeId>>,
+        service_node: NodeId,
+        rank: u16,
+        nprocs: u16,
+        mode: IoMode,
+        opts: OpenOptions,
+        size_at_open: u64,
+    ) -> Self {
+        assert!(rank < nprocs, "rank {rank} out of range for {nprocs} procs");
+        PfsFile {
+            sim,
+            rpc,
+            arts,
+            params: Rc::new(params),
+            meta: Rc::new(meta),
+            io_node_ids,
+            service_node,
+            rank,
+            nprocs,
+            mode,
+            fast_path: opts.fast_path,
+            size_at_open,
+            state: Rc::new(RefCell::new(FileState {
+                round: 0,
+                local_offset: 0,
+            })),
+            stats: Rc::new(RefCell::new(ClientStats::default())),
+        }
+    }
+
+    /// The mode this handle was opened with.
+    pub fn mode(&self) -> IoMode {
+        self.mode
+    }
+
+    /// This node's rank in the application.
+    pub fn rank(&self) -> u16 {
+        self.rank
+    }
+
+    /// Number of application processes sharing the file.
+    pub fn nprocs(&self) -> u16 {
+        self.nprocs
+    }
+
+    /// File size when the handle was opened.
+    pub fn size(&self) -> u64 {
+        self.size_at_open
+    }
+
+    /// Stripe attributes of the file.
+    pub fn stripe_attrs(&self) -> &crate::stripe::StripeAttrs {
+        &self.meta.attrs
+    }
+
+    /// Client counters for this handle.
+    pub fn stats(&self) -> ClientStats {
+        self.stats.borrow().clone()
+    }
+
+    /// The node's ART pool (the prefetch engine issues through it).
+    pub fn art_pool(&self) -> &ArtPool {
+        &self.arts
+    }
+
+    /// The simulation world (for timing instrumentation in layers above).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Charge one client system call (the prefetch engine wraps `read`
+    /// and pays this itself).
+    pub async fn syscall(&self) {
+        self.sim.sleep(self.params.syscall).await;
+    }
+
+    async fn ptr(&self, req: PtrRequest) -> u64 {
+        match self.rpc.call(self.service_node, PfsRequest::Ptr(req)).await {
+            PfsResponse::Ptr(at) => at,
+            other => panic!("pointer server replied {other:?}"),
+        }
+    }
+
+    /// Advance this node's pointer by `len` under the open mode's
+    /// *individual-pointer* semantics and return the byte offset the next
+    /// access covers. Panics for shared-pointer modes — their pointer
+    /// motion is inseparable from the access (the paper's prototype
+    /// likewise targets the individual-pointer modes).
+    pub async fn advance_pointer(&self, len: u32) -> u64 {
+        match self.mode {
+            IoMode::MRecord => {
+                self.sim.sleep(self.params.record_bookkeeping).await;
+                let mut st = self.state.borrow_mut();
+                let round = st.round;
+                st.round += 1;
+                (round * self.nprocs as u64 + self.rank as u64) * len as u64
+            }
+            IoMode::MGlobal => {
+                let mut st = self.state.borrow_mut();
+                let round = st.round;
+                st.round += 1;
+                round * len as u64
+            }
+            IoMode::MAsync => {
+                let mut st = self.state.borrow_mut();
+                let at = st.local_offset;
+                st.local_offset += len as u64;
+                at
+            }
+            m => panic!("advance_pointer on shared-pointer mode {m}"),
+        }
+    }
+
+    /// Offset the *next* `len`-byte access of this node would cover, for
+    /// individual-pointer modes, without advancing anything. Used by
+    /// sequential predictors.
+    pub fn peek_pointer(&self, len: u32) -> u64 {
+        let st = self.state.borrow();
+        match self.mode {
+            IoMode::MRecord => (st.round * self.nprocs as u64 + self.rank as u64) * len as u64,
+            IoMode::MGlobal => st.round * len as u64,
+            IoMode::MAsync => st.local_offset,
+            m => panic!("peek_pointer on shared-pointer mode {m}"),
+        }
+    }
+
+    /// Reposition this node's individual pointer (M_ASYNC only — the
+    /// M_RECORD and M_GLOBAL pointers are round-structured, and shared
+    /// pointers belong to the pointer server).
+    pub fn seek(&self, offset: u64) {
+        assert_eq!(
+            self.mode,
+            IoMode::MAsync,
+            "seek is only meaningful for M_ASYNC handles"
+        );
+        self.state.borrow_mut().local_offset = offset;
+    }
+
+    /// Blocking read of the next `len` bytes under the open mode.
+    pub async fn read(&self, len: u32) -> Result<Bytes, PfsError> {
+        self.syscall().await;
+        match self.mode {
+            IoMode::MUnix => {
+                let at = self.ptr(PtrRequest::UnixAcquire { file: self.meta.id }).await;
+                // Atomicity: the token is held across the transfer.
+                let result = self.transfer_read(at, len).await;
+                self.ptr(PtrRequest::UnixRelease {
+                    file: self.meta.id,
+                    advance: len as u64,
+                })
+                .await;
+                result
+            }
+            IoMode::MLog => {
+                let at = self
+                    .ptr(PtrRequest::LogFetchAdd {
+                        file: self.meta.id,
+                        len: len as u64,
+                    })
+                    .await;
+                self.transfer_read(at, len).await
+            }
+            IoMode::MSync => {
+                let at = self
+                    .ptr(PtrRequest::SyncArrive {
+                        file: self.meta.id,
+                        rank: self.rank,
+                        nprocs: self.nprocs,
+                        len: len as u64,
+                    })
+                    .await;
+                self.transfer_read(at, len).await
+            }
+            IoMode::MRecord | IoMode::MAsync => {
+                let at = self.advance_pointer(len).await;
+                self.transfer_read(at, len).await
+            }
+            IoMode::MGlobal => {
+                let at = self.advance_pointer(len).await;
+                self.transfer_read_global(at, len, self.nprocs).await
+            }
+        }
+    }
+
+    /// Asynchronous read: the pointer step happens now (setup), the
+    /// transfer runs on an ART. `iowait` = [`AsyncHandle::join`].
+    pub async fn aread(&self, len: u32) -> AsyncHandle<Result<Bytes, PfsError>> {
+        self.syscall().await;
+        match self.mode {
+            IoMode::MRecord | IoMode::MAsync => {
+                let at = self.advance_pointer(len).await;
+                let this = self.clone();
+                self.arts
+                    .submit(async move { this.transfer_read(at, len).await })
+                    .await
+            }
+            IoMode::MGlobal => {
+                let at = self.advance_pointer(len).await;
+                let this = self.clone();
+                let parties = self.nprocs;
+                self.arts
+                    .submit(async move { this.transfer_read_global(at, len, parties).await })
+                    .await
+            }
+            IoMode::MUnix => {
+                let this = self.clone();
+                self.arts
+                    .submit(async move {
+                        let at = this.ptr(PtrRequest::UnixAcquire { file: this.meta.id }).await;
+                        let result = this.transfer_read(at, len).await;
+                        this.ptr(PtrRequest::UnixRelease {
+                            file: this.meta.id,
+                            advance: len as u64,
+                        })
+                        .await;
+                        result
+                    })
+                    .await
+            }
+            IoMode::MLog => {
+                let this = self.clone();
+                self.arts
+                    .submit(async move {
+                        let at = this
+                            .ptr(PtrRequest::LogFetchAdd {
+                                file: this.meta.id,
+                                len: len as u64,
+                            })
+                            .await;
+                        this.transfer_read(at, len).await
+                    })
+                    .await
+            }
+            IoMode::MSync => {
+                let this = self.clone();
+                self.arts
+                    .submit(async move {
+                        let at = this
+                            .ptr(PtrRequest::SyncArrive {
+                                file: this.meta.id,
+                                rank: this.rank,
+                                nprocs: this.nprocs,
+                                len: len as u64,
+                            })
+                            .await;
+                        this.transfer_read(at, len).await
+                    })
+                    .await
+            }
+        }
+    }
+
+    /// Positioned read with no pointer interaction and no syscall charge:
+    /// the raw striped transfer. This is what a prefetch issues ("the file
+    /// pointer is not changed in the process of prefetching").
+    pub async fn transfer_read(&self, offset: u64, len: u32) -> Result<Bytes, PfsError> {
+        self.transfer_read_global(offset, len, 0).await
+    }
+
+    async fn transfer_read_global(
+        &self,
+        offset: u64,
+        len: u32,
+        global_parties: u16,
+    ) -> Result<Bytes, PfsError> {
+        assert!(len > 0, "zero-length read");
+        let rank = self.rank;
+        self.sim
+            .trace(|| format!("cn{rank}.read start off={offset} len={len}"));
+        let plan = self.meta.attrs.plan(offset, len as u64);
+        let shared = self.nprocs > 1;
+        let mut handles = Vec::with_capacity(plan.len());
+        for sreq in plan {
+            let (ion, _) = self.meta.slot(sreq.slot as u16)?;
+            let dst = self.io_node_ids[ion];
+            let rpc = self.rpc.clone();
+            let req = PfsRequest::Read {
+                file: self.meta.id,
+                slot: sreq.slot as u16,
+                offset: sreq.slot_offset,
+                len: sreq.len as u32,
+                fast_path: self.fast_path,
+                shared,
+                global_parties,
+            };
+            handles.push((
+                sreq,
+                self.sim
+                    .spawn_named("pfs-read-leg", async move { rpc.call(dst, req).await }),
+            ));
+        }
+        let mut out = BytesMut::zeroed(len as usize);
+        for (sreq, h) in handles {
+            match h.await {
+                PfsResponse::Data(Ok(data)) => {
+                    debug_assert_eq!(data.len() as u64, sreq.len);
+                    for p in &sreq.pieces {
+                        let src = (p.slot_offset - sreq.slot_offset) as usize;
+                        let dst = p.logical_offset as usize;
+                        out[dst..dst + p.len as usize]
+                            .copy_from_slice(&data[src..src + p.len as usize]);
+                    }
+                }
+                PfsResponse::Data(Err(e)) => return Err(e),
+                other => panic!("read leg got {other:?}"),
+            }
+        }
+        let mut st = self.stats.borrow_mut();
+        st.reads += 1;
+        st.bytes_read += len as u64;
+        drop(st);
+        self.sim
+            .trace(|| format!("cn{rank}.read done off={offset} len={len}"));
+        Ok(out.freeze())
+    }
+
+    /// Write the next `data.len()` bytes under the open mode — the write
+    /// mirror of [`PfsFile::read`]. M_UNIX holds the pointer token across
+    /// the transfer (atomic appends); M_LOG reserves its range with a
+    /// fetch-and-add and transfers concurrently (the mode's eponymous
+    /// log-append use); M_SYNC assigns node-ordered ranges once every
+    /// rank arrives; M_RECORD/M_ASYNC use their local pointers. Returns
+    /// the offset the data landed at.
+    pub async fn write(&self, data: Bytes) -> Result<u64, PfsError> {
+        self.syscall().await;
+        let len = data.len() as u64;
+        match self.mode {
+            IoMode::MUnix => {
+                let at = self.ptr(PtrRequest::UnixAcquire { file: self.meta.id }).await;
+                let result = self.transfer_write(at, data).await;
+                self.ptr(PtrRequest::UnixRelease {
+                    file: self.meta.id,
+                    advance: len,
+                })
+                .await;
+                result.map(|()| at)
+            }
+            IoMode::MLog => {
+                let at = self
+                    .ptr(PtrRequest::LogFetchAdd {
+                        file: self.meta.id,
+                        len,
+                    })
+                    .await;
+                self.transfer_write(at, data).await.map(|()| at)
+            }
+            IoMode::MSync => {
+                let at = self
+                    .ptr(PtrRequest::SyncArrive {
+                        file: self.meta.id,
+                        rank: self.rank,
+                        nprocs: self.nprocs,
+                        len,
+                    })
+                    .await;
+                self.transfer_write(at, data).await.map(|()| at)
+            }
+            IoMode::MRecord | IoMode::MAsync => {
+                let at = self.advance_pointer(data.len() as u32).await;
+                self.transfer_write(at, data).await.map(|()| at)
+            }
+            IoMode::MGlobal => {
+                // Every node writes the same data to the same place; the
+                // round advances once. Last writer wins (they are equal).
+                let at = self.advance_pointer(data.len() as u32).await;
+                self.transfer_write(at, data).await.map(|()| at)
+            }
+        }
+    }
+
+    /// Positioned write (used to lay files out and by write workloads).
+    pub async fn write_at(&self, offset: u64, data: Bytes) -> Result<(), PfsError> {
+        self.syscall().await;
+        self.transfer_write(offset, data).await
+    }
+
+    /// Raw striped write, no syscall charge.
+    pub async fn transfer_write(&self, offset: u64, data: Bytes) -> Result<(), PfsError> {
+        assert!(!data.is_empty(), "zero-length write");
+        let plan = self.meta.attrs.plan(offset, data.len() as u64);
+        let shared = self.nprocs > 1;
+        let mut handles = Vec::with_capacity(plan.len());
+        for sreq in plan {
+            let (ion, _) = self.meta.slot(sreq.slot as u16)?;
+            let dst = self.io_node_ids[ion];
+            // Gather the logical pieces into one contiguous slot buffer.
+            let mut buf = BytesMut::zeroed(sreq.len as usize);
+            for p in &sreq.pieces {
+                let dst_at = (p.slot_offset - sreq.slot_offset) as usize;
+                let src_at = p.logical_offset as usize;
+                buf[dst_at..dst_at + p.len as usize]
+                    .copy_from_slice(&data[src_at..src_at + p.len as usize]);
+            }
+            let rpc = self.rpc.clone();
+            let req = PfsRequest::Write {
+                file: self.meta.id,
+                slot: sreq.slot as u16,
+                offset: sreq.slot_offset,
+                data: buf.freeze(),
+                fast_path: self.fast_path,
+                shared,
+            };
+            handles.push(
+                self.sim
+                    .spawn_named("pfs-write-leg", async move { rpc.call(dst, req).await }),
+            );
+        }
+        for h in handles {
+            match h.await {
+                PfsResponse::WriteAck(Ok(_)) => {}
+                PfsResponse::WriteAck(Err(e)) => return Err(e),
+                other => panic!("write leg got {other:?}"),
+            }
+        }
+        let mut st = self.stats.borrow_mut();
+        st.writes += 1;
+        st.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Rewind this handle's pointer state (and, for shared-pointer modes,
+    /// the shared pointer itself — callers coordinate so only one node of
+    /// a shared open rewinds).
+    pub async fn rewind(&self) {
+        {
+            let mut st = self.state.borrow_mut();
+            st.round = 0;
+            st.local_offset = 0;
+        }
+        if self.mode.shared_pointer() {
+            self.ptr(PtrRequest::Rewind { file: self.meta.id }).await;
+        }
+    }
+}

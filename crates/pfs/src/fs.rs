@@ -1,0 +1,588 @@
+//! The mounted parallel file system.
+//!
+//! [`ParallelFs::new`] wires a machine up: one PFS server per I/O node,
+//! the pointer server on the service node, and the RPC fabric between
+//! them. Files are created with explicit stripe attributes, populated
+//! through [`ParallelFs::populate_with`] (experiment setup — writes land
+//! directly on the UFS instances without charging client time), and
+//! opened per node with [`ParallelFs::open`].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use paragon_machine::Machine;
+use paragon_mesh::NodeId;
+use paragon_os::{ArtConfig, ArtPool, RpcClient, RpcNet};
+use paragon_sim::Sim;
+
+use crate::client::{ClientParams, OpenOptions, PfsFile};
+use crate::meta::{FileMeta, Registry};
+use crate::modes::IoMode;
+use crate::pointer::{PointerServer, PointerStats};
+use crate::proto::{PfsError, PfsFileId, PfsRequest, PfsResponse};
+use crate::server::{IonServer, ServerParams, ServerStats};
+use crate::stripe::StripeAttrs;
+
+/// One compute node's RPC endpoint and ART pool.
+type NodeEndpoint = (RpcClient<PfsRequest, PfsResponse>, ArtPool);
+
+/// A mounted PFS. One per machine.
+pub struct ParallelFs {
+    sim: Sim,
+    machine: Rc<Machine>,
+    rpc: RpcNet<PfsRequest, PfsResponse>,
+    registry: Rc<RefCell<Registry>>,
+    pointer: PointerServer,
+    servers: Vec<IonServer>,
+    io_node_ids: Rc<Vec<NodeId>>,
+    /// Lazily-created per-rank client endpoints and ART pools (one mailbox
+    /// and one active list per compute node).
+    clients: RefCell<HashMap<usize, NodeEndpoint>>,
+}
+
+impl ParallelFs {
+    /// Mount a PFS on `machine`: starts the I/O-node servers and the
+    /// pointer server.
+    pub fn new(machine: Rc<Machine>) -> Rc<Self> {
+        let sim = machine.sim().clone();
+        let calib = machine.calib().clone();
+        let rpc: RpcNet<PfsRequest, PfsResponse> =
+            RpcNet::new(&sim, machine.topology(), calib.mesh.clone());
+        let registry = Rc::new(RefCell::new(Registry::new()));
+
+        let server_params = ServerParams {
+            request_overhead: calib.server_request,
+            partial_block_penalty: calib.partial_block_penalty,
+            shared_file_check: calib.shared_file_check,
+            fs_block: calib.fs_block,
+            threads: calib.server_threads,
+        };
+        let mut servers = Vec::with_capacity(machine.io_nodes());
+        for i in 0..machine.io_nodes() {
+            let server = IonServer::new(
+                &sim,
+                machine.ufs(i).clone(),
+                i,
+                server_params.clone(),
+                registry.clone(),
+            );
+            servers.push(server.clone());
+            rpc.serve(machine.io_node(i), move |_src, req| {
+                let server = server.clone();
+                Box::pin(async move { server.handle(req).await })
+            });
+        }
+
+        let pointer = PointerServer::new(&sim, calib.pointer_op);
+        let ptr = pointer.clone();
+        rpc.serve(machine.service_node(), move |_src, req| {
+            let ptr = ptr.clone();
+            Box::pin(async move {
+                match req {
+                    PfsRequest::Ptr(p) => PfsResponse::Ptr(ptr.handle(p).await),
+                    other => panic!("service node received a data request: {other:?}"),
+                }
+            })
+        });
+
+        let io_node_ids = Rc::new((0..machine.io_nodes()).map(|i| machine.io_node(i)).collect());
+        Rc::new(ParallelFs {
+            sim,
+            machine,
+            rpc,
+            registry,
+            pointer,
+            servers,
+            io_node_ids,
+            clients: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The machine this PFS is mounted on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Create a PFS file with explicit stripe attributes.
+    pub async fn create(&self, name: &str, attrs: StripeAttrs) -> Result<PfsFileId, PfsError> {
+        assert!(
+            attrs.group.iter().all(|&ion| ion < self.machine.io_nodes()),
+            "stripe group references a nonexistent I/O node"
+        );
+        let mut slots = Vec::with_capacity(attrs.factor());
+        for (slot, &ion) in attrs.group.iter().enumerate() {
+            let inode = self
+                .machine
+                .ufs(ion)
+                .create(&format!("{name}.{slot}"))
+                .await
+                .map_err(PfsError::from)?;
+            slots.push((ion, inode));
+        }
+        Ok(self.registry.borrow_mut().insert(name, attrs, slots))
+    }
+
+    /// Create with the mount's default layout: striped once across the
+    /// first `factor` I/O nodes in `stripe_unit` units.
+    pub async fn create_default(
+        &self,
+        name: &str,
+        stripe_unit: u64,
+        factor: usize,
+    ) -> Result<PfsFileId, PfsError> {
+        self.create(name, StripeAttrs::across(factor, stripe_unit))
+            .await
+    }
+
+    /// Lay `size` bytes of content into `file`, byte `i` = `fill(i)`.
+    ///
+    /// Experiment setup: the data lands directly on the per-slot UFS
+    /// files (the simulated disks still charge their write time, but no
+    /// client/mesh time is consumed — populate before starting the clock).
+    pub async fn populate_with(
+        &self,
+        file: PfsFileId,
+        size: u64,
+        fill: impl Fn(u64) -> u8,
+    ) -> Result<(), PfsError> {
+        if size == 0 {
+            return Ok(());
+        }
+        let meta = self.registry.borrow().get(file)?.clone();
+        let su = meta.attrs.stripe_unit;
+        let g = meta.attrs.factor() as u64;
+        // Build each slot's stripe file content in one pass.
+        let mut slot_bufs: Vec<BytesMut> = (0..g)
+            .map(|slot| {
+                // Slot length: full rows plus the clipped final row.
+                let units = size.div_ceil(su);
+                let full = units / g + u64::from(units % g > slot);
+                let mut len = full * su;
+                // The very last unit may be clipped by the file size.
+                if units > 0 && (units - 1) % g == slot && !size.is_multiple_of(su) {
+                    len -= su - size % su;
+                }
+                BytesMut::zeroed(len as usize)
+            })
+            .collect();
+        for unit in 0..size.div_ceil(su) {
+            let slot = (unit % g) as usize;
+            let row = unit / g;
+            let ustart = unit * su;
+            let ulen = su.min(size - ustart);
+            let buf = &mut slot_bufs[slot][(row * su) as usize..(row * su + ulen) as usize];
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = fill(ustart + i as u64);
+            }
+        }
+        let mut handles = Vec::new();
+        for (slot, buf) in slot_bufs.into_iter().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let (ion, inode) = meta.slots[slot];
+            let ufs = self.machine.ufs(ion).clone();
+            handles.push(self.sim.spawn(async move {
+                ufs.write(inode, 0, buf.freeze()).await
+            }));
+        }
+        for h in handles {
+            h.await.map_err(PfsError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Remove a PFS file: frees every slot's stripe file (flushing any
+    /// dirty cached blocks) and tombstones the id. Open handles must not
+    /// be used afterwards (their requests will fail with `UnknownFile`).
+    pub async fn remove(&self, file: PfsFileId) -> Result<(), PfsError> {
+        let meta = self.registry.borrow_mut().remove(file)?;
+        for (ion, inode) in meta.slots {
+            self.machine
+                .ufs(ion)
+                .remove(inode)
+                .await
+                .map_err(PfsError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Metadata snapshot of `file` (name, stripe attributes, slot map).
+    pub fn stat(&self, file: PfsFileId) -> Result<FileMeta, PfsError> {
+        Ok(self.registry.borrow().get(file)?.clone())
+    }
+
+    /// Names of every live PFS file, creation order.
+    pub fn list(&self) -> Vec<String> {
+        self.registry
+            .borrow()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect()
+    }
+
+    /// Logical size of `file` implied by its slot files' current sizes.
+    pub fn logical_size(&self, file: PfsFileId) -> Result<u64, PfsError> {
+        let registry = self.registry.borrow();
+        let meta = registry.get(file)?;
+        let sizes: Vec<u64> = meta
+            .slots
+            .iter()
+            .map(|&(ion, inode)| self.machine.ufs(ion).size(inode).unwrap_or(0))
+            .collect();
+        Ok(meta.attrs.logical_end(&sizes))
+    }
+
+    /// Open `file` on compute node `rank` (of `nprocs`) in `mode`.
+    pub fn open(
+        &self,
+        rank: usize,
+        nprocs: usize,
+        file: PfsFileId,
+        mode: IoMode,
+        opts: OpenOptions,
+    ) -> Result<PfsFile, PfsError> {
+        self.open_on(rank, rank, nprocs, file, mode, opts)
+    }
+
+    /// Open `file` from compute node `node`, participating as `rank` of
+    /// `nprocs`. The separate-files workloads use this: each physical
+    /// node opens its private file as rank 0 of 1.
+    pub fn open_on(
+        &self,
+        node: usize,
+        rank: usize,
+        nprocs: usize,
+        file: PfsFileId,
+        mode: IoMode,
+        opts: OpenOptions,
+    ) -> Result<PfsFile, PfsError> {
+        let meta = self.registry.borrow().get(file)?.clone();
+        let calib = self.machine.calib();
+        let (rpc, arts) = self.node_endpoint(node);
+        let size = self.logical_size(file)?;
+        Ok(PfsFile::new(
+            self.sim.clone(),
+            rpc,
+            arts,
+            ClientParams {
+                syscall: calib.syscall,
+                record_bookkeeping: calib.record_bookkeeping,
+            },
+            meta,
+            self.io_node_ids.clone(),
+            self.machine.service_node(),
+            rank as u16,
+            nprocs as u16,
+            mode,
+            opts,
+            size,
+        ))
+    }
+
+    /// The RPC endpoint + ART pool of compute node `rank`, created on
+    /// first use (one mailbox per node).
+    fn node_endpoint(&self, rank: usize) -> NodeEndpoint {
+        let mut clients = self.clients.borrow_mut();
+        let calib = self.machine.calib();
+        clients
+            .entry(rank)
+            .or_insert_with(|| {
+                let client = self.rpc.client(self.machine.compute_node(rank));
+                let arts = ArtPool::new(
+                    &self.sim,
+                    ArtConfig {
+                        setup: calib.art_setup,
+                        dispatch: calib.art_dispatch,
+                        max_arts: calib.max_arts,
+                    },
+                );
+                (client, arts)
+            })
+            .clone()
+    }
+
+    /// Counters of I/O node `index`'s server.
+    pub fn server_stats(&self, index: usize) -> ServerStats {
+        self.servers[index].stats()
+    }
+
+    /// Counters of the pointer server.
+    pub fn pointer_stats(&self) -> PointerStats {
+        self.pointer.stats()
+    }
+
+    /// Aggregate bytes read across all I/O-node servers.
+    pub fn total_bytes_served(&self) -> u64 {
+        self.servers.iter().map(|s| s.stats().bytes_read).sum()
+    }
+}
+
+/// Deterministic file content used throughout tests and experiments:
+/// byte `i` of a file with `seed` is `pattern_byte(seed, i)`.
+pub fn pattern_byte(seed: u64, offset: u64) -> u8 {
+    let x = offset
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seed.wrapping_mul(0xd134_2543_de82_ef95));
+    ((x >> 32) ^ x) as u8
+}
+
+/// Materialize `[offset, offset + len)` of the pattern file (what a read
+/// should return).
+pub fn pattern_slice(seed: u64, offset: u64, len: usize) -> Bytes {
+    let mut buf = BytesMut::zeroed(len);
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = pattern_byte(seed, offset + i as u64);
+    }
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_machine::MachineConfig;
+
+    const KB: u64 = 1024;
+
+    fn mount(sim: &Sim, cn: usize, ion: usize) -> Rc<ParallelFs> {
+        let machine = Rc::new(Machine::new(sim, MachineConfig::tiny_instant(cn, ion)));
+        ParallelFs::new(machine)
+    }
+
+    /// Build a populated file and return its id.
+    async fn make_file(
+        pfs: &ParallelFs,
+        name: &str,
+        attrs: StripeAttrs,
+        size: u64,
+        seed: u64,
+    ) -> PfsFileId {
+        let id = pfs.create(name, attrs).await.unwrap();
+        pfs.populate_with(id, size, |i| pattern_byte(seed, i))
+            .await
+            .unwrap();
+        id
+    }
+
+    #[test]
+    fn populate_then_read_at_roundtrips() {
+        let sim = Sim::new(3);
+        let pfs = mount(&sim, 2, 3);
+        let p2 = pfs.clone();
+        let h = sim.spawn(async move {
+            let attrs = StripeAttrs::across(3, 16 * KB);
+            let id = make_file(&p2, "/pfs/a", attrs, 300 * KB, 7).await;
+            assert_eq!(p2.logical_size(id).unwrap(), 300 * KB);
+            let f = p2
+                .open(0, 1, id, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            // An unaligned range spanning several stripe units.
+            let data = f.transfer_read(10_000, 100_000).await.unwrap();
+            data == pattern_slice(7, 10_000, 100_000)
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn m_record_partitions_the_file_by_rank() {
+        let sim = Sim::new(4);
+        let pfs = mount(&sim, 4, 2);
+        let p2 = pfs.clone();
+        let h = sim.spawn(async move {
+            let attrs = StripeAttrs::across(2, 64 * KB);
+            let id = make_file(&p2, "/pfs/r", attrs, 4 * 64 * KB * 2, 1).await;
+            let mut ok = true;
+            for rank in 0..4usize {
+                let f = p2
+                    .open(rank, 4, id, IoMode::MRecord, OpenOptions::default())
+                    .unwrap();
+                for round in 0..2u64 {
+                    let data = f.read(64 * 1024).await.unwrap();
+                    let expect_at = (round * 4 + rank as u64) * 64 * KB;
+                    ok &= data == pattern_slice(1, expect_at, 64 * 1024);
+                }
+            }
+            ok
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn m_unix_reads_are_disjoint_and_cover_the_prefix() {
+        let sim = Sim::new(5);
+        let pfs = mount(&sim, 3, 2);
+        let p2 = pfs.clone();
+        let done: Rc<RefCell<Vec<Bytes>>> = Rc::new(RefCell::new(Vec::new()));
+        let d2 = done.clone();
+        sim.spawn(async move {
+            let attrs = StripeAttrs::across(2, 16 * KB);
+            let id = make_file(&p2, "/pfs/u", attrs, 96 * KB, 9).await;
+            let mut handles = Vec::new();
+            for rank in 0..3usize {
+                let f = p2
+                    .open(rank, 3, id, IoMode::MUnix, OpenOptions::default())
+                    .unwrap();
+                let sim2 = f.sim().clone();
+                handles.push(sim2.spawn(async move { f.read(32 * 1024).await.unwrap() }));
+            }
+            for h in handles {
+                let data = h.await;
+                d2.borrow_mut().push(data);
+            }
+        });
+        sim.run();
+        // Together the three 32 KB reads must cover bytes 0..96 KB exactly
+        // once (order depends on token arrival).
+        let mut got: Vec<Bytes> = done.borrow().clone();
+        got.sort_by_key(|b| {
+            // Identify each chunk by matching its first byte offset.
+            (0..3u64)
+                .find(|&k| b[..] == pattern_slice(9, k * 32 * KB, 32 * 1024)[..])
+                .expect("chunk does not match any expected range")
+        });
+        for (k, b) in got.iter().enumerate() {
+            assert_eq!(&b[..], &pattern_slice(9, k as u64 * 32 * KB, 32 * 1024)[..]);
+        }
+    }
+
+    #[test]
+    fn m_global_all_nodes_see_identical_data() {
+        let sim = Sim::new(6);
+        let pfs = mount(&sim, 4, 2);
+        let p2 = pfs.clone();
+        let h = sim.spawn(async move {
+            let attrs = StripeAttrs::across(2, 16 * KB);
+            let id = make_file(&p2, "/pfs/g", attrs, 128 * KB, 2).await;
+            let mut handles = Vec::new();
+            for rank in 0..4usize {
+                let f = p2
+                    .open(rank, 4, id, IoMode::MGlobal, OpenOptions::default())
+                    .unwrap();
+                let sim2 = f.sim().clone();
+                handles.push(sim2.spawn(async move {
+                    let a = f.read(32 * 1024).await.unwrap();
+                    let b = f.read(32 * 1024).await.unwrap();
+                    (a, b)
+                }));
+            }
+            let mut all = Vec::new();
+            for h in handles {
+                all.push(h.await);
+            }
+            all
+        });
+        sim.run();
+        let all = h.try_take().unwrap();
+        for (a, b) in &all {
+            assert_eq!(&a[..], &pattern_slice(2, 0, 32 * 1024)[..]);
+            assert_eq!(&b[..], &pattern_slice(2, 32 * KB, 32 * 1024)[..]);
+        }
+        // The I/O nodes must have deduplicated the collective reads.
+        let shares: u64 = (0..2).map(|i| pfs.server_stats(i).global_shares).sum();
+        assert!(shares > 0, "expected global read sharing");
+    }
+
+    #[test]
+    fn ways_on_one_node_all_traffic_hits_that_node() {
+        let sim = Sim::new(7);
+        let pfs = mount(&sim, 2, 3);
+        let p2 = pfs.clone();
+        sim.spawn(async move {
+            let attrs = StripeAttrs::ways_on_one(4, 1, 16 * KB);
+            let id = make_file(&p2, "/pfs/w", attrs, 256 * KB, 3).await;
+            let f = p2
+                .open(0, 1, id, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            let data = f.read(128 * 1024).await.unwrap();
+            assert_eq!(&data[..], &pattern_slice(3, 0, 128 * 1024)[..]);
+        });
+        sim.run();
+        assert!(pfs.server_stats(1).reads > 0);
+        assert_eq!(pfs.server_stats(0).reads, 0);
+        assert_eq!(pfs.server_stats(2).reads, 0);
+    }
+
+    #[test]
+    fn write_at_then_read_back_through_pfs() {
+        let sim = Sim::new(8);
+        let pfs = mount(&sim, 1, 2);
+        let p2 = pfs.clone();
+        let h = sim.spawn(async move {
+            let id = p2
+                .create("/pfs/wr", StripeAttrs::across(2, 16 * KB))
+                .await
+                .unwrap();
+            let f = p2
+                .open(0, 1, id, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            let payload = pattern_slice(11, 0, 100_000);
+            f.write_at(0, payload.clone()).await.unwrap();
+            let back = f.transfer_read(0, 100_000).await.unwrap();
+            back == payload
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn aread_overlaps_with_computation() {
+        let sim = Sim::new(9);
+        let pfs = mount(&sim, 1, 2);
+        let p2 = pfs.clone();
+        let h = sim.spawn(async move {
+            let attrs = StripeAttrs::across(2, 16 * KB);
+            let id = make_file(&p2, "/pfs/as", attrs, 256 * KB, 4).await;
+            let f = p2
+                .open(0, 1, id, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            let req = f.aread(64 * 1024).await;
+            let data = req.join().await.unwrap();
+            data == pattern_slice(4, 0, 64 * 1024)
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn remove_frees_slot_files_and_tombstones_the_id() {
+        let sim = Sim::new(10);
+        let pfs = mount(&sim, 1, 2);
+        let p2 = pfs.clone();
+        let h = sim.spawn(async move {
+            let attrs = StripeAttrs::across(2, 16 * KB);
+            let a = make_file(&p2, "/pfs/rm", attrs.clone(), 128 * KB, 1).await;
+            assert_eq!(p2.list(), vec!["/pfs/rm".to_owned()]);
+            assert_eq!(p2.stat(a).unwrap().slots.len(), 2);
+            let f = p2
+                .open(0, 1, a, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            p2.remove(a).await.unwrap();
+            assert!(p2.list().is_empty());
+            assert!(p2.stat(a).is_err());
+            // A stale handle's requests surface UnknownFile, not corruption.
+            let err = f.transfer_read(0, 1024).await;
+            assert!(err.is_err());
+            // The name (and the space) can be reused.
+            let b = make_file(&p2, "/pfs/rm", attrs, 64 * KB, 2).await;
+            let g = p2
+                .open(0, 1, b, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            let data = g.transfer_read(0, 1024).await.unwrap();
+            data == pattern_slice(2, 0, 1024)
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn pattern_helpers_are_consistent() {
+        let s = pattern_slice(5, 100, 50);
+        for i in 0..50u64 {
+            assert_eq!(s[i as usize], pattern_byte(5, 100 + i));
+        }
+    }
+}

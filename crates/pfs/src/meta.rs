@@ -1,0 +1,154 @@
+//! PFS file metadata.
+//!
+//! One machine-wide registry maps a [`PfsFileId`] to its stripe attributes
+//! and the per-slot UFS inodes. In the Paragon this lived in the mount
+//! metadata replicated to the servers; here it is a shared table the
+//! client library and the I/O-node servers both consult (metadata RPCs are
+//! folded into the calibrated per-request server cost).
+
+use paragon_ufs::InodeId;
+
+use crate::proto::{PfsError, PfsFileId};
+use crate::stripe::StripeAttrs;
+
+/// Metadata of one PFS file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Machine-wide id.
+    pub id: PfsFileId,
+    /// Mount-relative name.
+    pub name: String,
+    /// Stripe layout.
+    pub attrs: StripeAttrs,
+    /// Per group slot: `(I/O-node index, inode of that slot's stripe file)`.
+    pub slots: Vec<(usize, InodeId)>,
+}
+
+impl FileMeta {
+    /// Resolve a slot to its I/O node and inode.
+    pub fn slot(&self, slot: u16) -> Result<(usize, InodeId), PfsError> {
+        self.slots
+            .get(slot as usize)
+            .copied()
+            .ok_or(PfsError::BadSlot {
+                slot,
+                factor: self.slots.len(),
+            })
+    }
+}
+
+/// The machine-wide file table. Removed files leave tombstones so ids
+/// stay stable.
+#[derive(Debug, Default)]
+pub struct Registry {
+    files: Vec<Option<FileMeta>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new file and return its id.
+    pub fn insert(&mut self, name: &str, attrs: StripeAttrs, slots: Vec<(usize, InodeId)>) -> PfsFileId {
+        assert_eq!(
+            attrs.factor(),
+            slots.len(),
+            "slot list does not match stripe factor"
+        );
+        let id = PfsFileId(self.files.len() as u32);
+        self.files.push(Some(FileMeta {
+            id,
+            name: name.to_owned(),
+            attrs,
+            slots,
+        }));
+        id
+    }
+
+    /// Look a file up by id.
+    pub fn get(&self, id: PfsFileId) -> Result<&FileMeta, PfsError> {
+        self.files
+            .get(id.0 as usize)
+            .and_then(|f| f.as_ref())
+            .ok_or(PfsError::UnknownFile(id))
+    }
+
+    /// Look a file up by name.
+    pub fn lookup(&self, name: &str) -> Option<&FileMeta> {
+        self.files
+            .iter()
+            .flatten()
+            .find(|f| f.name == name)
+    }
+
+    /// Remove a file, returning its metadata (for slot-file cleanup).
+    pub fn remove(&mut self, id: PfsFileId) -> Result<FileMeta, PfsError> {
+        self.files
+            .get_mut(id.0 as usize)
+            .and_then(|f| f.take())
+            .ok_or(PfsError::UnknownFile(id))
+    }
+
+    /// Iterate over live files.
+    pub fn iter(&self) -> impl Iterator<Item = &FileMeta> {
+        self.files.iter().flatten()
+    }
+
+    /// Number of live files.
+    pub fn len(&self) -> usize {
+        self.files.iter().flatten().count()
+    }
+
+    /// True when no live files exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_resolve() {
+        let mut r = Registry::new();
+        let attrs = StripeAttrs::across(2, 64 * 1024);
+        let id = r.insert("/pfs/a", attrs, vec![(0, InodeId(0)), (1, InodeId(0))]);
+        assert_eq!(id, PfsFileId(0));
+        let meta = r.get(id).unwrap();
+        assert_eq!(meta.slot(1).unwrap(), (1, InodeId(0)));
+        assert!(matches!(
+            meta.slot(2),
+            Err(PfsError::BadSlot { slot: 2, factor: 2 })
+        ));
+        assert!(r.lookup("/pfs/a").is_some());
+        assert!(r.lookup("/pfs/b").is_none());
+    }
+
+    #[test]
+    fn remove_leaves_a_tombstone() {
+        let mut r = Registry::new();
+        let attrs = StripeAttrs::across(1, 1024);
+        let a = r.insert("/a", attrs.clone(), vec![(0, InodeId(0))]);
+        let b = r.insert("/b", attrs, vec![(0, InodeId(1))]);
+        let meta = r.remove(a).unwrap();
+        assert_eq!(meta.name, "/a");
+        assert!(matches!(r.get(a), Err(PfsError::UnknownFile(_))));
+        assert!(r.remove(a).is_err(), "double remove must fail");
+        // Ids stay stable: /b is still where it was.
+        assert_eq!(r.get(b).unwrap().name, "/b");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().count(), 1);
+    }
+
+    #[test]
+    fn unknown_file_is_an_error() {
+        let r = Registry::new();
+        assert!(matches!(
+            r.get(PfsFileId(3)),
+            Err(PfsError::UnknownFile(PfsFileId(3)))
+        ));
+    }
+}

@@ -1,0 +1,167 @@
+//! Wire protocol between PFS clients, I/O-node servers, and the pointer
+//! server. One request/response pair rides the machine-wide RPC fabric.
+
+use bytes::Bytes;
+use paragon_os::WireSize;
+use paragon_ufs::UfsError;
+
+/// Identifier of a PFS file (machine-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PfsFileId(pub u32);
+
+/// Requests a client can send.
+#[derive(Debug)]
+pub enum PfsRequest {
+    /// Read a contiguous run of one stripe file.
+    Read {
+        file: PfsFileId,
+        /// Group slot whose stripe file is addressed.
+        slot: u16,
+        /// Byte offset within the stripe file.
+        offset: u64,
+        /// Bytes to read.
+        len: u32,
+        /// Fast Path (bypass the server's buffer cache)?
+        fast_path: bool,
+        /// Is the file opened shared (pays the consistency check)?
+        shared: bool,
+        /// M_GLOBAL: if nonzero, this many nodes will issue the identical
+        /// read and one physical I/O should serve them all.
+        global_parties: u16,
+    },
+    /// Write a contiguous run of one stripe file.
+    Write {
+        file: PfsFileId,
+        slot: u16,
+        offset: u64,
+        data: Bytes,
+        fast_path: bool,
+        shared: bool,
+    },
+    /// Shared-file-pointer operation (service node).
+    Ptr(PtrRequest),
+}
+
+/// Shared-pointer operations, one per shared-pointer mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrRequest {
+    /// M_UNIX: acquire the pointer token; the reply carries the current
+    /// pointer. The token is held until [`PtrRequest::UnixRelease`].
+    UnixAcquire { file: PfsFileId },
+    /// M_UNIX: advance the pointer by `advance` and release the token.
+    UnixRelease { file: PfsFileId, advance: u64 },
+    /// M_LOG: atomically fetch the pointer and advance it by `len`.
+    LogFetchAdd { file: PfsFileId, len: u64 },
+    /// M_SYNC: rank `rank` of `nprocs` arrives at a collective call
+    /// wanting `len` bytes; the reply (sent once all ranks arrive)
+    /// carries this rank's node-ordered offset.
+    SyncArrive {
+        file: PfsFileId,
+        rank: u16,
+        nprocs: u16,
+        len: u64,
+    },
+    /// Reset the pointer (file rewind; also used between experiments).
+    Rewind { file: PfsFileId },
+}
+
+/// Responses.
+#[derive(Debug)]
+pub enum PfsResponse {
+    /// Read reply.
+    Data(Result<Bytes, PfsError>),
+    /// Write acknowledgement.
+    WriteAck(Result<u32, PfsError>),
+    /// Pointer-operation reply: the relevant file offset.
+    Ptr(u64),
+}
+
+/// PFS-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// The underlying UFS failed.
+    Ufs(UfsError),
+    /// Request addressed a slot outside the file's stripe group.
+    BadSlot { slot: u16, factor: usize },
+    /// No such PFS file.
+    UnknownFile(PfsFileId),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::Ufs(e) => write!(f, "ufs: {e}"),
+            PfsError::BadSlot { slot, factor } => {
+                write!(f, "slot {slot} out of range (stripe factor {factor})")
+            }
+            PfsError::UnknownFile(id) => write!(f, "unknown PFS file {}", id.0),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+impl From<UfsError> for PfsError {
+    fn from(e: UfsError) -> Self {
+        PfsError::Ufs(e)
+    }
+}
+
+impl WireSize for PfsRequest {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            PfsRequest::Read { .. } => 32,
+            PfsRequest::Write { data, .. } => 32 + data.len() as u64,
+            PfsRequest::Ptr(_) => 24,
+        }
+    }
+}
+
+impl WireSize for PfsResponse {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            PfsResponse::Data(Ok(data)) => 16 + data.len() as u64,
+            PfsResponse::Data(Err(_)) | PfsResponse::WriteAck(_) | PfsResponse::Ptr(_) => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_requests_are_small_on_the_wire() {
+        let req = PfsRequest::Read {
+            file: PfsFileId(0),
+            slot: 0,
+            offset: 0,
+            len: 1 << 20,
+            fast_path: true,
+            shared: true,
+            global_parties: 0,
+        };
+        assert!(req.wire_bytes() < 64);
+    }
+
+    #[test]
+    fn data_replies_carry_their_payload() {
+        let resp = PfsResponse::Data(Ok(Bytes::from(vec![0u8; 4096])));
+        assert_eq!(resp.wire_bytes(), 16 + 4096);
+        let err = PfsResponse::Data(Err(PfsError::UnknownFile(PfsFileId(9))));
+        assert_eq!(err.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn write_requests_carry_their_payload() {
+        let req = PfsRequest::Write {
+            file: PfsFileId(1),
+            slot: 2,
+            offset: 0,
+            data: Bytes::from(vec![1u8; 1000]),
+            fast_path: true,
+            shared: false,
+        };
+        assert_eq!(req.wire_bytes(), 1032);
+    }
+}

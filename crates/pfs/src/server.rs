@@ -1,0 +1,502 @@
+//! The PFS server process of one I/O node.
+//!
+//! Each I/O node runs one server that owns the node's UFS. Per request it
+//! charges the calibrated per-request processing cost (plus the partial-
+//! block penalty for requests that are not block-aligned, and the shared-
+//! file consistency check for shared opens), then services the transfer
+//! over the Fast Path or the buffer cache. M_GLOBAL reads are deduplicated
+//! so one physical I/O feeds every node of a collective call.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use paragon_sim::sync::{Semaphore, Signal};
+use paragon_sim::{Sim, SimDuration};
+use paragon_ufs::Ufs;
+
+use crate::meta::Registry;
+use crate::proto::{PfsError, PfsFileId, PfsRequest, PfsResponse};
+
+/// Server timing knobs (from the machine calibration).
+#[derive(Debug, Clone)]
+pub struct ServerParams {
+    /// Per-request processing cost (jittered ±25 % per request: OS
+    /// service times vary, which is also what staggers the initially
+    /// phase-locked SPMD nodes into a pipeline, as on real machines).
+    pub request_overhead: SimDuration,
+    /// Extra cost for requests not aligned to the fs block size.
+    pub partial_block_penalty: SimDuration,
+    /// Extra cost per request on files opened shared.
+    pub shared_file_check: SimDuration,
+    /// File-system block size (alignment reference).
+    pub fs_block: u64,
+    /// Server thread pool size: requests beyond this queue FIFO. This is
+    /// what aggregates per-piece overheads when a stripe unit is small
+    /// enough that one client read fans out into many server requests.
+    pub threads: usize,
+}
+
+/// Per-server counters.
+#[derive(Debug, Default, Clone)]
+pub struct ServerStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Requests that paid the partial-block penalty.
+    pub partial_block_requests: u64,
+    /// M_GLOBAL reads satisfied from another node's physical I/O.
+    pub global_shares: u64,
+}
+
+/// Shared result slot of one in-progress M_GLOBAL read.
+type GlobalResult = Rc<RefCell<Option<Result<Bytes, PfsError>>>>;
+
+/// Dedup key of an M_GLOBAL read: (file, slot, offset, len).
+type GlobalKey = (PfsFileId, u16, u64, u32);
+
+struct GlobalEntry {
+    done: Signal,
+    data: GlobalResult,
+    remaining: Rc<std::cell::Cell<u16>>,
+}
+
+/// One I/O node's PFS server.
+#[derive(Clone)]
+pub struct IonServer {
+    sim: Sim,
+    ufs: Ufs,
+    ion_index: usize,
+    params: Rc<ServerParams>,
+    registry: Rc<RefCell<Registry>>,
+    global: Rc<RefCell<HashMap<GlobalKey, GlobalEntry>>>,
+    stats: Rc<RefCell<ServerStats>>,
+    rng: Rc<RefCell<rand::rngs::StdRng>>,
+    /// FIFO server thread pool.
+    threads: Semaphore,
+}
+
+impl IonServer {
+    /// Create the server for I/O node `ion_index`.
+    pub fn new(
+        sim: &Sim,
+        ufs: Ufs,
+        ion_index: usize,
+        params: ServerParams,
+        registry: Rc<RefCell<Registry>>,
+    ) -> Self {
+        let rng = sim.rng(&format!("pfs-server.{ion_index}"));
+        let threads = Semaphore::new(params.threads.max(1));
+        IonServer {
+            sim: sim.clone(),
+            ufs,
+            ion_index,
+            params: Rc::new(params),
+            registry,
+            global: Rc::new(RefCell::new(HashMap::new())),
+            stats: Rc::new(RefCell::new(ServerStats::default())),
+            rng: Rc::new(RefCell::new(rng)),
+            threads,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Service one request. Installed as this node's RPC handler.
+    pub async fn handle(&self, req: PfsRequest) -> PfsResponse {
+        match req {
+            PfsRequest::Read {
+                file,
+                slot,
+                offset,
+                len,
+                fast_path,
+                shared,
+                global_parties,
+            } => {
+                let result = self
+                    .read(file, slot, offset, len, fast_path, shared, global_parties)
+                    .await;
+                PfsResponse::Data(result)
+            }
+            PfsRequest::Write {
+                file,
+                slot,
+                offset,
+                data,
+                fast_path,
+                shared,
+            } => {
+                let result = self.write(file, slot, offset, data, fast_path, shared).await;
+                PfsResponse::WriteAck(result)
+            }
+            PfsRequest::Ptr(_) => {
+                panic!("I/O node {} received a pointer operation", self.ion_index)
+            }
+        }
+    }
+
+    async fn charge_overheads(&self, offset: u64, len: u64, shared: bool) {
+        let mut cost = self.params.request_overhead;
+        if shared {
+            cost += self.params.shared_file_check;
+        }
+        if !offset.is_multiple_of(self.params.fs_block) || !len.is_multiple_of(self.params.fs_block) {
+            cost += self.params.partial_block_penalty;
+            self.stats.borrow_mut().partial_block_requests += 1;
+        }
+        if !cost.is_zero() {
+            // ±25 % service-time variability (deterministic per seed).
+            use rand::Rng;
+            let f = 1.0 + self.rng.borrow_mut().gen_range(-0.25..0.25);
+            cost = SimDuration::from_nanos((cost.as_nanos() as f64 * f).round() as u64);
+        }
+        self.sim.sleep(cost).await;
+    }
+
+    fn resolve(&self, file: PfsFileId, slot: u16) -> Result<paragon_ufs::InodeId, PfsError> {
+        let registry = self.registry.borrow();
+        let meta = registry.get(file)?;
+        let (ion, inode) = meta.slot(slot)?;
+        assert_eq!(
+            ion, self.ion_index,
+            "slot {slot} of file {} routed to the wrong I/O node",
+            file.0
+        );
+        Ok(inode)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    async fn read(
+        &self,
+        file: PfsFileId,
+        slot: u16,
+        offset: u64,
+        len: u32,
+        fast_path: bool,
+        shared: bool,
+        global_parties: u16,
+    ) -> Result<Bytes, PfsError> {
+        self.stats.borrow_mut().reads += 1;
+        if global_parties > 1 {
+            return self
+                .global_read(file, slot, offset, len, fast_path, shared, global_parties)
+                .await;
+        }
+        // Occupy a server thread for the request's processing + transfer.
+        let _thread = self.threads.acquire().await;
+        let ion = self.ion_index;
+        self.sim
+            .trace(|| format!("ion{ion}.serve read slot={slot} off={offset} len={len}"));
+        self.charge_overheads(offset, len as u64, shared).await;
+        let data = self.physical_read(file, slot, offset, len, fast_path).await?;
+        self.stats.borrow_mut().bytes_read += len as u64;
+        Ok(data)
+    }
+
+    /// M_GLOBAL: the first arrival does the physical I/O; the other
+    /// `parties - 1` arrivals wait on it and share the result.
+    #[allow(clippy::too_many_arguments)]
+    async fn global_read(
+        &self,
+        file: PfsFileId,
+        slot: u16,
+        offset: u64,
+        len: u32,
+        fast_path: bool,
+        shared: bool,
+        parties: u16,
+    ) -> Result<Bytes, PfsError> {
+        // Every arrival pays its processing on a thread, but *waiting*
+        // for another node's physical read must not hold one (a full
+        // pool of waiters would deadlock the initiator).
+        {
+            let _thread = self.threads.acquire().await;
+            self.charge_overheads(offset, len as u64, shared).await;
+        }
+        let key = (file, slot, offset, len);
+        let existing = {
+            let map = self.global.borrow();
+            map.get(&key).map(|e| {
+                (
+                    e.done.clone(),
+                    e.data.clone(),
+                    e.remaining.clone(),
+                )
+            })
+        };
+        match existing {
+            Some((done, data, remaining)) => {
+                done.wait().await;
+                let result = data
+                    .borrow()
+                    .clone()
+                    .expect("global read signalled without data");
+                self.consume_global(key, &remaining);
+                self.stats.borrow_mut().global_shares += 1;
+                if result.is_ok() {
+                    self.stats.borrow_mut().bytes_read += len as u64;
+                }
+                result
+            }
+            None => {
+                let entry = GlobalEntry {
+                    done: Signal::new(),
+                    data: Rc::new(RefCell::new(None)),
+                    remaining: Rc::new(std::cell::Cell::new(parties)),
+                };
+                let done = entry.done.clone();
+                let data = entry.data.clone();
+                let remaining = entry.remaining.clone();
+                self.global.borrow_mut().insert(key, entry);
+                let _thread = self.threads.acquire().await;
+                let result = self.physical_read(file, slot, offset, len, fast_path).await;
+                *data.borrow_mut() = Some(result.clone());
+                done.set();
+                self.consume_global(key, &remaining);
+                if result.is_ok() {
+                    self.stats.borrow_mut().bytes_read += len as u64;
+                }
+                result
+            }
+        }
+    }
+
+    fn consume_global(&self, key: GlobalKey, remaining: &Rc<std::cell::Cell<u16>>) {
+        let left = remaining.get() - 1;
+        remaining.set(left);
+        if left == 0 {
+            self.global.borrow_mut().remove(&key);
+        }
+    }
+
+    async fn physical_read(
+        &self,
+        file: PfsFileId,
+        slot: u16,
+        offset: u64,
+        len: u32,
+        fast_path: bool,
+    ) -> Result<Bytes, PfsError> {
+        let inode = self.resolve(file, slot)?;
+        let data = if fast_path {
+            self.ufs.read_direct(inode, offset, len).await?
+        } else {
+            self.ufs.read_cached(inode, offset, len).await?
+        };
+        Ok(data)
+    }
+
+    async fn write(
+        &self,
+        file: PfsFileId,
+        slot: u16,
+        offset: u64,
+        data: Bytes,
+        fast_path: bool,
+        shared: bool,
+    ) -> Result<u32, PfsError> {
+        let _thread = self.threads.acquire().await;
+        self.charge_overheads(offset, data.len() as u64, shared).await;
+        let len = data.len() as u32;
+        let inode = self.resolve(file, slot)?;
+        if fast_path {
+            self.ufs.write(inode, offset, data).await?;
+        } else {
+            self.ufs.write_cached(inode, offset, data).await?;
+        }
+        let mut st = self.stats.borrow_mut();
+        st.writes += 1;
+        st.bytes_written += len as u64;
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stripe::StripeAttrs;
+    use paragon_disk::{DiskParams, RaidArray, SchedPolicy};
+    use paragon_ufs::UfsParams;
+
+    fn setup(sim: &Sim) -> (IonServer, PfsFileId) {
+        let raid = RaidArray::new(sim, DiskParams::ideal(1e8), SchedPolicy::Fifo, 1, 64 * 1024, "s");
+        let mut up = UfsParams::paragon();
+        up.metadata_op = SimDuration::ZERO;
+        let ufs = Ufs::new(sim, raid, up);
+        let registry = Rc::new(RefCell::new(Registry::new()));
+        let params = ServerParams {
+            request_overhead: SimDuration::from_micros(100),
+            partial_block_penalty: SimDuration::from_micros(500),
+            shared_file_check: SimDuration::from_micros(50),
+            fs_block: 64 * 1024,
+            threads: 4,
+        };
+        let server = IonServer::new(sim, ufs.clone(), 0, params, registry.clone());
+        // Create the stripe file and register it.
+        let ufs2 = ufs.clone();
+        let reg2 = registry.clone();
+        let h = sim.spawn(async move {
+            let inode = ufs2.create("/pfs/f.0").await.unwrap();
+            reg2.borrow_mut().insert(
+                "/pfs/f",
+                StripeAttrs::across(1, 64 * 1024),
+                vec![(0, inode)],
+            )
+        });
+        sim.run();
+        (server, h.try_take().unwrap())
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let sim = Sim::new(1);
+        let (server, file) = setup(&sim);
+        let s2 = server.clone();
+        let h = sim.spawn(async move {
+            let payload = Bytes::from(vec![0x5au8; 128 * 1024]);
+            let req = PfsRequest::Write {
+                file,
+                slot: 0,
+                offset: 0,
+                data: payload.clone(),
+                fast_path: true,
+                shared: false,
+            };
+            let PfsResponse::WriteAck(Ok(n)) = s2.handle(req).await else {
+                panic!("write failed")
+            };
+            let req = PfsRequest::Read {
+                file,
+                slot: 0,
+                offset: 0,
+                len: 128 * 1024,
+                fast_path: true,
+                shared: false,
+                global_parties: 0,
+            };
+            let PfsResponse::Data(Ok(data)) = s2.handle(req).await else {
+                panic!("read failed")
+            };
+            (n, data == payload)
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some((128 * 1024, true)));
+        let st = server.stats();
+        assert_eq!((st.reads, st.writes), (1, 1));
+    }
+
+    #[test]
+    fn unaligned_requests_pay_the_partial_penalty() {
+        let sim = Sim::new(1);
+        let (server, file) = setup(&sim);
+        let s2 = server.clone();
+        sim.spawn(async move {
+            let data = Bytes::from(vec![1u8; 128 * 1024]);
+            s2.handle(PfsRequest::Write {
+                file,
+                slot: 0,
+                offset: 0,
+                data,
+                fast_path: true,
+                shared: false,
+            })
+            .await;
+            // 1000-byte read at offset 13: doubly unaligned.
+            s2.handle(PfsRequest::Read {
+                file,
+                slot: 0,
+                offset: 13,
+                len: 1000,
+                fast_path: true,
+                shared: false,
+                global_parties: 0,
+            })
+            .await;
+        });
+        sim.run();
+        assert_eq!(server.stats().partial_block_requests, 1);
+    }
+
+    #[test]
+    fn global_read_does_one_physical_io() {
+        let sim = Sim::new(1);
+        let (server, file) = setup(&sim);
+        let writer = server.clone();
+        sim.spawn(async move {
+            writer
+                .handle(PfsRequest::Write {
+                    file,
+                    slot: 0,
+                    offset: 0,
+                    data: Bytes::from(vec![9u8; 64 * 1024]),
+                    fast_path: true,
+                    shared: false,
+                })
+                .await;
+        });
+        sim.run();
+        let before = server.ufs.stats().direct_reads;
+        // Four "nodes" issue the identical global read.
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s2 = server.clone();
+            handles.push(sim.spawn(async move {
+                let PfsResponse::Data(Ok(data)) = s2
+                    .handle(PfsRequest::Read {
+                        file,
+                        slot: 0,
+                        offset: 0,
+                        len: 64 * 1024,
+                        fast_path: true,
+                        shared: true,
+                        global_parties: 4,
+                    })
+                    .await
+                else {
+                    panic!("global read failed")
+                };
+                data.len()
+            }));
+        }
+        sim.run();
+        for h in handles {
+            assert_eq!(h.try_take(), Some(64 * 1024));
+        }
+        assert_eq!(server.ufs.stats().direct_reads - before, 1);
+        assert_eq!(server.stats().global_shares, 3);
+        // The dedup entry must be cleaned up for the next collective.
+        assert!(server.global.borrow().is_empty());
+    }
+
+    #[test]
+    fn read_past_eof_surfaces_as_pfs_error() {
+        let sim = Sim::new(1);
+        let (server, file) = setup(&sim);
+        let s2 = server.clone();
+        let h = sim.spawn(async move {
+            let PfsResponse::Data(result) = s2
+                .handle(PfsRequest::Read {
+                    file,
+                    slot: 0,
+                    offset: 0,
+                    len: 4096,
+                    fast_path: true,
+                    shared: false,
+                    global_parties: 0,
+                })
+                .await
+            else {
+                panic!("wrong response kind")
+            };
+            result.is_err()
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+}

@@ -1,0 +1,488 @@
+//! The deterministic single-threaded executor.
+//!
+//! A [`Sim`] is a cheaply clonable handle to one simulation world. Model
+//! code is written as ordinary `async fn`s that are spawned onto the
+//! executor; awaiting [`Sim::sleep`] (or any synchronization primitive from
+//! [`crate::sync`]) parks the task until the event heap reaches the right
+//! virtual instant. `Sim::run` drives everything to completion and returns a
+//! report of what happened.
+//!
+//! The executor never consults the host clock and breaks every tie with a
+//! monotone sequence number, so a given `(seed, model)` pair always produces
+//! the identical event trace — the property tests in this crate assert it.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kernel::Kernel;
+use crate::task::{ReadyQueue, TaskId, TaskSlot, TaskWaker};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Summary of a completed (or exhausted) simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+    /// Number of timer events fired.
+    pub events_processed: u64,
+    /// Tasks that were spawned but never completed (deadlocked or still
+    /// waiting when the horizon was reached). Zero for a clean run.
+    pub unfinished_tasks: usize,
+    /// Hash of the full `(time, seq)` event trace; equal-seed runs of the
+    /// same model must produce equal hashes.
+    pub trace_hash: u64,
+}
+
+/// Handle to a simulation world. Clone freely; all clones share state.
+#[derive(Clone)]
+pub struct Sim {
+    kernel: Rc<RefCell<Kernel>>,
+    tasks: Rc<RefCell<HashMap<TaskId, TaskSlot>>>,
+    ready: ReadyQueue,
+    seed: u64,
+    trace: Trace,
+}
+
+impl Sim {
+    /// Create a fresh simulation world. `seed` feeds every RNG derived via
+    /// [`Sim::rng`]; two worlds with the same seed and model are identical.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            kernel: Rc::new(RefCell::new(Kernel::new())),
+            tasks: Rc::new(RefCell::new(HashMap::new())),
+            ready: ReadyQueue::default(),
+            seed,
+            trace: Trace::default(),
+        }
+    }
+
+    /// This world's trace buffer. Arm it with [`Trace::arm`] to make
+    /// [`Sim::trace`] calls record; disarmed tracing costs nothing.
+    pub fn tracer(&self) -> Trace {
+        self.trace.clone()
+    }
+
+    /// Record a trace event at the current virtual time; `label` is only
+    /// evaluated when a trace is armed.
+    pub fn trace(&self, label: impl FnOnce() -> String) {
+        self.trace.record(self.now(), label);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.borrow().now
+    }
+
+    /// The base seed this world was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A deterministic RNG stream named by `label`. The same `(seed, label)`
+    /// always yields the same stream, independent of call order.
+    pub fn rng(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(derive_seed(self.seed, label))
+    }
+
+    /// Spawn a task. The returned [`JoinHandle`] can be awaited for the
+    /// task's output; dropping it detaches the task (it keeps running).
+    pub fn spawn<F, T>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        self.spawn_named("task", fut)
+    }
+
+    /// Spawn with a diagnostic label (shows up in deadlock reports).
+    pub fn spawn_named<F, T>(&self, label: &'static str, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let id = self.kernel.borrow_mut().alloc_task_id();
+        let state: Rc<RefCell<JoinState<T>>> = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = state.clone();
+        let wrapped: Pin<Box<dyn Future<Output = ()>>> = Box::pin(async move {
+            let value = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(value);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        self.tasks.borrow_mut().insert(
+            id,
+            TaskSlot {
+                future: Some(wrapped),
+                label,
+            },
+        );
+        self.ready.push(id);
+        JoinHandle { id, state }
+    }
+
+    /// A future that completes `d` of virtual time from now.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// A future that completes at virtual instant `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            scheduled: false,
+        }
+    }
+
+    /// Yield to every other task runnable at the current instant, then
+    /// resume. Goes through the event heap, so ordering stays deterministic.
+    pub fn yield_now(&self) -> Sleep {
+        self.sleep(SimDuration::ZERO)
+    }
+
+    /// Run `fut` but give up after `d` of virtual time. Returns `None` on
+    /// timeout (the inner future is dropped, cancelling whatever it owned).
+    pub async fn timeout<F, T>(&self, d: SimDuration, fut: F) -> Option<T>
+    where
+        F: Future<Output = T>,
+    {
+        let sleep = self.sleep(d);
+        let mut sleep = std::pin::pin!(sleep);
+        let mut fut = std::pin::pin!(fut);
+        std::future::poll_fn(move |cx| {
+            if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+                return Poll::Ready(Some(v));
+            }
+            if sleep.as_mut().poll(cx).is_ready() {
+                return Poll::Ready(None);
+            }
+            Poll::Pending
+        })
+        .await
+    }
+
+    /// Drive the world until no task can make progress (clean completion or
+    /// deadlock) and report what happened.
+    pub fn run(&self) -> RunReport {
+        self.run_inner(SimTime::MAX)
+    }
+
+    /// Drive the world, but stop once virtual time would pass `horizon`.
+    pub fn run_until(&self, horizon: SimTime) -> RunReport {
+        self.run_inner(horizon)
+    }
+
+    fn run_inner(&self, horizon: SimTime) -> RunReport {
+        loop {
+            self.drain_ready();
+            let next = self.kernel.borrow().next_event_time();
+            match next {
+                Some(t) if t <= horizon => {
+                    let waker = self
+                        .kernel
+                        .borrow_mut()
+                        .fire_next()
+                        .expect("heap entry vanished");
+                    waker.wake();
+                }
+                _ => break,
+            }
+        }
+        let kernel = self.kernel.borrow();
+        RunReport {
+            end_time: kernel.now,
+            events_processed: kernel.events_processed,
+            unfinished_tasks: self.tasks.borrow().len(),
+            trace_hash: kernel.trace_hash,
+        }
+    }
+
+    /// Tear the world down: drop every remaining task (server loops and
+    /// parked waiters included). Parked futures own `Sim` clones while
+    /// the task map lives *inside* `Sim`, an `Rc` cycle that would
+    /// otherwise keep the whole world alive forever; harnesses that
+    /// build many worlds (Criterion runs thousands) must break it when
+    /// a run finishes. The world must not be `run` again afterwards.
+    pub fn shutdown(&self) {
+        self.tasks.borrow_mut().clear();
+    }
+
+    /// Labels of tasks that have not completed. Useful in deadlock triage.
+    pub fn pending_task_labels(&self) -> Vec<&'static str> {
+        let tasks = self.tasks.borrow();
+        let mut ids: Vec<_> = tasks.keys().copied().collect();
+        ids.sort();
+        ids.iter().map(|id| tasks[id].label).collect()
+    }
+
+    /// Poll woken tasks until the ready queue is empty.
+    fn drain_ready(&self) {
+        while let Some(id) = self.ready.pop() {
+            // Take the future out so model code may re-enter `Sim` freely
+            // while we poll, and so wakes during the poll are harmless.
+            let mut fut = {
+                let mut tasks = self.tasks.borrow_mut();
+                match tasks.get_mut(&id) {
+                    Some(slot) => match slot.future.take() {
+                        Some(f) => f,
+                        // Already being polled higher up the stack or woken
+                        // twice; the in-progress poll will see the wake.
+                        None => continue,
+                    },
+                    // Task already completed; stale wake.
+                    None => continue,
+                }
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: self.ready.clone(),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    self.tasks.borrow_mut().remove(&id);
+                    self.kernel.borrow_mut().live_tasks -= 1;
+                }
+                Poll::Pending => {
+                    if let Some(slot) = self.tasks.borrow_mut().get_mut(&id) {
+                        slot.future = Some(fut);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn schedule_wake(&self, deadline: SimTime, waker: Waker) {
+        self.kernel.borrow_mut().schedule_wake(deadline, waker);
+    }
+}
+
+/// Derive a child seed from a base seed and a label (FNV-1a).
+pub fn derive_seed(base: u64, label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Timer future returned by [`Sim::sleep`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    scheduled: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        // Always take at least one trip through the event heap, so that a
+        // zero-length sleep still yields to other runnable tasks.
+        if !self.scheduled {
+            self.scheduled = true;
+            let deadline = self.deadline;
+            self.sim.schedule_wake(deadline, cx.waker().clone());
+            return Poll::Pending;
+        }
+        if self.sim.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task; await it for the task's output.
+pub struct JoinHandle<T> {
+    id: TaskId,
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The spawned task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// True once the task has produced its output.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+
+    /// Take the output if the task already finished (without awaiting).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            Poll::Ready(v)
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let sim = Sim::new(1);
+        let done = Rc::new(Cell::new(false));
+        let d2 = done.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_secs(3600)).await;
+            d2.set(true);
+        });
+        let report = sim.run();
+        assert!(done.get());
+        assert_eq!(report.end_time, SimTime::ZERO + SimDuration::from_secs(3600));
+        assert_eq!(report.unfinished_tasks, 0);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let outer = sim.spawn(async move {
+            let inner = s.spawn(async { 40 + 2 });
+            inner.await
+        });
+        sim.run();
+        assert_eq!(outer.try_take(), Some(42));
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        // Two sleepers with interleaved deadlines must wake in time order.
+        let sim = Sim::new(7);
+        let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (who, start_ms) in [(1u32, 10u64), (2, 5)] {
+            let s = sim.clone();
+            let log = log.clone();
+            sim.spawn(async move {
+                for i in 0..3u64 {
+                    s.sleep(SimDuration::from_millis(start_ms + i * 10)).await;
+                    log.borrow_mut().push((who, s.now().as_nanos()));
+                }
+            });
+        }
+        sim.run();
+        let times: Vec<u64> = log.borrow().iter().map(|&(_, t)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "wakeups out of time order: {:?}", log.borrow());
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_secs(100)).await;
+        });
+        let report = sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(report.unfinished_tasks, 1);
+        assert_eq!(sim.pending_task_labels(), vec!["task"]);
+    }
+
+    #[test]
+    fn timeout_cancels_slow_future() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let slow = s.sleep(SimDuration::from_secs(10));
+            s.timeout(SimDuration::from_secs(1), slow).await
+        });
+        let report = sim.run();
+        assert_eq!(h.try_take(), Some(None));
+        // The world must not have run to the 10 s deadline: the slow sleep
+        // was dropped, but its heap entry still fires (harmlessly) at 10 s.
+        // What matters is the timeout resolved at 1 s.
+        assert!(report.end_time >= SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn timeout_returns_value_when_fast() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.timeout(SimDuration::from_secs(5), async { 9 }).await
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(Some(9)));
+    }
+
+    #[test]
+    fn equal_seeds_produce_equal_traces() {
+        fn build_and_run(seed: u64) -> RunReport {
+            let sim = Sim::new(seed);
+            for n in 0..5u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    for i in 0..4u64 {
+                        s.sleep(SimDuration::from_micros((n + 1) * 7 + i * 13)).await;
+                    }
+                });
+            }
+            sim.run()
+        }
+        let a = build_and_run(42);
+        let b = build_and_run(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        assert_ne!(derive_seed(1, "disk0"), derive_seed(1, "disk1"));
+        assert_ne!(derive_seed(1, "disk0"), derive_seed(2, "disk0"));
+        assert_eq!(derive_seed(3, "x"), derive_seed(3, "x"));
+    }
+
+    #[test]
+    fn yield_now_lets_same_time_tasks_run() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let s1 = sim.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push(1);
+            s1.yield_now().await;
+            l1.borrow_mut().push(3);
+        });
+        sim.spawn(async move {
+            l2.borrow_mut().push(2);
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+}

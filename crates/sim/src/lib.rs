@@ -1,0 +1,42 @@
+//! # paragon-sim — deterministic discrete-event simulation kernel
+//!
+//! Foundation of the Paragon PFS reproduction: a virtual clock, an event
+//! heap, and a single-threaded async executor. Model code (compute-node
+//! programs, PFS servers, disks) is written as plain `async fn`s; awaiting a
+//! [`Sim::sleep`] or a [`sync`] primitive parks the task until the event
+//! heap reaches the right virtual instant.
+//!
+//! Two properties the rest of the workspace depends on:
+//!
+//! * **Determinism.** No host-clock reads; heap ties break on a monotone
+//!   sequence number; all randomness flows through [`Sim::rng`] streams
+//!   derived from one seed. Equal `(seed, model)` ⇒ equal
+//!   [`RunReport::trace_hash`].
+//! * **FIFO fairness.** [`sync::Semaphore`] grants strictly in arrival
+//!   order, matching the FIFO disk queues and ART active lists of the
+//!   Paragon OS.
+//!
+//! ```
+//! use paragon_sim::{Sim, SimDuration};
+//!
+//! let sim = Sim::new(42);
+//! let s = sim.clone();
+//! let h = sim.spawn(async move {
+//!     s.sleep(SimDuration::from_millis(3)).await;
+//!     s.now().as_millis_round()
+//! });
+//! sim.run();
+//! assert_eq!(h.try_take(), Some(3));
+//! ```
+
+mod executor;
+mod kernel;
+mod task;
+pub mod sync;
+mod time;
+mod trace;
+
+pub use executor::{derive_seed, JoinHandle, RunReport, Sim, Sleep};
+pub use task::TaskId;
+pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};
+pub use trace::{Trace, TraceEvent};

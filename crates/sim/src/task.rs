@@ -1,0 +1,68 @@
+//! Task bookkeeping for the single-threaded executor.
+//!
+//! Wakers are `Arc`-based (`std::task::Wake`) so they satisfy the `Send +
+//! Sync` bound of `std::task::Waker` without unsafe code; the shared ready
+//! queue behind a `Mutex` is uncontended in practice because the whole
+//! simulation runs on one thread.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::Wake;
+
+/// Identifies a spawned task for the lifetime of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+impl TaskId {
+    /// Raw numeric id (monotone in spawn order).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Queue of tasks that have been woken and must be polled.
+///
+/// Shared between the kernel and every waker handed to a task.
+#[derive(Clone, Default)]
+pub(crate) struct ReadyQueue {
+    inner: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl ReadyQueue {
+    pub(crate) fn push(&self, id: TaskId) {
+        self.inner.lock().expect("ready queue poisoned").push_back(id);
+    }
+
+    pub(crate) fn pop(&self) -> Option<TaskId> {
+        self.inner.lock().expect("ready queue poisoned").pop_front()
+    }
+
+}
+
+/// Waker for one task: pushes the task id back onto the ready queue.
+pub(crate) struct TaskWaker {
+    pub(crate) id: TaskId,
+    pub(crate) ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// The future owned by a task slot.
+pub(crate) type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Slot state: `None` while the executor has temporarily taken the future
+/// out to poll it (so re-entrant wakes during the poll are harmless).
+pub(crate) struct TaskSlot {
+    pub(crate) future: Option<BoxedTask>,
+    pub(crate) label: &'static str,
+}

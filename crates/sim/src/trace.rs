@@ -1,0 +1,168 @@
+//! Event tracing.
+//!
+//! Off by default and free when off (call sites pass closures, so no
+//! formatting happens unless a trace is armed). When enabled, components
+//! append `(virtual time, label)` lines — the PFS layers use labels like
+//! `cn3.read`, `ion1.server`, `cn0.prefetch.hit` — and the harness can
+//! dump or render them as a per-track timeline. Bounded: recording stops
+//! at the cap rather than growing without limit.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// `track.kind detail` label; the dot-prefix is the timeline track.
+    pub label: String,
+}
+
+#[derive(Default)]
+pub(crate) struct TraceState {
+    events: RefCell<Vec<TraceEvent>>,
+    cap: std::cell::Cell<usize>,
+}
+
+/// Handle to a simulation's trace buffer (cloned out of `Sim`).
+#[derive(Clone, Default)]
+pub struct Trace {
+    pub(crate) state: Rc<TraceState>,
+}
+
+impl Trace {
+    /// Arm tracing with space for `cap` events (0 disarms).
+    pub fn arm(&self, cap: usize) {
+        self.state.cap.set(cap);
+        self.state.events.borrow_mut().clear();
+    }
+
+    /// True when events are being recorded (armed and not yet full).
+    pub fn armed(&self) -> bool {
+        self.state.cap.get() > self.state.events.borrow().len()
+    }
+
+    /// Record an event; `label` is only evaluated while armed.
+    pub fn record(&self, now: SimTime, label: impl FnOnce() -> String) {
+        if self.armed() {
+            self.state.events.borrow_mut().push(TraceEvent {
+                time: now,
+                label: label(),
+            });
+        }
+    }
+
+    /// Events recorded so far (time order — recording order is already
+    /// monotone in virtual time).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.state.events.borrow().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.state.events.borrow().len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render as one line per event: `    12.345ms track.kind detail`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.state.events.borrow().iter() {
+            out.push_str(&format!("{:>14}  {}\n", format!("{}", e.time), e.label));
+        }
+        out
+    }
+
+    /// Group events into per-track lanes (track = label up to the first
+    /// '.') and render a compact timeline summary: per track, the count
+    /// and the first/last event times.
+    pub fn render_tracks(&self) -> String {
+        let mut tracks: BTreeMap<String, (usize, SimTime, SimTime)> = BTreeMap::new();
+        for e in self.state.events.borrow().iter() {
+            let track = e.label.split('.').next().unwrap_or("?").to_owned();
+            let entry = tracks.entry(track).or_insert((0, e.time, e.time));
+            entry.0 += 1;
+            entry.1 = entry.1.min(e.time);
+            entry.2 = entry.2.max(e.time);
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>14} {:>14}\n",
+            "track", "events", "first", "last"
+        ));
+        for (track, (n, first, last)) in tracks {
+            out.push_str(&format!(
+                "{track:<10} {n:>8} {:>14} {:>14}\n",
+                format!("{first}"),
+                format!("{last}")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_trace_records_nothing_and_skips_formatting() {
+        let t = Trace::default();
+        let mut evaluated = false;
+        t.record(SimTime::ZERO, || {
+            evaluated = true;
+            "x".into()
+        });
+        assert!(!evaluated, "label must not be formatted while disarmed");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn armed_trace_records_until_cap() {
+        let t = Trace::default();
+        t.arm(2);
+        for i in 0..5u64 {
+            t.record(SimTime::from_nanos(i), || format!("a.b {i}"));
+        }
+        assert_eq!(t.len(), 2);
+        let events = t.events();
+        assert_eq!(events[0].label, "a.b 0");
+        assert_eq!(events[1].label, "a.b 1");
+        assert!(!t.armed());
+    }
+
+    #[test]
+    fn rearming_clears_old_events() {
+        let t = Trace::default();
+        t.arm(4);
+        t.record(SimTime::ZERO, || "old.x".into());
+        t.arm(4);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn renderers_produce_tracks() {
+        let t = Trace::default();
+        t.arm(16);
+        t.record(SimTime::from_nanos(1_000_000), || "cn0.read off=0".into());
+        t.record(SimTime::from_nanos(2_000_000), || "ion1.server len=64".into());
+        t.record(SimTime::from_nanos(3_000_000), || "cn0.hit".into());
+        let lines = t.render();
+        assert_eq!(lines.lines().count(), 3);
+        assert!(lines.contains("ion1.server"));
+        let tracks = t.render_tracks();
+        assert!(tracks.contains("cn0"));
+        assert!(tracks.contains("ion1"));
+        // cn0 has two events.
+        let cn0_line = tracks.lines().find(|l| l.starts_with("cn0")).unwrap();
+        assert!(cn0_line.contains(" 2 "), "{cn0_line}");
+    }
+}

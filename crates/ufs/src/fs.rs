@@ -1,0 +1,780 @@
+//! The per-I/O-node file system.
+//!
+//! One `Ufs` instance sits on one I/O node's RAID array and provides the
+//! two read paths the PFS server chooses between:
+//!
+//! * [`Ufs::read_direct`] — **Fast Path**: bypass the buffer cache, map the
+//!   byte range to disk runs (coalescing file-contiguous blocks that are
+//!   also disk-contiguous into single device requests), and move data
+//!   disk → caller with no intermediate copy.
+//! * [`Ufs::read_cached`] — buffered: per-block LRU cache lookups, misses
+//!   filled from disk (with the same run coalescing), plus a charged
+//!   memory-copy from cache to the caller's buffer.
+//!
+//! Writes are write-through (the pre-population path of every experiment);
+//! `write_cached` exercises dirty-block bookkeeping for the cache tests.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use paragon_disk::RaidArray;
+use paragon_sim::{Sim, SimDuration};
+
+use crate::alloc::{ExtentAllocator, NoSpace};
+use crate::cache::{BlockCache, BlockKey, CacheStats};
+use crate::inode::{DiskRun, InodeId, InodeTable};
+
+/// Configuration of one UFS instance.
+#[derive(Debug, Clone)]
+pub struct UfsParams {
+    /// File-system block size in bytes (the PFS unit of transfer).
+    pub block_size: u64,
+    /// Disk partition capacity in blocks.
+    pub capacity_blocks: u64,
+    /// Buffer cache capacity in blocks (0 = cache nothing).
+    pub cache_blocks: usize,
+    /// Server-side memory bandwidth for cache→buffer copies, bytes/sec.
+    pub copy_bw: f64,
+    /// Charged per metadata operation (create, allocation, lookup miss).
+    pub metadata_op: SimDuration,
+}
+
+impl UfsParams {
+    /// Paragon-flavoured defaults: 64 KB blocks, 512 MB partition, 64-block
+    /// (4 MB) cache, ~60 MB/s server memcpy, 500 µs metadata ops.
+    pub fn paragon() -> Self {
+        UfsParams {
+            block_size: 64 * 1024,
+            capacity_blocks: 8192,
+            cache_blocks: 64,
+            copy_bw: 60e6,
+            metadata_op: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// UFS failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UfsError {
+    /// No such file.
+    NotFound,
+    /// Read past end of file.
+    Eof { size: u64, requested_end: u64 },
+    /// Allocation failed.
+    NoSpace(NoSpace),
+    /// File already exists (create).
+    Exists(InodeId),
+}
+
+impl std::fmt::Display for UfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UfsError::NotFound => write!(f, "file not found"),
+            UfsError::Eof {
+                size,
+                requested_end,
+            } => write!(f, "read past EOF (size {size}, wanted {requested_end})"),
+            UfsError::NoSpace(n) => write!(
+                f,
+                "no space: wanted {} blocks, largest free run {}",
+                n.wanted, n.largest_free
+            ),
+            UfsError::Exists(id) => write!(f, "file exists as inode {}", id.0),
+        }
+    }
+}
+
+impl std::error::Error for UfsError {}
+
+/// Cumulative UFS counters.
+#[derive(Debug, Default, Clone)]
+pub struct UfsStats {
+    /// Fast-path reads served.
+    pub direct_reads: u64,
+    /// Cached reads served.
+    pub cached_reads: u64,
+    /// Device read requests actually issued (after coalescing).
+    pub disk_requests: u64,
+    /// Blocks whose device read was merged into a preceding request.
+    pub blocks_coalesced: u64,
+    /// Bytes returned to callers.
+    pub bytes_read: u64,
+    /// Bytes written through.
+    pub bytes_written: u64,
+    /// Dirty blocks written back on eviction or sync.
+    pub writebacks: u64,
+}
+
+struct Inner {
+    inodes: InodeTable,
+    alloc: ExtentAllocator,
+    cache: BlockCache,
+    stats: UfsStats,
+}
+
+/// One I/O node's file system. Clone freely; clones share state.
+#[derive(Clone)]
+pub struct Ufs {
+    sim: Sim,
+    raid: RaidArray,
+    params: Rc<UfsParams>,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Ufs {
+    /// Mount a file system on `raid`.
+    pub fn new(sim: &Sim, raid: RaidArray, params: UfsParams) -> Self {
+        assert!(params.block_size > 0, "zero block size");
+        Ufs {
+            sim: sim.clone(),
+            raid,
+            inner: Rc::new(RefCell::new(Inner {
+                inodes: InodeTable::new(),
+                alloc: ExtentAllocator::new(params.capacity_blocks),
+                cache: BlockCache::new(params.cache_blocks),
+                stats: UfsStats::default(),
+            })),
+            params: Rc::new(params),
+        }
+    }
+
+    /// File-system block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.params.block_size
+    }
+
+    /// Create an empty file; charges one metadata operation.
+    pub async fn create(&self, name: &str) -> Result<InodeId, UfsError> {
+        self.sim.sleep(self.params.metadata_op).await;
+        self.inner
+            .borrow_mut()
+            .inodes
+            .create(name)
+            .map_err(UfsError::Exists)
+    }
+
+    /// Find a file by name (no charge: the PFS server caches handles).
+    pub fn lookup(&self, name: &str) -> Option<InodeId> {
+        self.inner.borrow().inodes.lookup(name)
+    }
+
+    /// Current size of `id` in bytes.
+    pub fn size(&self, id: InodeId) -> Result<u64, UfsError> {
+        self.inner
+            .borrow()
+            .inodes
+            .get(id)
+            .map(|i| i.size)
+            .ok_or(UfsError::NotFound)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> UfsStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.borrow().cache.stats()
+    }
+
+    fn bs(&self) -> u64 {
+        self.params.block_size
+    }
+
+    /// Ensure blocks covering `[0, end_byte)` are mapped, allocating the
+    /// tail as contiguously as the allocator allows.
+    fn ensure_mapped(&self, id: InodeId, end_byte: u64) -> Result<(), UfsError> {
+        let bs = self.bs();
+        let need_blocks = end_byte.div_ceil(bs);
+        let mut inner = self.inner.borrow_mut();
+        let have = inner
+            .inodes
+            .get(id)
+            .ok_or(UfsError::NotFound)?
+            .mapped_blocks();
+        if need_blocks > have {
+            let extents = inner
+                .alloc
+                .alloc(need_blocks - have)
+                .map_err(UfsError::NoSpace)?;
+            let inode = inner.inodes.get_mut(id).expect("checked above");
+            for e in extents {
+                inode.push_extent(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Write-through write at `offset`, growing the file as needed.
+    pub async fn write(&self, id: InodeId, offset: u64, data: Bytes) -> Result<(), UfsError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = offset + data.len() as u64;
+        self.ensure_mapped(id, end)?;
+        let bs = self.bs();
+        let first_block = offset / bs;
+        let last_block = (end - 1) / bs;
+        let runs = {
+            let mut inner = self.inner.borrow_mut();
+            let inode = inner.inodes.get_mut(id).expect("mapped above");
+            inode.size = inode.size.max(end);
+            inner.stats.bytes_written += data.len() as u64;
+            let inode = inner.inodes.get(id).expect("present");
+            inode.map_blocks(first_block, last_block - first_block + 1)
+        };
+        // Issue per-run device writes concurrently. Partial first/last
+        // blocks are handled by writing at the exact byte offset; the
+        // sparse store underneath merges correctly.
+        let mut handles = Vec::with_capacity(runs.len());
+        for run in &runs {
+            let (piece, disk_off) = self.slice_for_run(run, offset, &data);
+            let raid = self.raid.clone();
+            handles.push(
+                self.sim
+                    .spawn(async move { raid.write(disk_off, piece).await }),
+            );
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.disk_requests += runs.len() as u64;
+        }
+        for h in handles {
+            h.await;
+        }
+        // Keep the cache coherent: refresh any resident blocks we overwrote.
+        {
+            let mut inner = self.inner.borrow_mut();
+            for b in first_block..=last_block {
+                let key = BlockKey {
+                    inode: id,
+                    block: b,
+                };
+                if inner.cache.peek(key).is_some() {
+                    // Simplest coherent action: drop the stale block.
+                    inner.cache.purge_block(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Byte slice of `data` covered by `run`, plus the device byte offset
+    /// it lands at, clipped to the write range.
+    fn slice_for_run(&self, run: &DiskRun, write_off: u64, data: &Bytes) -> (Bytes, u64) {
+        let bs = self.bs();
+        let run_start_byte = run.file_block * bs;
+        let run_end_byte = (run.file_block + run.len) * bs;
+        let write_end = write_off + data.len() as u64;
+        let lo = run_start_byte.max(write_off);
+        let hi = run_end_byte.min(write_end);
+        let piece = data.slice((lo - write_off) as usize..(hi - write_off) as usize);
+        let disk_off = run.disk_block * bs + (lo - run_start_byte);
+        (piece, disk_off)
+    }
+
+    /// Fast-path read: no cache, disk runs coalesced, zero extra copies.
+    pub async fn read_direct(&self, id: InodeId, offset: u64, len: u32) -> Result<Bytes, UfsError> {
+        let runs = self.plan_read(id, offset, len)?;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.direct_reads += 1;
+            inner.stats.bytes_read += len as u64;
+            inner.stats.disk_requests += runs.len() as u64;
+            let total_blocks: u64 = runs.iter().map(|r| r.len).sum();
+            inner.stats.blocks_coalesced += total_blocks - runs.len() as u64;
+        }
+        let bs = self.bs();
+        let end = offset + len as u64;
+        let mut handles = Vec::with_capacity(runs.len());
+        for run in &runs {
+            let run_start_byte = run.file_block * bs;
+            let run_end_byte = (run.file_block + run.len) * bs;
+            let lo = run_start_byte.max(offset);
+            let hi = run_end_byte.min(end);
+            let disk_off = run.disk_block * bs + (lo - run_start_byte);
+            let raid = self.raid.clone();
+            let plen = (hi - lo) as u32;
+            handles.push((
+                (lo - offset) as usize,
+                self.sim
+                    .spawn(async move { raid.read(disk_off, plen).await }),
+            ));
+        }
+        let mut out = BytesMut::zeroed(len as usize);
+        for (at, h) in handles {
+            let data = h.await;
+            out[at..at + data.len()].copy_from_slice(&data);
+        }
+        Ok(out.freeze())
+    }
+
+    /// Buffered read through the LRU cache; charges a cache→buffer copy.
+    pub async fn read_cached(&self, id: InodeId, offset: u64, len: u32) -> Result<Bytes, UfsError> {
+        let bs = self.bs();
+        let end = offset + len as u64;
+        self.check_bounds(id, offset, len)?;
+        let first_block = offset / bs;
+        let last_block = (end - 1) / bs;
+        self.inner.borrow_mut().stats.cached_reads += 1;
+
+        let mut out = BytesMut::zeroed(len as usize);
+        // Identify misses first (batch them into runs), then fill.
+        let mut missing: Vec<u64> = Vec::new();
+        for b in first_block..=last_block {
+            let key = BlockKey {
+                inode: id,
+                block: b,
+            };
+            let cached = self.inner.borrow_mut().cache.get(key);
+            match cached {
+                Some(data) => self.place_block(&mut out, b, &data, offset, end),
+                None => missing.push(b),
+            }
+        }
+        // Coalesce missing blocks into device runs and fill the cache.
+        let mut i = 0;
+        while i < missing.len() {
+            let mut j = i;
+            while j + 1 < missing.len() && missing[j + 1] == missing[j] + 1 {
+                j += 1;
+            }
+            let run_first = missing[i];
+            let run_len = (j - i + 1) as u64;
+            let runs = {
+                let inner = self.inner.borrow();
+                let inode = inner.inodes.get(id).ok_or(UfsError::NotFound)?;
+                inode.map_blocks(run_first, run_len)
+            };
+            {
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.disk_requests += runs.len() as u64;
+                inner.stats.blocks_coalesced += run_len - runs.len() as u64;
+            }
+            for run in runs {
+                let data = self
+                    .raid
+                    .read(run.disk_block * bs, (run.len * bs) as u32)
+                    .await;
+                for k in 0..run.len {
+                    let b = run.file_block + k;
+                    let block_data = data.slice((k * bs) as usize..((k + 1) * bs) as usize);
+                    self.place_block(&mut out, b, &block_data, offset, end);
+                    let victim = self.inner.borrow_mut().cache.insert_clean(
+                        BlockKey {
+                            inode: id,
+                            block: b,
+                        },
+                        block_data,
+                    );
+                    if let Some(v) = victim {
+                        if v.dirty {
+                            self.write_back(v.key, v.data).await;
+                        }
+                    }
+                }
+            }
+            i = j + 1;
+        }
+        // The buffered path pays a memory copy cache → caller.
+        self.sim
+            .sleep(SimDuration::for_bytes(len as u64, self.params.copy_bw))
+            .await;
+        self.inner.borrow_mut().stats.bytes_read += len as u64;
+        Ok(out.freeze())
+    }
+
+    /// Buffered write: dirty the cache only; data reaches disk on eviction
+    /// or [`Ufs::sync`]. Whole-block writes only (the PFS write path always
+    /// writes block multiples when buffering is enabled).
+    pub async fn write_cached(&self, id: InodeId, offset: u64, data: Bytes) -> Result<(), UfsError> {
+        let bs = self.bs();
+        assert!(
+            offset.is_multiple_of(bs) && (data.len() as u64).is_multiple_of(bs),
+            "write_cached requires block-aligned extents"
+        );
+        let end = offset + data.len() as u64;
+        self.ensure_mapped(id, end)?;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inode = inner.inodes.get_mut(id).expect("just mapped");
+            inode.size = inode.size.max(end);
+            inner.stats.bytes_written += data.len() as u64;
+        }
+        let nblocks = data.len() as u64 / bs;
+        for k in 0..nblocks {
+            let b = offset / bs + k;
+            let block_data = data.slice((k * bs) as usize..((k + 1) * bs) as usize);
+            let victim = self.inner.borrow_mut().cache.insert_dirty(
+                BlockKey {
+                    inode: id,
+                    block: b,
+                },
+                block_data,
+            );
+            if let Some(v) = victim {
+                if v.dirty {
+                    self.write_back(v.key, v.data).await;
+                }
+            }
+        }
+        // Cache write costs one memcpy.
+        self.sim
+            .sleep(SimDuration::for_bytes(data.len() as u64, self.params.copy_bw))
+            .await;
+        Ok(())
+    }
+
+    /// Flush all dirty cache blocks to disk.
+    pub async fn sync(&self) {
+        let dirty = self.inner.borrow_mut().cache.take_dirty();
+        for (key, data) in dirty {
+            self.write_back(key, data).await;
+        }
+    }
+
+    async fn write_back(&self, key: BlockKey, data: Bytes) {
+        let bs = self.bs();
+        let disk_block = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.writebacks += 1;
+            inner
+                .inodes
+                .get(key.inode)
+                .and_then(|i| i.map_block(key.block))
+        };
+        if let Some(db) = disk_block {
+            self.raid.write(db * bs, data).await;
+        }
+        // A vanished inode means the file was removed; drop the data.
+    }
+
+    fn check_bounds(&self, id: InodeId, offset: u64, len: u32) -> Result<(), UfsError> {
+        let size = self.size(id)?;
+        let end = offset + len as u64;
+        if end > size {
+            return Err(UfsError::Eof {
+                size,
+                requested_end: end,
+            });
+        }
+        Ok(())
+    }
+
+    fn plan_read(&self, id: InodeId, offset: u64, len: u32) -> Result<Vec<DiskRun>, UfsError> {
+        assert!(len > 0, "zero-length read");
+        self.check_bounds(id, offset, len)?;
+        let bs = self.bs();
+        let end = offset + len as u64;
+        let first_block = offset / bs;
+        let last_block = (end - 1) / bs;
+        let inner = self.inner.borrow();
+        let inode = inner.inodes.get(id).ok_or(UfsError::NotFound)?;
+        Ok(inode.map_blocks(first_block, last_block - first_block + 1))
+    }
+
+    fn place_block(&self, out: &mut BytesMut, block: u64, data: &Bytes, offset: u64, end: u64) {
+        let bs = self.bs();
+        let block_start = block * bs;
+        let lo = block_start.max(offset);
+        let hi = (block_start + bs).min(end);
+        let src = &data[(lo - block_start) as usize..(hi - block_start) as usize];
+        out[(lo - offset) as usize..(hi - offset) as usize].copy_from_slice(src);
+    }
+
+    /// File-system consistency check (an `fsck`): verifies that no two
+    /// inodes share a disk block, that every mapped block is inside the
+    /// partition, and that the allocator's free count matches the space
+    /// the inodes do not use. Returns the list of violations (empty =
+    /// consistent). Cheap enough to run after failure-injection tests.
+    pub fn check(&self) -> Vec<String> {
+        use std::collections::HashMap as Map;
+        let inner = self.inner.borrow();
+        let mut problems = Vec::new();
+        let mut owner: Map<u64, InodeId> = Map::new();
+        let mut mapped_total = 0u64;
+        let mut ids: Vec<InodeId> = Vec::new();
+        // Walk all inodes via the name table is not possible (names can
+        // alias); walk ids 0..next by probing.
+        for id in 0..u64::MAX {
+            let id = InodeId(id);
+            match inner.inodes.get(id) {
+                Some(inode) => {
+                    ids.push(id);
+                    let bs = self.params.block_size;
+                    if inode.size > inode.mapped_blocks() * bs {
+                        problems.push(format!(
+                            "inode {}: size {} exceeds mapped bytes {}",
+                            id.0,
+                            inode.size,
+                            inode.mapped_blocks() * bs
+                        ));
+                    }
+                    for e in &inode.extents {
+                        if e.end() > inner.alloc.capacity() {
+                            problems.push(format!(
+                                "inode {}: extent {e} beyond partition",
+                                id.0
+                            ));
+                        }
+                        for b in e.start..e.end() {
+                            if let Some(prev) = owner.insert(b, id) {
+                                if prev != id {
+                                    problems.push(format!(
+                                        "block {b} owned by inodes {} and {}",
+                                        prev.0, id.0
+                                    ));
+                                }
+                            }
+                        }
+                        mapped_total += e.len;
+                    }
+                }
+                None => {
+                    // Ids are allocated densely; the first gap past the
+                    // live set ends the scan (removed files leave gaps,
+                    // so scan a little further before giving up).
+                    if id.0 > ids.last().map(|i| i.0).unwrap_or(0) + 64 {
+                        break;
+                    }
+                }
+            }
+        }
+        let free = inner.alloc.free_blocks();
+        if free + mapped_total != inner.alloc.capacity() {
+            problems.push(format!(
+                "accounting: {free} free + {mapped_total} mapped != {} capacity",
+                inner.alloc.capacity()
+            ));
+        }
+        problems
+    }
+
+    /// Remove a file: flush its dirty blocks, free its extents.
+    pub async fn remove(&self, id: InodeId) -> Result<(), UfsError> {
+        self.sim.sleep(self.params.metadata_op).await;
+        let dirty = self.inner.borrow_mut().cache.purge_inode(id);
+        for (key, data) in dirty {
+            self.write_back(key, data).await;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let inode = inner.inodes.remove(id).ok_or(UfsError::NotFound)?;
+        for e in inode.extents {
+            inner.alloc.free(e);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_disk::{DiskParams, SchedPolicy};
+
+    fn test_fs(sim: &Sim) -> Ufs {
+        let raid = RaidArray::new(
+            sim,
+            DiskParams::ideal(10e6),
+            SchedPolicy::Fifo,
+            3,
+            16 * 1024,
+            "ufs-test",
+        );
+        let mut p = UfsParams::paragon();
+        p.block_size = 4096;
+        p.cache_blocks = 8;
+        p.metadata_op = SimDuration::ZERO;
+        Ufs::new(sim, raid, p)
+    }
+
+    fn pattern(len: usize, salt: u8) -> Bytes {
+        Bytes::from(
+            (0..len)
+                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn write_then_direct_read_roundtrips() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            let data = pattern(20_000, 3);
+            f2.write(id, 0, data.clone()).await.unwrap();
+            let back = f2.read_direct(id, 0, 20_000).await.unwrap();
+            back == data
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn unaligned_reads_slice_correctly() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            let data = pattern(30_000, 9);
+            f2.write(id, 0, data.clone()).await.unwrap();
+            let back = f2.read_direct(id, 5_000, 9_000).await.unwrap();
+            back[..] == data[5_000..14_000]
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn cached_read_roundtrips_and_hits_on_reread() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            let data = pattern(8192, 1);
+            f2.write(id, 0, data.clone()).await.unwrap();
+            let a = f2.read_cached(id, 0, 8192).await.unwrap();
+            let b = f2.read_cached(id, 0, 8192).await.unwrap();
+            a == data && b == data
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+        let cs = fs.cache_stats();
+        assert_eq!(cs.misses, 2); // two blocks missed once
+        assert_eq!(cs.hits, 2); // and hit on the re-read
+    }
+
+    #[test]
+    fn read_past_eof_is_an_error() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            f2.write(id, 0, pattern(100, 0)).await.unwrap();
+            f2.read_direct(id, 50, 100).await
+        });
+        sim.run();
+        assert_eq!(
+            h.try_take(),
+            Some(Err(UfsError::Eof {
+                size: 100,
+                requested_end: 150
+            }))
+        );
+    }
+
+    #[test]
+    fn contiguous_file_reads_are_coalesced() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            f2.write(id, 0, pattern(64 * 1024, 2)).await.unwrap();
+            // 16 file blocks in one extent: a full-file direct read must be
+            // a single device request.
+            f2.read_direct(id, 0, 64 * 1024).await.unwrap();
+        });
+        sim.run();
+        let st = fs.stats();
+        assert_eq!(st.direct_reads, 1);
+        assert_eq!(st.blocks_coalesced, 15);
+    }
+
+    #[test]
+    fn cached_write_reaches_disk_after_sync() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            let data = pattern(8192, 7);
+            f2.write_cached(id, 0, data.clone()).await.unwrap();
+            f2.sync().await;
+            // Fast path bypasses the cache, so this proves disk content.
+            let back = f2.read_direct(id, 0, 8192).await.unwrap();
+            back == data
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+        assert!(fs.stats().writebacks >= 2);
+    }
+
+    #[test]
+    fn write_invalidates_stale_cache() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            f2.write(id, 0, pattern(4096, 1)).await.unwrap();
+            let _warm = f2.read_cached(id, 0, 4096).await.unwrap();
+            let fresh = pattern(4096, 99);
+            f2.write(id, 0, fresh.clone()).await.unwrap();
+            let back = f2.read_cached(id, 0, 4096).await.unwrap();
+            back == fresh
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+
+    #[test]
+    fn remove_frees_space_for_reuse() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            // Partition is 8192 × 4 KB = 32 MB; write 2 files of 12 MB each,
+            // remove one, and the third must fit.
+            let a = f2.create("a").await.unwrap();
+            f2.write(a, 0, Bytes::from(vec![1u8; 12 << 20])).await.unwrap();
+            let b = f2.create("b").await.unwrap();
+            f2.write(b, 0, Bytes::from(vec![2u8; 12 << 20])).await.unwrap();
+            f2.remove(a).await.unwrap();
+            let c = f2.create("c").await.unwrap();
+            f2.write(c, 0, Bytes::from(vec![3u8; 12 << 20])).await
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(Ok(())));
+    }
+
+    #[test]
+    fn fsck_passes_on_a_busy_filesystem() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        sim.spawn(async move {
+            let a = f2.create("a").await.unwrap();
+            f2.write(a, 0, pattern(40_000, 1)).await.unwrap();
+            let b = f2.create("b").await.unwrap();
+            f2.write(b, 10_000, pattern(30_000, 2)).await.unwrap();
+            f2.remove(a).await.unwrap();
+            let c = f2.create("c").await.unwrap();
+            f2.write(c, 0, pattern(50_000, 3)).await.unwrap();
+        });
+        sim.run();
+        assert_eq!(fs.check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn sparse_write_reads_zero_holes() {
+        let sim = Sim::new(1);
+        let fs = test_fs(&sim);
+        let f2 = fs.clone();
+        let h = sim.spawn(async move {
+            let id = f2.create("f").await.unwrap();
+            // Write at 16 KB, leaving a 16 KB hole at the front.
+            f2.write(id, 16 * 1024, pattern(4096, 5)).await.unwrap();
+            let hole = f2.read_direct(id, 0, 4096).await.unwrap();
+            hole.iter().all(|&b| b == 0)
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(true));
+    }
+}

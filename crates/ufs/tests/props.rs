@@ -1,0 +1,182 @@
+//! Property tests for the UFS building blocks: the extent allocator
+//! never double-allocates, the cache never exceeds capacity or loses
+//! dirty data, and the file system round-trips arbitrary write/read
+//! scripts byte-for-byte.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use paragon_disk::{DiskParams, RaidArray, SchedPolicy};
+use paragon_sim::Sim;
+use paragon_ufs::{BlockCache, BlockKey, Extent, ExtentAllocator, InodeId, Ufs, UfsParams};
+
+// ---------------------------------------------------------------- allocator
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..50).prop_map(AllocOp::Alloc),
+            (0usize..64).prop_map(AllocOp::FreeNth),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn allocator_never_overlaps_and_conserves(ops in alloc_ops()) {
+        let capacity = 500u64;
+        let mut a = ExtentAllocator::new(capacity);
+        let mut live: Vec<Extent> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(n) => {
+                    if let Ok(extents) = a.alloc(n) {
+                        prop_assert_eq!(extents.iter().map(|e| e.len).sum::<u64>(), n);
+                        for e in &extents {
+                            prop_assert!(e.end() <= capacity);
+                            for other in &live {
+                                prop_assert!(!e.overlaps(other), "{e} overlaps {other}");
+                            }
+                        }
+                        live.extend(extents);
+                    }
+                }
+                AllocOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let e = live.swap_remove(i % live.len());
+                        a.free(e);
+                    }
+                }
+            }
+            let live_blocks: u64 = live.iter().map(|e| e.len).sum();
+            prop_assert_eq!(a.free_blocks() + live_blocks, capacity);
+        }
+    }
+}
+
+// -------------------------------------------------------------------- cache
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Get(u64),
+    InsertClean(u64),
+    InsertDirty(u64),
+    TakeDirty,
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..32).prop_map(CacheOp::Get),
+            (0u64..32).prop_map(CacheOp::InsertClean),
+            (0u64..32).prop_map(CacheOp::InsertDirty),
+            Just(CacheOp::TakeDirty),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// The cache never exceeds capacity, and every dirty block inserted
+    /// is eventually surfaced (via eviction or take_dirty) exactly once.
+    #[test]
+    fn cache_bounds_and_dirty_conservation(ops in cache_ops(), cap in 1usize..8) {
+        let mut c = BlockCache::new(cap);
+        let mut dirty_in = 0u64;
+        let mut dirty_out = 0u64;
+        let key = |b: u64| BlockKey { inode: InodeId(0), block: b };
+        let mut dirty_now: std::collections::HashSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                CacheOp::Get(b) => { c.get(key(b)); }
+                CacheOp::InsertClean(b) => {
+                    if let Some(ev) = c.insert_clean(key(b), Bytes::from_static(b"x")) {
+                        if ev.dirty { dirty_out += 1; dirty_now.remove(&ev.key.block); }
+                    }
+                }
+                CacheOp::InsertDirty(b) => {
+                    if dirty_now.insert(b) {
+                        dirty_in += 1;
+                    }
+                    if let Some(ev) = c.insert_dirty(key(b), Bytes::from_static(b"y")) {
+                        if ev.dirty { dirty_out += 1; dirty_now.remove(&ev.key.block); }
+                    }
+                }
+                CacheOp::TakeDirty => {
+                    let taken = c.take_dirty();
+                    dirty_out += taken.len() as u64;
+                    for (k, _) in taken { dirty_now.remove(&k.block); }
+                }
+            }
+            prop_assert!(c.len() <= cap);
+        }
+        dirty_out += c.take_dirty().len() as u64;
+        prop_assert_eq!(dirty_in, dirty_out, "dirty data lost or duplicated");
+    }
+}
+
+// ------------------------------------------------------------------- the fs
+
+#[derive(Debug, Clone)]
+struct WriteOp {
+    offset: u64,
+    len: usize,
+    fill: u8,
+}
+
+fn write_script() -> impl Strategy<Value = Vec<WriteOp>> {
+    prop::collection::vec(
+        (0u64..200_000, 1usize..40_000, 0u8..255).prop_map(|(offset, len, fill)| WriteOp {
+            offset,
+            len,
+            fill,
+        }),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary overlapping writes followed by reads reproduce exactly
+    /// what a flat in-memory model says, on both read paths.
+    #[test]
+    fn fs_matches_flat_model(script in write_script()) {
+        let sim = Sim::new(3);
+        let raid = RaidArray::new(&sim, DiskParams::ideal(1e9), SchedPolicy::Fifo, 3, 8192, "p");
+        let mut params = UfsParams::paragon();
+        params.block_size = 4096;
+        params.cache_blocks = 4;
+        let fs = Ufs::new(&sim, raid, params);
+        let fs2 = fs.clone();
+        let script2 = script.clone();
+        let h = sim.spawn(async move {
+            let id = fs2.create("f").await.unwrap();
+            let mut model: Vec<u8> = Vec::new();
+            for w in &script2 {
+                let end = w.offset as usize + w.len;
+                if model.len() < end {
+                    model.resize(end, 0);
+                }
+                model[w.offset as usize..end].fill(w.fill);
+                fs2.write(id, w.offset, Bytes::from(vec![w.fill; w.len]))
+                    .await
+                    .unwrap();
+            }
+            let direct = fs2.read_direct(id, 0, model.len() as u32).await.unwrap();
+            let cached = fs2.read_cached(id, 0, model.len() as u32).await.unwrap();
+            (model, direct, cached)
+        });
+        sim.run();
+        let (model, direct, cached) = h.try_take().expect("script completed");
+        prop_assert_eq!(&direct[..], &model[..], "fast path diverged");
+        prop_assert_eq!(&cached[..], &model[..], "buffered path diverged");
+    }
+}

@@ -1,0 +1,446 @@
+//! The experiment driver: build a machine, lay the file(s) out, run one
+//! synthetic SPMD program per compute node, and measure what the paper
+//! measures.
+//!
+//! Timeline of a run: **setup** (create + populate files — simulated disk
+//! time passes but is not measured, exactly like preparing a testbed
+//! before starting the clock), then the **measured phase** (all node
+//! programs start together; the collective is complete when the slowest
+//! node finishes its last read).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use paragon_core::{PrefetchStats, PrefetchingFile};
+use paragon_machine::{Machine, MachineConfig};
+use paragon_pfs::{pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, PfsFile, PfsFileId};
+use paragon_sim::{Sim, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::config::{AccessPattern, ExperimentConfig};
+use crate::result::{NodeResult, RunResult};
+
+/// Where the driver task deposits its measurements for the host caller.
+type DriverOutput = Rc<RefCell<Option<(Vec<NodeResult>, SimDuration)>>>;
+
+/// Run one experiment to completion and return its measurements.
+pub fn run(cfg: &ExperimentConfig) -> RunResult {
+    cfg.validate();
+    let sim = Sim::new(cfg.seed);
+    if cfg.trace_cap > 0 {
+        sim.tracer().arm(cfg.trace_cap);
+    }
+    let machine = Rc::new(Machine::new(
+        &sim,
+        MachineConfig {
+            compute_nodes: cfg.compute_nodes,
+            io_nodes: cfg.io_nodes,
+            calib: cfg.calib.clone(),
+        },
+    ));
+    let pfs = ParallelFs::new(machine.clone());
+
+    let out: DriverOutput = Rc::new(RefCell::new(None));
+    let out2 = out.clone();
+    let cfg2 = cfg.clone();
+    let sim2 = sim.clone();
+    sim.spawn_named("experiment-driver", async move {
+        let files = setup_files(&pfs, &cfg2).await;
+        let t0 = sim2.now();
+        let mut handles = Vec::with_capacity(cfg2.compute_nodes);
+        for rank in 0..cfg2.compute_nodes {
+            let file = files[rank.min(files.len() - 1)];
+            let ctx = NodeCtx {
+                sim: sim2.clone(),
+                pfs: pfs.clone(),
+                cfg: cfg2.clone(),
+                rank,
+                file,
+                t0,
+            };
+            handles.push(sim2.spawn_named("node-program", node_program(ctx)));
+        }
+        let mut per_node = Vec::with_capacity(handles.len());
+        for h in handles {
+            per_node.push(h.await);
+        }
+        let elapsed = sim2.now().since(t0);
+        *out2.borrow_mut() = Some((per_node, elapsed));
+    });
+    let report = sim.run();
+    let trace = sim.tracer().events();
+    // Free the world: parked server loops otherwise keep the whole
+    // machine (including megabytes of simulated disk contents) alive via
+    // an Rc cycle — fatal when a bench harness runs thousands of worlds.
+    sim.shutdown();
+    let (per_node, elapsed) = out
+        .borrow_mut()
+        .take()
+        .unwrap_or_else(|| panic!("experiment deadlocked; pending: {:?}", sim.pending_task_labels()));
+
+    let total_bytes = per_node.iter().map(|n| n.bytes).sum();
+    let mut prefetch = PrefetchStats::default();
+    for n in &per_node {
+        if let Some(p) = &n.prefetch {
+            prefetch.merge(p);
+        }
+    }
+    let mut verify_failures = VERIFY_FAILURES.with(|v| v.replace(0));
+    if cfg.verify_data {
+        // Also fsck every I/O node's file system after the run.
+        for i in 0..cfg.io_nodes {
+            let problems = machine.ufs(i).check();
+            if !problems.is_empty() {
+                eprintln!("fsck failures on I/O node {i}: {problems:?}");
+                verify_failures += problems.len() as u64;
+            }
+        }
+    }
+    let mut disk = paragon_disk::DiskStats::default();
+    for i in 0..cfg.io_nodes {
+        let s = machine.raid(i).stats();
+        disk.requests += s.requests;
+        disk.bytes_read += s.bytes_read;
+        disk.bytes_written += s.bytes_written;
+        disk.busy += s.busy;
+        disk.sequential_hits += s.sequential_hits;
+        disk.near_seeks += s.near_seeks;
+        disk.far_seeks += s.far_seeks;
+        disk.max_queue_depth = disk.max_queue_depth.max(s.max_queue_depth);
+    }
+    RunResult {
+        per_node,
+        elapsed,
+        total_bytes,
+        prefetch,
+        prefetch_enabled: cfg.prefetch.is_some(),
+        trace_hash: report.trace_hash,
+        verify_failures,
+        disk,
+        trace,
+    }
+}
+
+thread_local! {
+    /// Data-verification failures observed by node programs of the run
+    /// currently executing on this thread. Runs are single-threaded and
+    /// sequential, so a thread-local counter is race-free.
+    static VERIFY_FAILURES: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Create and populate the run's file(s); returns one id per node for
+/// separate-files runs, else a single shared id.
+async fn setup_files(pfs: &Rc<ParallelFs>, cfg: &ExperimentConfig) -> Vec<PfsFileId> {
+    let attrs = cfg.layout.attrs(cfg.stripe_unit);
+    if cfg.separate_files {
+        let mut files = Vec::with_capacity(cfg.compute_nodes);
+        for rank in 0..cfg.compute_nodes {
+            // PFS allocates each file's first stripe unit round-robin
+            // over the group, so private files do not all start on the
+            // same I/O node: rotate the group by rank.
+            let mut file_attrs = attrs.clone();
+            let rot = rank % file_attrs.group.len();
+            file_attrs.group.rotate_left(rot);
+            let id = pfs
+                .create(&format!("/pfs/data.{rank}"), file_attrs)
+                .await
+                .expect("create failed");
+            let seed = cfg.seed ^ (rank as u64).wrapping_mul(0x9e37);
+            pfs.populate_with(id, cfg.file_size, |i| pattern_byte(seed, i))
+                .await
+                .expect("populate failed");
+            files.push(id);
+        }
+        files
+    } else {
+        let id = pfs
+            .create("/pfs/data", attrs)
+            .await
+            .expect("create failed");
+        let seed = cfg.seed;
+        pfs.populate_with(id, cfg.file_size, |i| pattern_byte(seed, i))
+            .await
+            .expect("populate failed");
+        vec![id]
+    }
+}
+
+struct NodeCtx {
+    sim: Sim,
+    pfs: Rc<ParallelFs>,
+    cfg: ExperimentConfig,
+    rank: usize,
+    file: PfsFileId,
+    t0: SimTime,
+}
+
+/// The demand-read side of one node's program: either a plain PFS handle
+/// or the prefetching prototype wrapped around it.
+enum Reader {
+    Plain(PfsFile),
+    Prefetching(PrefetchingFile),
+}
+
+impl Reader {
+    async fn read(&self, len: u32) -> bytes::Bytes {
+        match self {
+            Reader::Plain(f) => f.read(len).await.expect("read failed"),
+            Reader::Prefetching(pf) => pf.read(len).await.expect("read failed"),
+        }
+    }
+
+    async fn read_at(&self, offset: u64, len: u32) -> bytes::Bytes {
+        match self {
+            Reader::Plain(f) => {
+                f.syscall().await;
+                f.transfer_read(offset, len).await.expect("read failed")
+            }
+            Reader::Prefetching(pf) => pf.read_at(offset, len).await.expect("read failed"),
+        }
+    }
+
+    async fn close(self) -> Option<PrefetchStats> {
+        match self {
+            Reader::Plain(_) => None,
+            Reader::Prefetching(pf) => Some(pf.close().await),
+        }
+    }
+}
+
+async fn node_program(ctx: NodeCtx) -> NodeResult {
+    let cfg = &ctx.cfg;
+    let sz = cfg.request_size;
+    let rounds = cfg.rounds_per_node();
+    let (mode_rank, nprocs) = if cfg.separate_files {
+        (0, 1)
+    } else {
+        (ctx.rank, cfg.compute_nodes)
+    };
+    let file = ctx
+        .pfs
+        .open_on(
+            ctx.rank,
+            mode_rank,
+            nprocs,
+            ctx.file,
+            cfg.mode,
+            OpenOptions {
+                fast_path: cfg.fast_path,
+            },
+        )
+        .expect("open failed");
+
+    // Explicit-pattern reads partition the file by rank.
+    let partition = cfg.file_size / nprocs as u64;
+    let base = mode_rank as u64 * partition;
+    let pattern_seed = if cfg.separate_files {
+        cfg.seed ^ (ctx.rank as u64).wrapping_mul(0x9e37)
+    } else {
+        cfg.seed
+    };
+
+    let reader = match &cfg.prefetch {
+        Some(pc) => Reader::Prefetching(PrefetchingFile::new(file, pc.clone())),
+        None => Reader::Plain(file),
+    };
+
+    let mut rng = ctx.sim.rng(&format!("workload.rank{}", ctx.rank));
+    let mut reads = 0u64;
+    let mut bytes = 0u64;
+    let mut total = SimDuration::ZERO;
+    let mut tmax = SimDuration::ZERO;
+    let mut tmin = SimDuration::MAX;
+    let mut read_times = Vec::new();
+
+    // The per-read offsets the pattern dictates; `None` = mode-driven
+    // (offset determined by the pointer machinery, possibly unknowable).
+    let total_reads = match cfg.access {
+        AccessPattern::Reread { passes } => rounds * passes as u64,
+        _ => rounds,
+    };
+    for k in 0..total_reads {
+        let planned: Option<u64> = match cfg.access {
+            // The M_ASYNC benchmark reads the shared file as interleaved
+            // records — the same disjoint pattern as M_RECORD, but with
+            // no coordination or record bookkeeping at all (the mode
+            // guarantees nothing, so the benchmark positions each read
+            // itself). All other modes follow their pointer machinery.
+            AccessPattern::ModeDriven if cfg.mode == IoMode::MAsync => {
+                Some((k * nprocs as u64 + mode_rank as u64) * sz as u64)
+            }
+            AccessPattern::ModeDriven => None,
+            AccessPattern::Strided { stride } => {
+                Some(base + (k * stride) % partition.saturating_sub(sz as u64 - 1).max(1))
+            }
+            AccessPattern::Random => {
+                let slots = (partition / sz as u64).max(1);
+                Some(base + rng.gen_range(0..slots) * sz as u64)
+            }
+            AccessPattern::Reread { .. } => Some(base + (k % rounds) * sz as u64),
+        };
+        let before = ctx.sim.now();
+        let data = match planned {
+            None => reader.read(sz).await,
+            Some(off) => reader.read_at(off, sz).await,
+        };
+        let dt = ctx.sim.now().since(before);
+        reads += 1;
+        bytes += data.len() as u64;
+        total += dt;
+        tmax = tmax.max(dt);
+        tmin = tmin.min(dt);
+        read_times.push(dt);
+
+        if cfg.verify_data {
+            // Offsets are knowable for every pattern except the
+            // arrival-ordered shared-pointer modes.
+            let expect = match (planned, cfg.mode) {
+                (Some(off), _) => Some(off),
+                (None, IoMode::MRecord) | (None, IoMode::MSync) => {
+                    Some((k * nprocs as u64 + mode_rank as u64) * sz as u64)
+                }
+                (None, IoMode::MGlobal) => Some(k * sz as u64),
+                // M_ASYNC is always planned; arrival-ordered shared-
+                // pointer modes have unknowable offsets.
+                (None, _) => None,
+            };
+            if let Some(off) = expect {
+                if data[..] != pattern_slice(pattern_seed, off, sz as usize)[..] {
+                    VERIFY_FAILURES.with(|v| *v.borrow_mut() += 1);
+                }
+            }
+        }
+
+        if !cfg.delay.is_zero() && k + 1 < total_reads {
+            ctx.sim.sleep(cfg.delay).await;
+        }
+    }
+
+    let prefetch = reader.close().await;
+    NodeResult {
+        rank: ctx.rank,
+        reads,
+        bytes,
+        elapsed: ctx.sim.now().since(ctx.t0),
+        read_time_total: total,
+        read_time_max: tmax,
+        read_time_min: if reads == 0 { SimDuration::ZERO } else { tmin },
+        read_times,
+        prefetch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_machine::Calibration;
+    use crate::config::StripeLayout;
+
+    /// A small instant-calibration config for fast logic tests.
+    fn tiny(mode: IoMode) -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 7,
+            compute_nodes: 4,
+            io_nodes: 2,
+            calib: Calibration::instant(),
+            mode,
+            fast_path: true,
+            stripe_unit: 16 * 1024,
+            layout: StripeLayout::Across { factor: 2 },
+            request_size: 16 * 1024,
+            file_size: 1 << 20,
+            delay: SimDuration::ZERO,
+            prefetch: None,
+            access: AccessPattern::ModeDriven,
+            separate_files: false,
+            verify_data: true,
+            trace_cap: 0,
+        }
+    }
+
+    #[test]
+    fn m_record_run_reads_the_whole_file_correctly() {
+        let r = run(&tiny(IoMode::MRecord));
+        assert_eq!(r.total_bytes, 1 << 20);
+        assert_eq!(r.verify_failures, 0);
+        assert_eq!(r.per_node.len(), 4);
+        for n in &r.per_node {
+            assert_eq!(n.reads, 16);
+        }
+    }
+
+    #[test]
+    fn every_mode_runs_clean() {
+        for mode in IoMode::all() {
+            let r = run(&tiny(mode));
+            assert_eq!(r.verify_failures, 0, "corruption under {mode}");
+            assert!(r.total_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn prefetch_run_is_correct_and_hits() {
+        let cfg = tiny(IoMode::MRecord).with_prefetch();
+        let r = run(&cfg);
+        assert_eq!(r.verify_failures, 0);
+        assert!(r.prefetch_enabled);
+        assert!(r.prefetch.hits() > 0, "prefetch never hit: {:?}", r.prefetch);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        let a = run(&tiny(IoMode::MRecord));
+        let b = run(&tiny(IoMode::MRecord));
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.elapsed, b.elapsed);
+        // A structurally different run must hash differently. (A seed
+        // change alone does not perturb the instant calibration: every
+        // service time is zero regardless of RNG draws.)
+        let c = run(&{
+            let mut c = tiny(IoMode::MRecord);
+            c.request_size /= 2;
+            c
+        });
+        assert_ne!(a.trace_hash, c.trace_hash);
+    }
+
+    #[test]
+    fn separate_files_partition_cleanly() {
+        let mut cfg = tiny(IoMode::MAsync);
+        cfg.separate_files = true;
+        cfg.file_size = 256 * 1024; // per node
+        let r = run(&cfg);
+        assert_eq!(r.total_bytes, 4 * 256 * 1024);
+        assert_eq!(r.verify_failures, 0);
+    }
+
+    #[test]
+    fn random_access_pattern_is_deterministic_and_correct() {
+        let mut cfg = tiny(IoMode::MAsync);
+        cfg.access = AccessPattern::Random;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.verify_failures, 0);
+        assert_eq!(a.trace_hash, b.trace_hash);
+    }
+
+    #[test]
+    fn reread_multiplies_delivered_bytes() {
+        let mut cfg = tiny(IoMode::MAsync);
+        cfg.access = AccessPattern::Reread { passes: 3 };
+        let r = run(&cfg);
+        assert_eq!(r.total_bytes, 3 << 20);
+        assert_eq!(r.verify_failures, 0);
+    }
+
+    #[test]
+    fn delays_extend_elapsed_time() {
+        let mut cfg = tiny(IoMode::MRecord);
+        cfg.delay = SimDuration::from_millis(10);
+        let with_delay = run(&cfg);
+        let without = run(&tiny(IoMode::MRecord));
+        assert!(with_delay.elapsed > without.elapsed);
+        // 16 reads → 15 delays of 10 ms each, minimum.
+        assert!(with_delay.elapsed >= SimDuration::from_millis(150));
+    }
+}

@@ -1,0 +1,27 @@
+//! # paragon — reproduction of *Implementation and Evaluation of
+//! Prefetching in the Intel Paragon Parallel File System* (IPPS 1996)
+//!
+//! Facade crate: re-exports the workspace's public API in one namespace.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+//!
+//! * [`sim`] — deterministic discrete-event kernel.
+//! * [`disk`] / [`mesh`] / [`ufs`] — the hardware and UFS substrates.
+//! * [`machine`] — machine assembly + the calibration constants.
+//! * [`os`] — RPC fabric and Asynchronous Request Threads.
+//! * [`pfs`] — the Parallel File System (striping, I/O modes, Fast Path).
+//! * [`prefetch`] — **the paper's contribution**: the client-side
+//!   prefetch engine.
+//! * [`workload`] — synthetic SPMD workloads and the experiment driver.
+//! * [`metrics`] — tables, ASCII figures, and result aggregation.
+
+pub use paragon_core as prefetch;
+pub use paragon_disk as disk;
+pub use paragon_machine as machine;
+pub use paragon_mesh as mesh;
+pub use paragon_metrics as metrics;
+pub use paragon_os as os;
+pub use paragon_pfs as pfs;
+pub use paragon_sim as sim;
+pub use paragon_ufs as ufs;
+pub use paragon_workload as workload;

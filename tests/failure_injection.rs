@@ -1,0 +1,132 @@
+//! Failure injection at the integration level: degraded hardware must
+//! slow the system down, never corrupt it, and stay deterministic.
+
+use std::rc::Rc;
+
+use paragon::machine::{Machine, MachineConfig};
+use paragon::pfs::{pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, StripeAttrs};
+use paragon::prefetch::{PrefetchConfig, PrefetchingFile};
+use paragon::sim::{Sim, SimDuration};
+
+const KB: u64 = 1024;
+
+/// Run 4 nodes reading a shared M_RECORD file with one RAID member of
+/// I/O node 1 slowed by `factor`; returns (elapsed, data_ok, hits).
+fn run_with_hotspot(factor: f64, prefetch: bool, seed: u64) -> (SimDuration, bool, u64) {
+    let sim = Sim::new(seed);
+    let machine = Rc::new(Machine::new(&sim, MachineConfig::paper_testbed()));
+    if factor != 1.0 {
+        machine.raid(1).set_member_slowdown(0, factor);
+    }
+    let pfs = ParallelFs::new(machine);
+    let sim2 = sim.clone();
+    let h = sim.spawn(async move {
+        let id = pfs
+            .create("/pfs/hot", StripeAttrs::across(8, 64 * KB))
+            .await
+            .unwrap();
+        pfs.populate_with(id, 4 << 20, |i| pattern_byte(seed, i))
+            .await
+            .unwrap();
+        let t0 = sim2.now();
+        let mut tasks = Vec::new();
+        for rank in 0..4usize {
+            let f = pfs
+                .open(rank, 4, id, IoMode::MRecord, OpenOptions::default())
+                .unwrap();
+            let sim3 = sim2.clone();
+            tasks.push(sim2.spawn(async move {
+                let reader = prefetch
+                    .then(|| PrefetchingFile::new(f.clone(), PrefetchConfig::paper_prototype()));
+                let mut ok = true;
+                let mut hits = 0;
+                for k in 0..16u64 {
+                    let data = match &reader {
+                        Some(pf) => pf.read(64 * 1024).await.unwrap(),
+                        None => f.read(64 * 1024).await.unwrap(),
+                    };
+                    let at = (k * 4 + rank as u64) * 64 * KB;
+                    ok &= data == pattern_slice(seed, at, 64 * 1024);
+                    sim3.sleep(SimDuration::from_millis(20)).await;
+                }
+                if let Some(pf) = reader {
+                    hits = pf.close().await.hits();
+                }
+                (ok, hits)
+            }));
+        }
+        let mut ok = true;
+        let mut hits = 0;
+        for t in tasks {
+            let (o, h) = t.await;
+            ok &= o;
+            hits += h;
+        }
+        (sim2.now().since(t0), ok, hits)
+    });
+    sim.run();
+    h.try_take().expect("run finished")
+}
+
+#[test]
+fn hotspot_slows_but_never_corrupts() {
+    let (healthy, ok_h, _) = run_with_hotspot(1.0, false, 31);
+    let (degraded, ok_d, _) = run_with_hotspot(8.0, false, 31);
+    assert!(ok_h && ok_d, "hot spot corrupted data");
+    assert!(
+        degraded > healthy,
+        "an 8x slower member must slow the collective: {healthy} !< {degraded}"
+    );
+}
+
+#[test]
+fn prefetching_stays_correct_under_degradation() {
+    let (_, ok, hits) = run_with_hotspot(8.0, true, 32);
+    assert!(ok, "prefetching corrupted data under a hot spot");
+    assert!(hits > 0, "prefetching disengaged under a hot spot");
+}
+
+#[test]
+fn degraded_runs_are_still_deterministic() {
+    let a = run_with_hotspot(5.0, true, 33);
+    let b = run_with_hotspot(5.0, true, 33);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn prefetch_buffer_pressure_wastes_but_never_corrupts() {
+    // A one-slot prefetch list under a depth-4 pipeline: three of every
+    // four prefetches are evicted unused. Data must stay exact.
+    let sim = Sim::new(34);
+    let machine = Rc::new(Machine::new(&sim, MachineConfig::tiny_instant(1, 2)));
+    let pfs = ParallelFs::new(machine);
+    let h = sim.spawn(async move {
+        let id = pfs
+            .create("/pfs/pressure", StripeAttrs::across(2, 16 * KB))
+            .await
+            .unwrap();
+        pfs.populate_with(id, 2 << 20, |i| pattern_byte(9, i))
+            .await
+            .unwrap();
+        let f = pfs
+            .open(0, 1, id, IoMode::MAsync, OpenOptions::default())
+            .unwrap();
+        let mut cfg = PrefetchConfig::with_depth(4);
+        cfg.max_buffers = 1;
+        let pf = PrefetchingFile::new(f, cfg);
+        let mut ok = true;
+        for k in 0..16u64 {
+            let data = pf.read(32 * 1024).await.unwrap();
+            ok &= data == pattern_slice(9, k * 32 * KB, 32 * 1024);
+        }
+        let stats = pf.close().await;
+        (ok, stats)
+    });
+    sim.run();
+    let (ok, stats) = h.try_take().expect("finished");
+    assert!(ok);
+    assert!(stats.wasted > 0, "pressure must evict buffers: {stats:?}");
+    // Evicting the pipeline cannot break correctness, only efficiency.
+    assert_eq!(stats.demand_reads(), 16);
+}

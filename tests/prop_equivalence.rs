@@ -1,0 +1,112 @@
+//! The reproduction's central safety property, tested property-style:
+//! **enabling prefetching never changes the bytes an application reads**,
+//! for arbitrary access scripts, stripe shapes, and machine sizes.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use paragon::machine::{Machine, MachineConfig};
+use paragon::pfs::{pattern_byte, IoMode, OpenOptions, ParallelFs, StripeAttrs};
+use paragon::prefetch::{PrefetchConfig, PrefetchingFile};
+use paragon::sim::Sim;
+
+/// One node's access script: a list of read sizes (mode-driven offsets).
+#[derive(Debug, Clone)]
+struct Script {
+    mode: IoMode,
+    nprocs: usize,
+    stripe_unit: u64,
+    io_nodes: usize,
+    reads: Vec<u32>,
+    depth: u32,
+}
+
+fn scripts() -> impl Strategy<Value = Script> {
+    (
+        prop_oneof![
+            Just(IoMode::MRecord),
+            Just(IoMode::MAsync),
+            Just(IoMode::MGlobal)
+        ],
+        1usize..5,
+        prop_oneof![Just(4096u64), Just(10_000), Just(65_536)],
+        1usize..4,
+        prop::collection::vec(1u32..40_000, 1..12),
+        1u32..4,
+    )
+        .prop_map(|(mode, nprocs, stripe_unit, io_nodes, reads, depth)| Script {
+            mode,
+            nprocs,
+            stripe_unit,
+            io_nodes,
+            reads,
+            depth,
+        })
+}
+
+/// Run one node's script and return the concatenated bytes it read.
+fn run_script(s: &Script, prefetch: bool) -> Vec<u8> {
+    // M_RECORD requires equal request sizes: collapse to the first size.
+    let reads: Vec<u32> = if s.mode.requires_equal_sizes() {
+        vec![s.reads[0]; s.reads.len()]
+    } else {
+        s.reads.clone()
+    };
+    // Size the file so every mode-driven offset is in range.
+    let max_read = *reads.iter().max().unwrap() as u64;
+    let file_size = (reads.len() as u64 + 2) * max_read * s.nprocs as u64;
+
+    let sim = Sim::new(77);
+    let machine = Rc::new(Machine::new(
+        &sim,
+        MachineConfig::tiny_instant(s.nprocs, s.io_nodes),
+    ));
+    let pfs = ParallelFs::new(machine);
+    let s2 = s.clone();
+    let h = sim.spawn(async move {
+        let attrs = StripeAttrs::across(s2.io_nodes, s2.stripe_unit);
+        let file = pfs.create("/pfs/prop", attrs).await.unwrap();
+        pfs.populate_with(file, file_size, |i| pattern_byte(13, i))
+            .await
+            .unwrap();
+        // Exercise rank nprocs-1 (the interesting stride for M_RECORD).
+        let f = pfs
+            .open(
+                s2.nprocs - 1,
+                s2.nprocs,
+                file,
+                s2.mode,
+                OpenOptions::default(),
+            )
+            .unwrap();
+        let mut out = Vec::new();
+        if prefetch {
+            let mut cfg = PrefetchConfig::with_depth(s2.depth);
+            cfg.copy_bw = 1e12;
+            let pf = PrefetchingFile::new(f, cfg);
+            for len in &reads {
+                out.extend_from_slice(&pf.read(*len).await.unwrap());
+            }
+            pf.close().await;
+        } else {
+            for len in &reads {
+                out.extend_from_slice(&f.read(*len).await.unwrap());
+            }
+        }
+        out
+    });
+    sim.run();
+    h.try_take().expect("script completed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prefetching_is_invisible_to_the_application(s in scripts()) {
+        let plain = run_script(&s, false);
+        let prefetched = run_script(&s, true);
+        prop_assert_eq!(plain, prefetched, "prefetching changed data: {:?}", s);
+    }
+}
