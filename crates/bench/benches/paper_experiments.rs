@@ -1,15 +1,26 @@
-//! Criterion coverage of every table and figure: each benchmark runs a
+//! Host-cost coverage of every table and figure: each entry runs a
 //! reduced-size version of the corresponding experiment (same code path,
 //! smaller file), so `cargo bench` exercises the entire harness and
 //! tracks the host cost of regenerating each artifact. The full-size
-//! regenerators are the `paragon-bench` binaries.
+//! regenerators are the `paragon-bench` binaries. Plain `fn main`
+//! harness (hermetic build: no criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use paragon_pfs::IoMode;
 use paragon_sim::SimDuration;
 use paragon_workload::{run, AccessPattern, ExperimentConfig, StripeLayout};
+
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<44} {:>12.3} ms/iter  ({iters} iters)", per * 1e3);
+}
 
 /// 1 MB per node: small enough to iterate, big enough to exercise every
 /// code path (striping, coalescing, queues, prefetch machinery).
@@ -17,115 +28,106 @@ fn small(request: u32) -> ExperimentConfig {
     ExperimentConfig::paper_iobound(request, 1)
 }
 
-fn fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_io_modes");
-    g.sample_size(10);
+fn fig2() {
     for mode in IoMode::all() {
         let mut cfg = small(64 * 1024);
         cfg.mode = mode;
-        g.bench_function(mode.to_string(), |b| {
-            b.iter(|| black_box(run(&cfg).bandwidth_mb_s()))
+        bench(&format!("fig2_io_modes/{mode}"), 5, || {
+            run(&cfg).bandwidth_mb_s()
         });
     }
     let mut sep = small(64 * 1024);
     sep.mode = IoMode::MAsync;
     sep.separate_files = true;
     sep.file_size = 1 << 20;
-    g.bench_function("separate_files", |b| {
-        b.iter(|| black_box(run(&sep).bandwidth_mb_s()))
+    bench("fig2_io_modes/separate_files", 5, || {
+        run(&sep).bandwidth_mb_s()
     });
-    g.finish();
 }
 
-fn tab1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_iobound");
-    g.sample_size(10);
+fn tab1() {
     for (label, prefetch) in [("no_prefetch", false), ("prefetch", true)] {
         let cfg = if prefetch {
             small(64 * 1024).with_prefetch()
         } else {
             small(64 * 1024)
         };
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(run(&cfg).bandwidth_mb_s()))
+        bench(&format!("table1_iobound/{label}"), 5, || {
+            run(&cfg).bandwidth_mb_s()
         });
     }
-    g.finish();
 }
 
-fn tab2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_access_times");
-    g.sample_size(10);
+fn tab2() {
     for request in [64 * 1024u32, 1024 * 1024] {
-        g.bench_function(format!("{}KB", request / 1024), |b| {
-            let cfg = small(request);
-            b.iter(|| black_box(run(&cfg).read_time_mean()))
-        });
+        let cfg = small(request);
+        bench(
+            &format!("table2_access_times/{}KB", request / 1024),
+            5,
+            || run(&cfg).read_time_mean(),
+        );
     }
-    g.finish();
 }
 
-fn fig4_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_fig5_balanced");
-    g.sample_size(10);
-    for (label, request, delay_ms) in
-        [("64KB_25ms", 64 * 1024u32, 25u64), ("1024KB_100ms", 1024 * 1024, 100)]
-    {
+fn fig4_fig5() {
+    for (label, request, delay_ms) in [
+        ("64KB_25ms", 64 * 1024u32, 25u64),
+        ("1024KB_100ms", 1024 * 1024, 100),
+    ] {
         let mut cfg = small(request).with_prefetch();
         cfg.delay = SimDuration::from_millis(delay_ms);
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(run(&cfg).bandwidth_mb_s()))
+        bench(&format!("fig4_fig5_balanced/{label}"), 5, || {
+            run(&cfg).bandwidth_mb_s()
         });
     }
-    g.finish();
 }
 
-fn tab3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_stripe_units");
-    g.sample_size(10);
+fn tab3() {
     for su in [16 * 1024u64, 64 * 1024, 1024 * 1024] {
         let mut cfg = small(256 * 1024).with_prefetch();
         cfg.stripe_unit = su;
-        g.bench_function(format!("su_{}KB", su / 1024), |b| {
-            b.iter(|| black_box(run(&cfg).bandwidth_mb_s()))
-        });
+        bench(
+            &format!("table3_stripe_units/su_{}KB", su / 1024),
+            5,
+            || run(&cfg).bandwidth_mb_s(),
+        );
     }
-    g.finish();
 }
 
-fn tab4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_stripe_groups");
-    g.sample_size(10);
+fn tab4() {
     let wide = small(256 * 1024).with_prefetch();
-    g.bench_function("sgroup_8", |b| {
-        b.iter(|| black_box(run(&wide).bandwidth_mb_s()))
+    bench("table4_stripe_groups/sgroup_8", 5, || {
+        run(&wide).bandwidth_mb_s()
     });
     let mut narrow = small(256 * 1024).with_prefetch();
     narrow.layout = StripeLayout::WaysOnOne { ways: 8, ion: 0 };
-    g.bench_function("sgroup_1", |b| {
-        b.iter(|| black_box(run(&narrow).bandwidth_mb_s()))
+    bench("table4_stripe_groups/sgroup_1", 5, || {
+        run(&narrow).bandwidth_mb_s()
     });
-    g.finish();
 }
 
-fn extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
+fn extensions() {
     // Depth ablation and pattern sweep, one representative each.
     let mut depth4 = small(64 * 1024).with_prefetch();
     depth4.prefetch.as_mut().unwrap().depth = 4;
     depth4.delay = SimDuration::from_millis(50);
-    g.bench_function("depth4_balanced", |b| {
-        b.iter(|| black_box(run(&depth4).bandwidth_mb_s()))
+    bench("extensions/depth4_balanced", 5, || {
+        run(&depth4).bandwidth_mb_s()
     });
     let mut random = small(64 * 1024).with_prefetch();
     random.mode = IoMode::MAsync;
     random.access = AccessPattern::Random;
-    g.bench_function("random_pattern", |b| {
-        b.iter(|| black_box(run(&random).bandwidth_mb_s()))
+    bench("extensions/random_pattern", 5, || {
+        run(&random).bandwidth_mb_s()
     });
-    g.finish();
 }
 
-criterion_group!(benches, fig2, tab1, tab2, fig4_fig5, tab3, tab4, extensions);
-criterion_main!(benches);
+fn main() {
+    fig2();
+    tab1();
+    tab2();
+    fig4_fig5();
+    tab3();
+    tab4();
+    extensions();
+}

@@ -60,7 +60,11 @@ fn main() {
     // --- 2. Copy-bandwidth sensitivity. ---------------------------------
     let mut t2 = Table::new(
         "Ablation 2: prefetch-hit copy bandwidth (balanced 64 KB, 25 ms delay)",
-        &["CN memcpy (MB/s)", "Prefetch BW (MB/s)", "Gain vs no-prefetch"],
+        &[
+            "CN memcpy (MB/s)",
+            "Prefetch BW (MB/s)",
+            "Gain vs no-prefetch",
+        ],
     );
     let base = {
         let mut cfg = ExperimentConfig::paper_balanced(64 * 1024, SimDuration::from_millis(25));
@@ -79,7 +83,10 @@ fn main() {
             format!("{gain:.2}x"),
         ]);
         record.point(
-            &[("ablation", "copy_bw"), ("copy_mb_s", &format!("{copy_mb}"))],
+            &[
+                ("ablation", "copy_bw"),
+                ("copy_mb_s", &format!("{copy_mb}")),
+            ],
             &[("bw_prefetch_mb_s", r.bandwidth_mb_s()), ("gain", gain)],
         );
     }
@@ -106,7 +113,10 @@ fn main() {
             format!("{:.2}", r.prefetch.hit_ratio()),
         ]);
         record.point(
-            &[("ablation", "max_arts"), ("max_arts", &max_arts.to_string())],
+            &[
+                ("ablation", "max_arts"),
+                ("max_arts", &max_arts.to_string()),
+            ],
             &[
                 ("bw_prefetch_mb_s", r.bandwidth_mb_s()),
                 ("hit_ratio", r.prefetch.hit_ratio()),

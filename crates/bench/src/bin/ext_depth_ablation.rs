@@ -49,10 +49,7 @@ fn main() {
         "-".to_owned(),
         "-".to_owned(),
     ]);
-    record.point(
-        &[("depth", "0")],
-        &[("bw_mb_s", no_pf.bandwidth_mb_s())],
-    );
+    record.point(&[("depth", "0")], &[("bw_mb_s", no_pf.bandwidth_mb_s())]);
 
     for depth in [1u32, 2, 4, 8] {
         let mut cfg = base.clone();

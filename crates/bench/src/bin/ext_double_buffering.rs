@@ -112,7 +112,9 @@ fn main() {
         "EXT-DOUBLEBUF",
         "System-level prefetching vs application-level double buffering",
     );
-    record.config("request_kb", 64).config("file_mb", FILE >> 20);
+    record
+        .config("request_kb", 64)
+        .config("file_mb", FILE >> 20);
 
     for delay_ms in [0u64, 10, 25, 50, 100] {
         let blocking = run_variant(Variant::Blocking, delay_ms);

@@ -17,15 +17,27 @@ use paragon_workload::{AccessPattern, ExperimentConfig};
 
 fn main() {
     let cases: [(&str, IoMode, AccessPattern); 5] = [
-        ("sequential/M_ASYNC", IoMode::MAsync, AccessPattern::ModeDriven),
-        ("broadcast/M_GLOBAL", IoMode::MGlobal, AccessPattern::ModeDriven),
+        (
+            "sequential/M_ASYNC",
+            IoMode::MAsync,
+            AccessPattern::ModeDriven,
+        ),
+        (
+            "broadcast/M_GLOBAL",
+            IoMode::MGlobal,
+            AccessPattern::ModeDriven,
+        ),
         (
             "strided 256KB",
             IoMode::MAsync,
             AccessPattern::Strided { stride: 256 * 1024 },
         ),
         ("random", IoMode::MAsync, AccessPattern::Random),
-        ("re-read x2", IoMode::MAsync, AccessPattern::Reread { passes: 2 }),
+        (
+            "re-read x2",
+            IoMode::MAsync,
+            AccessPattern::Reread { passes: 2 },
+        ),
     ];
 
     let mut table = Table::new(
@@ -55,8 +67,7 @@ fn main() {
         if matches!(access, AccessPattern::Strided { .. }) {
             // The extension predictor: lock onto the stride instead of
             // assuming a sequential stream.
-            pf_cfg.prefetch.as_mut().unwrap().predictor =
-                paragon_core::PredictorKind::Strided;
+            pf_cfg.prefetch.as_mut().unwrap().predictor = paragon_core::PredictorKind::Strided;
         }
         let pf = run_logged(&format!("{name} pf"), &pf_cfg);
         assert_eq!(no_pf.verify_failures, 0, "data corruption in {name}");

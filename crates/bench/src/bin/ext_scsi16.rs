@@ -36,7 +36,10 @@ fn main() {
         ],
     );
     for sz in REQUEST_SIZES {
-        let old = run_logged(&format!("scsi8 {}KB", kb(sz)), &ExperimentConfig::paper_iobound(sz, 4));
+        let old = run_logged(
+            &format!("scsi8 {}KB", kb(sz)),
+            &ExperimentConfig::paper_iobound(sz, 4),
+        );
         let mut cfg16 = ExperimentConfig::paper_iobound(sz, 4);
         cfg16.calib = Calibration::paragon_scsi16();
         let new = run_logged(&format!("scsi16 {}KB", kb(sz)), &cfg16);
@@ -48,7 +51,10 @@ fn main() {
             format!("{:.3}", new.read_time_mean().as_secs_f64()),
         ]);
         record.point(
-            &[("experiment", "ceiling"), ("request_kb", &kb(sz).to_string())],
+            &[
+                ("experiment", "ceiling"),
+                ("request_kb", &kb(sz).to_string()),
+            ],
             &[
                 ("bw_scsi8_mb_s", old.bandwidth_mb_s()),
                 ("bw_scsi16_mb_s", new.bandwidth_mb_s()),
@@ -62,19 +68,18 @@ fn main() {
     // --- the crossover moves left: Figure 5's 1024 KB case -------------
     let mut t2 = Table::new(
         "1024 KB balanced requests (Figure 5's 'no gain' regime) on SCSI-16",
-        &[
-            "Delay (s)",
-            "no prefetch (MB/s)",
-            "prefetch (MB/s)",
-            "Gain",
-        ],
+        &["Delay (s)", "no prefetch (MB/s)", "prefetch (MB/s)", "Gain"],
     );
     for delay_ms in [0u64, 25, 50, 100] {
-        let mut base = ExperimentConfig::paper_balanced(1024 * 1024, SimDuration::from_millis(delay_ms));
+        let mut base =
+            ExperimentConfig::paper_balanced(1024 * 1024, SimDuration::from_millis(delay_ms));
         base.calib = Calibration::paragon_scsi16();
         base.file_size = 64 << 20;
         let no_pf = run_logged(&format!("16 d={delay_ms} no-pf"), &base);
-        let pf = run_logged(&format!("16 d={delay_ms} pf"), &base.clone().with_prefetch());
+        let pf = run_logged(
+            &format!("16 d={delay_ms} pf"),
+            &base.clone().with_prefetch(),
+        );
         let gain = pf.bandwidth_mb_s() / no_pf.bandwidth_mb_s();
         t2.row(&[
             format!("{:.3}", delay_ms as f64 / 1000.0),
@@ -83,7 +88,10 @@ fn main() {
             format!("{gain:.2}x"),
         ]);
         record.point(
-            &[("experiment", "fig5_on_scsi16"), ("delay_ms", &delay_ms.to_string())],
+            &[
+                ("experiment", "fig5_on_scsi16"),
+                ("delay_ms", &delay_ms.to_string()),
+            ],
             &[
                 ("bw_no_prefetch_mb_s", no_pf.bandwidth_mb_s()),
                 ("bw_prefetch_mb_s", pf.bandwidth_mb_s()),

@@ -80,7 +80,9 @@ fn main() {
         "EXT-WRITES",
         "Write-behind vs synchronous writes, balanced M_RECORD write workload",
     );
-    record.config("compute_nodes", NODES).config("file_mb", FILE >> 20);
+    record
+        .config("compute_nodes", NODES)
+        .config("file_mb", FILE >> 20);
 
     for request in [64 * 1024u32, 512 * 1024] {
         let mut table = Table::new(

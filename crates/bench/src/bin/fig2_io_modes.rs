@@ -68,8 +68,7 @@ fn main() {
         values.push(("bw_separate_files".to_owned(), r.bandwidth_mb_s()));
 
         table.row(&row);
-        let value_refs: Vec<(&str, f64)> =
-            values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let value_refs: Vec<(&str, f64)> = values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         record.point(&[("request_kb", &kb(sz).to_string())], &value_refs);
     }
 

@@ -1,13 +1,17 @@
 //! Argument parsing and execution for the `paragonctl` binary, kept in
 //! the library so the parsing rules are unit-testable.
 
-
 use paragon_core::{PredictorKind, PrefetchConfig};
 use paragon_machine::Calibration;
 use paragon_metrics::ExperimentRecord;
 use paragon_pfs::IoMode;
-use paragon_sim::SimDuration;
-use paragon_workload::{run, AccessPattern, ExperimentConfig, RunResult, StripeLayout};
+use paragon_sim::{
+    export_json, hash_events, parse_json, render_track_summary, SimDuration, TraceEvent,
+};
+use paragon_workload::{
+    read_spans, run, AccessPattern, ExperimentConfig, RunResult, SpanBreakdown, SpanKind,
+    StripeLayout,
+};
 
 use std::process::ExitCode;
 
@@ -17,6 +21,17 @@ paragonctl — drive the simulated Paragon PFS
 
 USAGE:
     paragonctl run [OPTIONS]
+    paragonctl trace capture [OPTIONS] --out FILE
+    paragonctl trace summarize FILE
+    paragonctl trace diff FILE1 FILE2
+
+TRACE:
+    capture    run an experiment with the flight recorder armed and
+               write the recording as JSON (same OPTIONS as `run`;
+               --trace caps the recording, default 1M events)
+    summarize  per-track activity and the Table-2-style access-time
+               decomposition reconstructed from a trace file
+    diff       compare two trace files; exits nonzero on divergence
 
 OPTIONS:
     --mode <m_unix|m_log|m_sync|m_record|m_global|m_async>   [m_record]
@@ -96,9 +111,7 @@ pub(crate) fn parse_pattern(s: &str) -> Result<AccessPattern, String> {
         return Ok(AccessPattern::Random);
     }
     if let Some(stride) = s.strip_prefix("strided:") {
-        let stride = stride
-            .parse()
-            .map_err(|_| format!("bad stride in {s}"))?;
+        let stride = stride.parse().map_err(|_| format!("bad stride in {s}"))?;
         return Ok(AccessPattern::Strided { stride });
     }
     if let Some(passes) = s.strip_prefix("reread:") {
@@ -212,15 +225,150 @@ fn report_json(cfg: &ExperimentConfig, results: &[(&str, RunResult)]) {
     println!("{}", rec.to_json());
 }
 
+/// Summarize parsed trace events: header, per-track table, and the
+/// span-reconstructed access-time decomposition.
+pub(crate) fn summarize_events(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} events, hash {:#018x}\n\n",
+        events.len(),
+        hash_events(events)
+    ));
+    out.push_str(&render_track_summary(events));
+    let spans = read_spans(events);
+    let demand: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind != SpanKind::Prefetch)
+        .cloned()
+        .collect();
+    let prefetch: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Prefetch)
+        .cloned()
+        .collect();
+    if !demand.is_empty() {
+        out.push_str(&format!("\ndemand reads ({} spans)\n", demand.len()));
+        out.push_str(&SpanBreakdown::of(&demand).render());
+    }
+    if !prefetch.is_empty() {
+        out.push_str(&format!(
+            "\nprefetch transfers ({} spans)\n",
+            prefetch.len()
+        ));
+        out.push_str(&SpanBreakdown::of(&prefetch).render());
+    }
+    out
+}
+
+fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `paragonctl trace …`: capture, summarize, or diff trace files.
+fn trace_cmd(argv: Vec<String>) -> ExitCode {
+    let fail = |e: String| {
+        eprintln!("error: {e}\n\n{USAGE}");
+        ExitCode::FAILURE
+    };
+    match argv.first().map(String::as_str) {
+        Some("capture") => {
+            let mut args = Args(argv[1..].to_vec());
+            let out_path = match args.value("--out") {
+                Ok(v) => v,
+                Err(e) => return fail(e),
+            };
+            let mut cfg = match build_config(&mut args) {
+                Ok(c) => c,
+                Err(e) => return fail(e),
+            };
+            if !args.0.is_empty() {
+                return fail(format!("unrecognized arguments {:?}", args.0));
+            }
+            if cfg.trace_cap == 0 {
+                cfg.trace_cap = 1 << 20;
+            }
+            let r = run(&cfg);
+            let json = export_json(&r.trace);
+            match &out_path {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &json) {
+                        return fail(format!("writing {path}: {e}"));
+                    }
+                    println!(
+                        "wrote {} events to {path} (hash {:#018x})",
+                        r.trace.len(),
+                        hash_events(&r.trace)
+                    );
+                }
+                None => print!("{json}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Some("summarize") => {
+            let Some(path) = argv.get(1) else {
+                return fail("trace summarize needs a FILE".into());
+            };
+            match load_trace(path) {
+                Ok(events) => {
+                    print!("{}", summarize_events(&events));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        Some("diff") => {
+            let (Some(pa), Some(pb)) = (argv.get(1), argv.get(2)) else {
+                return fail("trace diff needs FILE1 FILE2".into());
+            };
+            let (a, b) = match (load_trace(pa), load_trace(pb)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return fail(e),
+            };
+            if hash_events(&a) == hash_events(&b) {
+                println!(
+                    "traces identical ({} events, hash {:#018x})",
+                    a.len(),
+                    hash_events(&a)
+                );
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "traces differ: {pa} has {} events (hash {:#018x}), {pb} has {} (hash {:#018x})",
+                a.len(),
+                hash_events(&a),
+                b.len(),
+                hash_events(&b)
+            );
+            if let Some(i) = (0..a.len().min(b.len())).find(|&i| a[i] != b[i]) {
+                println!("first divergence at event {i}:");
+                println!("  {pa}: {:>14}  {}", format!("{}", a[i].time), a[i]);
+                println!("  {pb}: {:>14}  {}", format!("{}", b[i].time), b[i]);
+            } else {
+                println!(
+                    "one trace is a prefix of the other (common prefix {} events)",
+                    a.len().min(b.len())
+                );
+            }
+            ExitCode::FAILURE
+        }
+        _ => fail("trace needs a subcommand: capture | summarize | diff".into()),
+    }
+}
+
 /// Entry point: parse `argv` (without the program name), run, report.
 pub fn main_impl(argv: Vec<String>) -> ExitCode {
-    if argv.first().map(String::as_str) != Some("run") {
-        eprint!("{USAGE}");
-        return if argv.first().map(String::as_str) == Some("--help") {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
+    match argv.first().map(String::as_str) {
+        Some("run") => {}
+        Some("trace") => return trace_cmd(argv[1..].to_vec()),
+        other => {
+            eprint!("{USAGE}");
+            return if other == Some("--help") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
     }
     let mut args = Args(argv[1..].to_vec());
     let json = args.flag("--json");
@@ -250,7 +398,11 @@ pub fn main_impl(argv: Vec<String>) -> ExitCode {
         results.push(("prefetch", run(&on)));
     } else {
         results.push((
-            if cfg.prefetch.is_some() { "prefetch" } else { "no-prefetch" },
+            if cfg.prefetch.is_some() {
+                "prefetch"
+            } else {
+                "no-prefetch"
+            },
             run(&cfg),
         ));
     }
@@ -263,7 +415,7 @@ pub fn main_impl(argv: Vec<String>) -> ExitCode {
             if !r.trace.is_empty() {
                 println!("-- trace ({} events) --", r.trace.len());
                 for e in &r.trace {
-                    println!("{:>14}  {}", format!("{}", e.time), e.label);
+                    println!("{:>14}  {e}", format!("{}", e.time));
                 }
             }
         }
@@ -362,5 +514,66 @@ mod tests {
         let cfg = build_config(&mut args("--strided-predictor")).unwrap();
         let pc = cfg.prefetch.unwrap();
         assert_eq!(pc.predictor, paragon_core::PredictorKind::Strided);
+    }
+
+    #[test]
+    fn summarize_reconstructs_spans_from_a_parsed_trace() {
+        use paragon_sim::{ev, EventKind, SimTime, Track};
+        let mk = |t_us: u64, body: paragon_sim::EventBody| TraceEvent {
+            time: SimTime::from_nanos(t_us * 1000),
+            track: body.track,
+            kind: body.kind,
+            req: body.req,
+            a: body.a,
+            b: body.b,
+        };
+        let events = vec![
+            mk(0, ev(Track::Cn(0), EventKind::ReadStart, 1, 0, 4096)),
+            mk(10, ev(Track::Node(0), EventKind::NetTx, 1, 64, 2)),
+            mk(20, ev(Track::Node(2), EventKind::NetRx, 1, 64, 0)),
+            mk(30, ev(Track::Disk(0), EventKind::DiskStart, 1, 0, 4096)),
+            mk(70, ev(Track::Disk(0), EventKind::DiskDone, 1, 0, 4096)),
+            mk(100, ev(Track::Cn(0), EventKind::ReadDone, 1, 0, 4096)),
+        ];
+        // Round-trip through the trace-file format first.
+        let parsed = parse_json(&export_json(&events)).unwrap();
+        assert_eq!(parsed, events);
+        let text = summarize_events(&parsed);
+        assert!(text.contains("6 events"));
+        assert!(text.contains("demand reads (1 spans)"));
+        assert!(text.contains("end-to-end"));
+        assert!(text.contains("disk0"));
+    }
+
+    #[test]
+    fn trace_diff_exit_codes() {
+        use paragon_sim::{EventKind, SimTime, Track};
+        let mk = |t_us: u64, req: u64| TraceEvent {
+            time: SimTime::from_nanos(t_us * 1000),
+            track: Track::Cn(0),
+            kind: EventKind::Mark,
+            req,
+            a: 0,
+            b: 0,
+        };
+        let dir = std::env::temp_dir();
+        let pa = dir.join("paragonctl-test-a.json");
+        let pb = dir.join("paragonctl-test-b.json");
+        let pc = dir.join("paragonctl-test-c.json");
+        std::fs::write(&pa, export_json(&[mk(1, 1), mk(2, 2)])).unwrap();
+        std::fs::write(&pb, export_json(&[mk(1, 1), mk(2, 2)])).unwrap();
+        std::fs::write(&pc, export_json(&[mk(1, 1), mk(2, 3)])).unwrap();
+        let s = |p: &std::path::Path| p.to_str().unwrap().to_string();
+        assert_eq!(
+            main_impl(vec!["trace".into(), "diff".into(), s(&pa), s(&pb)]),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            main_impl(vec!["trace".into(), "diff".into(), s(&pa), s(&pc)]),
+            ExitCode::FAILURE
+        );
+        for p in [pa, pb, pc] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

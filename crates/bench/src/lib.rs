@@ -31,13 +31,7 @@ use paragon_metrics::ExperimentRecord;
 use paragon_workload::{ExperimentConfig, RunResult};
 
 /// Request sizes the paper sweeps (bytes).
-pub const REQUEST_SIZES: [u32; 5] = [
-    64 * 1024,
-    128 * 1024,
-    256 * 1024,
-    512 * 1024,
-    1024 * 1024,
-];
+pub const REQUEST_SIZES: [u32; 5] = [64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
 
 /// KB pretty-printer for row labels.
 pub fn kb(bytes: u32) -> u64 {

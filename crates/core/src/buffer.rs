@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use bytes::Bytes;
 use paragon_os::AsyncHandle;
 use paragon_pfs::PfsError;
+use paragon_sim::ReqId;
 
 /// One prefetch buffer: the anticipated request and its asynchronous read.
 pub struct PrefetchEntry {
@@ -19,6 +20,8 @@ pub struct PrefetchEntry {
     pub offset: u64,
     /// Anticipated request length.
     pub len: u32,
+    /// Flight-recorder request id minted at issue (`0` in tests).
+    pub req: ReqId,
     /// The asynchronous read filling this buffer.
     pub handle: AsyncHandle<Result<Bytes, PfsError>>,
 }
@@ -130,6 +133,7 @@ mod tests {
         PrefetchEntry {
             offset,
             len,
+            req: 0,
             handle: h.try_take().unwrap(),
         }
     }
@@ -197,6 +201,60 @@ mod tests {
         let evicted = list.insert(entry(&sim, &pool, 100, 500));
         assert_eq!(evicted.len(), 1); // the small one goes
         assert_eq!(list.len(), 1); // the big one stays, alone
+    }
+
+    #[test]
+    fn byte_budget_evictions_come_oldest_first() {
+        let (sim, pool) = fixture();
+        let mut list = PrefetchList::with_byte_cap(16, 100);
+        for (i, len) in [40u32, 30, 20].into_iter().enumerate() {
+            assert!(list
+                .insert(entry(&sim, &pool, i as u64 * 1000, len))
+                .is_empty());
+        }
+        // 90 pinned; adding 55 makes 145. Eviction must walk the FIFO
+        // from the oldest end: the 40 at offset 0 (145 → 105, still
+        // over), then the 30 at offset 1000 (105 → 75, under budget) —
+        // and must stop there.
+        let evicted = list.insert(entry(&sim, &pool, 9000, 55));
+        let order: Vec<u64> = evicted.iter().map(|e| e.offset).collect();
+        assert_eq!(order, vec![0, 1000]);
+        assert_eq!(list.pinned_bytes(), 75);
+        assert!(list.covers(2000, 20), "newest survivors stay");
+        assert!(list.covers(9000, 55));
+    }
+
+    #[test]
+    fn entry_cap_and_byte_cap_each_bind_when_tighter() {
+        let (sim, pool) = fixture();
+        // Byte budget is loose: the 2-entry cap binds.
+        let mut list = PrefetchList::with_byte_cap(2, 1_000_000);
+        list.insert(entry(&sim, &pool, 0, 10));
+        list.insert(entry(&sim, &pool, 10, 10));
+        let evicted = list.insert(entry(&sim, &pool, 20, 10));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(list.pinned_bytes(), 20);
+        // Entry cap is loose: the byte budget binds, and one insert can
+        // evict more entries than the count cap alone ever would.
+        let mut list = PrefetchList::with_byte_cap(100, 25);
+        list.insert(entry(&sim, &pool, 0, 10));
+        list.insert(entry(&sim, &pool, 10, 10));
+        let evicted = list.insert(entry(&sim, &pool, 20, 20));
+        assert_eq!(evicted.len(), 2, "byte cap evicted past the entry slack");
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.pinned_bytes(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_entry_capacity_is_rejected() {
+        PrefetchList::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero byte budget")]
+    fn zero_byte_budget_is_rejected() {
+        PrefetchList::with_byte_cap(4, 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use paragon_pfs::{PfsError, PfsFile};
-use paragon_sim::{Sim, SimDuration};
+use paragon_sim::{ev, EventKind, Sim, SimDuration, Track};
 
 use crate::buffer::{PrefetchEntry, PrefetchList};
 use crate::predictor::{for_mode, Predictor};
@@ -153,23 +153,25 @@ impl PrefetchingFile {
 
     async fn read_common(&self, offset: u64, len: u32) -> Result<Bytes, PfsError> {
         let matched = self.list.borrow_mut().take_match(offset, len);
-        let rank = self.file.rank();
+        let cn = Track::Cn(self.file.rank());
         let data = match matched {
             Some(entry) => {
                 let ready = entry.is_ready();
-                self.sim.trace(|| {
-                    format!(
-                        "cn{rank}.prefetch {} off={offset}",
-                        if ready { "hit-ready" } else { "hit-inflight" }
-                    )
-                });
+                let kind = if ready {
+                    EventKind::PrefetchHitReady
+                } else {
+                    EventKind::PrefetchHitInflight
+                };
+                let ereq = entry.req;
+                self.sim.emit(|| ev(cn, kind, ereq, offset, len as u64));
                 self.consume_hit(entry, offset, len).await?
             }
             None => {
+                let req = self.sim.mint_req();
                 self.sim
-                    .trace(|| format!("cn{rank}.prefetch miss off={offset}"));
+                    .emit(|| ev(cn, EventKind::PrefetchMiss, req, offset, len as u64));
                 self.stats.borrow_mut().misses += 1;
-                self.file.transfer_read(offset, len).await?
+                self.file.transfer_read_tagged(offset, len, req).await?
             }
         };
         self.predictor.borrow_mut().observe(offset, len);
@@ -199,8 +201,7 @@ impl PrefetchingFile {
         }
         let result = entry.handle.join().await;
         if !ready {
-            self.stats.borrow_mut().inflight_wait +=
-                self.sim.now().saturating_since(arrived_at);
+            self.stats.borrow_mut().inflight_wait += self.sim.now().saturating_since(arrived_at);
         }
         match result {
             Ok(data) => {
@@ -209,6 +210,16 @@ impl PrefetchingFile {
                     .sleep(SimDuration::for_bytes(len as u64, self.cfg.copy_bw))
                     .await;
                 self.stats.borrow_mut().bytes_copied += len as u64;
+                let ereq = entry.req;
+                self.sim.emit(|| {
+                    ev(
+                        Track::Cn(self.file.rank()),
+                        EventKind::Copy,
+                        ereq,
+                        offset,
+                        len as u64,
+                    )
+                });
                 Ok(data.slice(0..len as usize))
             }
             Err(_) => {
@@ -237,14 +248,17 @@ impl PrefetchingFile {
                 self.stats.borrow_mut().suppressed += 1;
                 continue;
             }
-            let rank = self.file.rank();
+            let cn = Track::Cn(self.file.rank());
+            let req = self.sim.mint_req();
             self.sim
-                .trace(|| format!("cn{rank}.prefetch issue off={target} len={len}"));
+                .emit(|| ev(cn, EventKind::PrefetchIssue, req, target, len as u64));
             let file = self.file.clone();
             let handle = self
                 .file
                 .art_pool()
-                .submit(async move { file.transfer_read(target, len).await })
+                .submit_tagged(req, cn, async move {
+                    file.transfer_read_tagged(target, len, req).await
+                })
                 .await;
             let mut st = self.stats.borrow_mut();
             st.issued += 1;
@@ -252,8 +266,13 @@ impl PrefetchingFile {
             let evicted = self.list.borrow_mut().insert(PrefetchEntry {
                 offset: target,
                 len,
+                req,
                 handle,
             });
+            for e in &evicted {
+                self.sim
+                    .emit(|| ev(cn, EventKind::PrefetchEvict, e.req, e.offset, e.len as u64));
+            }
             self.stats.borrow_mut().wasted += evicted.len() as u64;
         }
     }
@@ -263,9 +282,21 @@ impl PrefetchingFile {
     pub async fn close(&self) -> PrefetchStats {
         if !self.closed.replace(true) {
             let leftovers = self.list.borrow_mut().drain();
-            self.stats.borrow_mut().wasted += leftovers.len() as u64;
-            // In-flight leftovers keep running on their ARTs (the OS does
-            // not cancel posted requests); their data is simply dropped.
+            let cn = Track::Cn(self.file.rank());
+            let mut cancelled = 0u64;
+            for e in &leftovers {
+                if !e.is_ready() {
+                    // Still in flight: the OS does not cancel posted ART
+                    // requests — the transfer keeps running and its data
+                    // is dropped — but record the abandonment.
+                    cancelled += 1;
+                    self.sim
+                        .emit(|| ev(cn, EventKind::PrefetchCancel, e.req, e.offset, e.len as u64));
+                }
+            }
+            let mut st = self.stats.borrow_mut();
+            st.cancelled += cancelled;
+            st.wasted += leftovers.len() as u64;
         }
         self.stats()
     }
@@ -289,7 +320,10 @@ mod tests {
         T: 'static,
     {
         let sim = Sim::new(11);
-        let machine = Rc::new(Machine::new(&sim, MachineConfig::tiny_instant(nprocs.max(1), 2)));
+        let machine = Rc::new(Machine::new(
+            &sim,
+            MachineConfig::tiny_instant(nprocs.max(1), 2),
+        ));
         let pfs = ParallelFs::new(machine);
         let p2 = pfs.clone();
         let h = sim.spawn(async move {
@@ -433,23 +467,59 @@ mod tests {
 
     #[test]
     fn close_frees_buffers_and_counts_waste() {
-        let stats = with_file(
-            IoMode::MAsync,
-            1,
-            0,
-            PrefetchConfig::with_depth(4),
-            |pf| {
-                Box::pin(async move {
-                    // Two reads lock the stride detector; the second read
-                    // then pipelines four prefetches that nobody consumes.
-                    pf.read(64 * 1024).await.unwrap();
-                    pf.read(64 * 1024).await.unwrap();
-                    pf.close().await
-                })
-            },
-        );
+        let stats = with_file(IoMode::MAsync, 1, 0, PrefetchConfig::with_depth(4), |pf| {
+            Box::pin(async move {
+                // Two reads lock the stride detector; the second read
+                // then pipelines four prefetches that nobody consumes.
+                pf.read(64 * 1024).await.unwrap();
+                pf.read(64 * 1024).await.unwrap();
+                pf.close().await
+            })
+        });
         assert_eq!(stats.issued, 4);
         assert_eq!(stats.wasted, 4); // none consumed
+        assert!(
+            stats.cancelled <= stats.wasted,
+            "cancelled is the in-flight subset of wasted"
+        );
+    }
+
+    #[test]
+    fn close_cancels_prefetches_still_in_flight() {
+        // On a machine with real 1995 disk latency, the four prefetches
+        // pipelined by the second read are still on the wire when close
+        // runs: every one must be counted cancelled (and wasted).
+        let sim = Sim::new(11);
+        let machine = Rc::new(Machine::new(
+            &sim,
+            MachineConfig {
+                compute_nodes: 1,
+                io_nodes: 2,
+                calib: paragon_machine::Calibration::paragon_1995(),
+            },
+        ));
+        let pfs = ParallelFs::new(machine);
+        let h = sim.spawn(async move {
+            let id = pfs
+                .create("/pfs/t", StripeAttrs::across(2, 16 * KB))
+                .await
+                .unwrap();
+            pfs.populate_with(id, 1024 * KB, |i| pattern_byte(13, i))
+                .await
+                .unwrap();
+            let f = pfs
+                .open(0, 1, id, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            let pf = PrefetchingFile::new(f, PrefetchConfig::with_depth(4));
+            pf.read(64 * 1024).await.unwrap();
+            pf.read(64 * 1024).await.unwrap();
+            pf.close().await
+        });
+        sim.run();
+        let stats = h.try_take().expect("body did not complete");
+        assert_eq!(stats.issued, 4);
+        assert_eq!(stats.wasted, 4);
+        assert_eq!(stats.cancelled, 4, "all were abandoned mid-flight");
     }
 
     #[test]

@@ -49,8 +49,6 @@ mod writeback;
 
 pub use buffer::{PrefetchEntry, PrefetchList};
 pub use engine::{PredictorKind, PrefetchConfig, PrefetchingFile};
-pub use predictor::{
-    for_mode, Predictor, RecordPredictor, SequentialPredictor, StridedPredictor,
-};
+pub use predictor::{for_mode, Predictor, RecordPredictor, SequentialPredictor, StridedPredictor};
 pub use stats::PrefetchStats;
 pub use writeback::{WriteBehindConfig, WriteBehindFile, WriteBehindStats};

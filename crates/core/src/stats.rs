@@ -24,6 +24,10 @@ pub struct PrefetchStats {
     pub misses: u64,
     /// Prefetched buffers evicted or discarded unused.
     pub wasted: u64,
+    /// Prefetches abandoned while still in flight at close (a subset of
+    /// `wasted`): the transfer keeps running on its ART, the data is
+    /// dropped on arrival.
+    pub cancelled: u64,
     /// Bytes copied prefetch buffer → user buffer (the extra copy Fast
     /// Path would have avoided).
     pub bytes_copied: u64,
@@ -74,6 +78,7 @@ impl PrefetchStats {
         self.hits_inflight += other.hits_inflight;
         self.misses += other.misses;
         self.wasted += other.wasted;
+        self.cancelled += other.cancelled;
         self.bytes_copied += other.bytes_copied;
         self.overlap_saved += other.overlap_saved;
         self.inflight_wait += other.inflight_wait;
@@ -107,6 +112,7 @@ mod tests {
             hits_inflight: 4,
             misses: 5,
             wasted: 6,
+            cancelled: 1,
             bytes_copied: 7,
             overlap_saved: SimDuration::from_millis(8),
             inflight_wait: SimDuration::from_millis(9),

@@ -142,8 +142,7 @@ impl WriteBehindFile {
             let stall_from = self.sim.now();
             self.stats.borrow_mut().stalls += 1;
             oldest.wait().await;
-            self.stats.borrow_mut().stall_time +=
-                self.sim.now().saturating_since(stall_from);
+            self.stats.borrow_mut().stall_time += self.sim.now().saturating_since(stall_from);
         }
         let file = self.file.clone();
         let handle = self

@@ -8,8 +8,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use paragon_sim::sync::{channel, oneshot, OneshotSender, Receiver, Sender};
-use paragon_sim::{Sim, SimDuration};
-use rand::Rng;
+use paragon_sim::{ev, EventKind, ReqId, Rng, Sim, SimDuration, Track};
 
 use crate::params::{DiskParams, SchedPolicy};
 use crate::store::BlockStore;
@@ -40,6 +39,7 @@ impl DiskOp {
 
 struct DiskRequest {
     op: DiskOp,
+    req: ReqId,
     reply: OneshotSender<Bytes>,
 }
 
@@ -72,6 +72,8 @@ pub struct Disk {
     stats: Rc<RefCell<DiskStats>>,
     /// Service-time multiplier (failure injection: hot spots, degraded mode).
     slowdown: Rc<Cell<f64>>,
+    /// Flight-recorder lane for this spindle's DiskStart/DiskDone events.
+    track: Rc<Cell<Track>>,
 }
 
 impl Disk {
@@ -83,26 +85,40 @@ impl Disk {
         let (tx, rx) = channel::<DiskRequest>();
         let stats = Rc::new(RefCell::new(DiskStats::default()));
         let slowdown = Rc::new(Cell::new(1.0));
+        let track = Rc::new(Cell::new(Track::Sys));
         let disk = Disk {
             tx,
             stats: stats.clone(),
             slowdown: slowdown.clone(),
+            track: track.clone(),
         };
         let rng = sim.rng(&format!("disk.{label}"));
         let sim2 = sim.clone();
         sim.spawn_named(
             "disk-server",
-            server_loop(sim2, rx, params, policy, stats, slowdown, rng),
+            server_loop(sim2, rx, params, policy, stats, slowdown, rng, track),
         );
         disk
     }
 
+    /// Assign the flight-recorder lane this spindle's events appear on
+    /// (the machine wires a globally unique `Track::Disk` index).
+    pub fn set_track(&self, track: Track) {
+        self.track.set(track);
+    }
+
     /// Read `len` bytes at `offset`; resolves when the media transfer ends.
     pub async fn read(&self, offset: u64, len: u32) -> Bytes {
+        self.read_req(offset, len, 0).await
+    }
+
+    /// [`Disk::read`] under flight-recorder request context `req`.
+    pub async fn read_req(&self, offset: u64, len: u32, req: ReqId) -> Bytes {
         let (otx, orx) = oneshot();
         self.tx
             .send(DiskRequest {
                 op: DiskOp::Read { offset, len },
+                req,
                 reply: otx,
             })
             .ok()
@@ -112,10 +128,16 @@ impl Disk {
 
     /// Write `data` at `offset`; resolves when the media transfer ends.
     pub async fn write(&self, offset: u64, data: Bytes) {
+        self.write_req(offset, data, 0).await
+    }
+
+    /// [`Disk::write`] under flight-recorder request context `req`.
+    pub async fn write_req(&self, offset: u64, data: Bytes, req: ReqId) {
         let (otx, orx) = oneshot();
         self.tx
             .send(DiskRequest {
                 op: DiskOp::Write { offset, data },
+                req,
                 reply: otx,
             })
             .ok()
@@ -144,7 +166,8 @@ async fn server_loop(
     policy: SchedPolicy,
     stats: Rc<RefCell<DiskStats>>,
     slowdown: Rc<Cell<f64>>,
-    mut rng: rand::rngs::StdRng,
+    mut rng: Rng,
+    track: Rc<Cell<Track>>,
 ) {
     let mut store = BlockStore::new();
     // Head position: byte offset just past the last serviced request.
@@ -209,7 +232,9 @@ async fn server_loop(
         let len = req.op.len();
         let service = service_time(&params, &mut segments, head, offset, len, &mut rng, &stats);
         let service = scale(service, slowdown.get());
+        sim.emit(|| ev(track.get(), EventKind::DiskStart, req.req, offset, len));
         sim.sleep(service).await;
+        sim.emit(|| ev(track.get(), EventKind::DiskDone, req.req, offset, len));
         head = offset + len;
 
         {
@@ -290,7 +315,7 @@ fn service_time(
     head: u64,
     offset: u64,
     len: u64,
-    rng: &mut rand::rngs::StdRng,
+    rng: &mut Rng,
     stats: &Rc<RefCell<DiskStats>>,
 ) -> SimDuration {
     // A request adjacent (either direction) to any tracked stream is
@@ -317,11 +342,11 @@ fn service_time(
     params.controller_overhead + positioning + params.transfer_time(len)
 }
 
-fn jitter(base: SimDuration, rel: f64, rng: &mut rand::rngs::StdRng) -> SimDuration {
+fn jitter(base: SimDuration, rel: f64, rng: &mut Rng) -> SimDuration {
     if rel == 0.0 || base.is_zero() {
         return base;
     }
-    let f = 1.0 + rng.gen_range(-rel..rel);
+    let f = 1.0 + rng.range_f64(-rel..rel);
     SimDuration::from_nanos((base.as_nanos() as f64 * f).round() as u64)
 }
 
@@ -368,21 +393,13 @@ mod tests {
         sim.run();
         drop(h);
         // 500 KB at 1 MB/s = 0.5 s.
-        assert_eq!(
-            disk.stats().busy,
-            SimDuration::from_millis(500)
-        );
+        assert_eq!(disk.stats().busy, SimDuration::from_millis(500));
     }
 
     #[test]
     fn fifo_services_in_arrival_order() {
         let sim = Sim::new(1);
-        let disk = Disk::new(
-            &sim,
-            DiskParams::ideal(1e6),
-            SchedPolicy::Fifo,
-            "fifo",
-        );
+        let disk = Disk::new(&sim, DiskParams::ideal(1e6), SchedPolicy::Fifo, "fifo");
         let order: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         // Enqueue far-apart offsets in a scrambled order; FIFO must keep it.
         for off in [900_000u64, 100_000, 500_000] {
@@ -400,12 +417,7 @@ mod tests {
     #[test]
     fn elevator_services_in_scan_order() {
         let sim = Sim::new(1);
-        let disk = Disk::new(
-            &sim,
-            DiskParams::ideal(1e6),
-            SchedPolicy::Elevator,
-            "elev",
-        );
+        let disk = Disk::new(&sim, DiskParams::ideal(1e6), SchedPolicy::Elevator, "elev");
         let order: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         let d0 = disk.clone();
         let o0 = order.clone();
@@ -502,7 +514,10 @@ mod tests {
         let report = sim.run();
         drop(h);
         // 100 KB at 1 MB/s = 0.1 s, tripled = 0.3 s.
-        assert_eq!(report.end_time, SimTime::ZERO + SimDuration::from_millis(300));
+        assert_eq!(
+            report.end_time,
+            SimTime::ZERO + SimDuration::from_millis(300)
+        );
     }
 
     #[test]

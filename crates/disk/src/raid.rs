@@ -7,7 +7,7 @@
 //! finishes. Sustained logical bandwidth ≈ N × member media rate.
 
 use bytes::{Bytes, BytesMut};
-use paragon_sim::Sim;
+use paragon_sim::{ReqId, Sim, Track};
 
 use crate::disk::{Disk, DiskStats};
 use crate::params::{DiskParams, SchedPolicy};
@@ -106,6 +106,15 @@ impl RaidArray {
         self.members.len()
     }
 
+    /// Put member `m` on flight-recorder lane `Track::Disk(base + m)` —
+    /// the machine passes a per-array base so every spindle in the world
+    /// gets a unique lane.
+    pub fn set_tracks(&self, base: u16) {
+        for (m, disk) in self.members.iter().enumerate() {
+            disk.set_track(Track::Disk(base + m as u16));
+        }
+    }
+
     /// Group split pieces into member-contiguous runs — the controller
     /// issues one device command per run, like a real array (otherwise a
     /// request spanning several rows would pay per-unit command overhead).
@@ -140,6 +149,11 @@ impl RaidArray {
 
     /// Read a logical extent; completes when every member run completes.
     pub async fn read(&self, offset: u64, len: u32) -> Bytes {
+        self.read_req(offset, len, 0).await
+    }
+
+    /// [`RaidArray::read`] under flight-recorder request context `req`.
+    pub async fn read_req(&self, offset: u64, len: u32, req: ReqId) -> Bytes {
         let runs = self.runs(offset, len as u64);
         let mut handles = Vec::with_capacity(runs.len());
         for (member, start, pieces) in runs {
@@ -149,7 +163,7 @@ impl RaidArray {
                 start,
                 pieces,
                 self.sim
-                    .spawn(async move { disk.read(start, rlen as u32).await }),
+                    .spawn(async move { disk.read_req(start, rlen as u32, req).await }),
             ));
         }
         let mut out = BytesMut::zeroed(len as usize);
@@ -175,8 +189,7 @@ impl RaidArray {
             for p in &pieces {
                 let dst = (p.offset - start) as usize;
                 let src = p.logical_offset as usize;
-                buf[dst..dst + p.len as usize]
-                    .copy_from_slice(&data[src..src + p.len as usize]);
+                buf[dst..dst + p.len as usize].copy_from_slice(&data[src..src + p.len as usize]);
             }
             handles.push(
                 self.sim

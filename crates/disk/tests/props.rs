@@ -1,12 +1,20 @@
-//! Property tests: the disk and RAID layers preserve data under
-//! arbitrary concurrent operation mixes, and the RAID stripe map is a
-//! bijection.
+//! Randomized tests: the disk and RAID layers preserve data under
+//! arbitrary operation mixes, and the RAID stripe map is a bijection.
+//! Cases come from the in-repo [`Rng`]; `heavy-tests` multiplies the
+//! count.
 
 use bytes::Bytes;
-use proptest::prelude::*;
 
 use paragon_disk::{Disk, DiskParams, RaidArray, SchedPolicy, StripeMap};
-use paragon_sim::Sim;
+use paragon_sim::{Rng, Sim};
+
+fn cases(light: usize, heavy: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        light
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Op {
@@ -15,32 +23,35 @@ struct Op {
     fill: u8,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        (0u64..300_000, 1usize..50_000, 0u8..=255).prop_map(|(offset, len, fill)| Op {
-            offset,
-            len,
-            fill,
-        }),
-        1..10,
-    )
+fn ops(rng: &mut Rng) -> Vec<Op> {
+    (0..rng.range_usize(1..10))
+        .map(|_| Op {
+            offset: rng.range_u64(0..300_000),
+            len: rng.range_usize(1..50_000),
+            fill: rng.next_u32() as u8,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Sequential write script then read-back equals a flat model, on a
-    /// raw disk under both scheduling policies.
-    #[test]
-    fn disk_preserves_data(script in ops(), elevator in any::<bool>()) {
+/// Sequential write script then read-back equals a flat model, on a
+/// raw disk under both scheduling policies.
+#[test]
+fn disk_preserves_data() {
+    let mut rng = Rng::seed_from_u64(0xd15c);
+    for _ in 0..cases(48, 384) {
+        let script = ops(&mut rng);
+        let elevator = rng.gen_bool(0.5);
         let sim = Sim::new(5);
-        let policy = if elevator { SchedPolicy::Elevator } else { SchedPolicy::Fifo };
+        let policy = if elevator {
+            SchedPolicy::Elevator
+        } else {
+            SchedPolicy::Fifo
+        };
         let disk = Disk::new(&sim, DiskParams::scsi_1995(), policy, "prop");
         let d = disk.clone();
-        let script2 = script.clone();
         let h = sim.spawn(async move {
             let mut model: Vec<u8> = Vec::new();
-            for op in &script2 {
+            for op in &script {
                 let end = op.offset as usize + op.len;
                 if model.len() < end {
                     model.resize(end, 0);
@@ -52,26 +63,32 @@ proptest! {
             back[..] == model[..]
         });
         sim.run();
-        prop_assert_eq!(h.try_take(), Some(true));
+        assert_eq!(h.try_take(), Some(true));
     }
+}
 
-    /// Same, through a RAID array (which splits every request over
-    /// members and reassembles).
-    #[test]
-    fn raid_preserves_data(
-        script in ops(),
-        width in 1usize..6,
-        interleave in 1u64..40_000,
-    ) {
+/// Same, through a RAID array (which splits every request over
+/// members and reassembles).
+#[test]
+fn raid_preserves_data() {
+    let mut rng = Rng::seed_from_u64(0x4a1d);
+    for _ in 0..cases(48, 384) {
+        let script = ops(&mut rng);
+        let width = rng.range_usize(1..6);
+        let interleave = rng.range_u64(1..40_000);
         let sim = Sim::new(6);
         let raid = RaidArray::new(
-            &sim, DiskParams::ideal(1e9), SchedPolicy::Fifo, width, interleave, "prop",
+            &sim,
+            DiskParams::ideal(1e9),
+            SchedPolicy::Fifo,
+            width,
+            interleave,
+            "prop",
         );
         let r = raid.clone();
-        let script2 = script.clone();
         let h = sim.spawn(async move {
             let mut model: Vec<u8> = Vec::new();
-            for op in &script2 {
+            for op in &script {
                 let end = op.offset as usize + op.len;
                 if model.len() < end {
                     model.resize(end, 0);
@@ -83,32 +100,37 @@ proptest! {
             back[..] == model[..]
         });
         sim.run();
-        prop_assert_eq!(h.try_take(), Some(true));
+        assert_eq!(h.try_take(), Some(true));
     }
+}
 
-    /// The stripe map is a bijection: split pieces tile the extent, map
-    /// to disjoint member ranges, and invert through `to_logical`.
-    #[test]
-    fn stripe_map_bijection(
-        interleave in 1u64..100_000,
-        width in 1usize..9,
-        offset in 0u64..1 << 30,
-        len in 1u64..1 << 20,
-    ) {
+/// The stripe map is a bijection: split pieces tile the extent, map
+/// to disjoint member ranges, and invert through `to_logical`.
+#[test]
+fn stripe_map_bijection() {
+    let mut rng = Rng::seed_from_u64(0xb17e);
+    for _ in 0..cases(256, 4096) {
+        let interleave = rng.range_u64(1..100_000);
+        let width = rng.range_usize(1..9);
+        let offset = rng.range_u64(0..1 << 30);
+        let len = rng.range_u64(1..1 << 20);
         let map = StripeMap::new(interleave, width);
         let pieces = map.split(offset, len);
         let mut pos = 0u64;
         for p in &pieces {
-            prop_assert_eq!(p.logical_offset, pos);
+            assert_eq!(p.logical_offset, pos);
             pos += p.len;
-            prop_assert!(p.member < width);
+            assert!(p.member < width);
             // First and last byte of the piece invert correctly.
-            prop_assert_eq!(map.to_logical(p.member, p.offset), offset + p.logical_offset);
-            prop_assert_eq!(
+            assert_eq!(
+                map.to_logical(p.member, p.offset),
+                offset + p.logical_offset
+            );
+            assert_eq!(
                 map.to_logical(p.member, p.offset + p.len - 1),
                 offset + p.logical_offset + p.len - 1
             );
         }
-        prop_assert_eq!(pos, len);
+        assert_eq!(pos, len);
     }
 }

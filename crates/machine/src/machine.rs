@@ -84,6 +84,9 @@ impl Machine {
                 config.calib.raid_interleave,
                 &format!("ion{i}"),
             );
+            // Give every spindle a flight-recorder lane of its own:
+            // I/O node i owns disks [i*members, (i+1)*members).
+            raid.set_tracks((i * config.calib.raid_members) as u16);
             ufs.push(Ufs::new(sim, raid.clone(), config.calib.ufs_params()));
             raids.push(raid);
         }
@@ -129,7 +132,10 @@ impl Machine {
 
     /// Mesh id of I/O node `index`.
     pub fn io_node(&self, index: usize) -> NodeId {
-        assert!(index < self.config.io_nodes, "I/O node {index} out of range");
+        assert!(
+            index < self.config.io_nodes,
+            "I/O node {index} out of range"
+        );
         NodeId(self.config.compute_nodes + index)
     }
 

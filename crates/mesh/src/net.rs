@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use paragon_sim::sync::{channel, Receiver, Semaphore, Sender};
-use paragon_sim::{Sim, SimDuration};
+use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, Track};
 
 use crate::topology::{NodeId, Topology};
 
@@ -144,6 +144,21 @@ impl<M: 'static> Mesh<M> {
     /// send overhead and wire time — *not* when the message is delivered;
     /// delivery completes asynchronously after the propagation delay.
     pub async fn send(&self, src: NodeId, dst: NodeId, wire_bytes: u64, payload: M) {
+        self.send_tagged(src, dst, wire_bytes, payload, 0).await
+    }
+
+    /// [`Mesh::send`] with a trace context: `req` stamps the `NetTx`
+    /// (source NIC occupied) and `NetRx` (delivered) flight-recorder
+    /// events, so one request's mesh crossings can be picked out of the
+    /// stream. `0` records untagged events.
+    pub async fn send_tagged(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: u64,
+        payload: M,
+        req: ReqId,
+    ) {
         let occupancy = if src == dst {
             self.params.local_overhead
         } else {
@@ -158,17 +173,35 @@ impl<M: 'static> Mesh<M> {
                 inner.stats.bytes += wire_bytes;
                 inner.stats.max_nic_queue = inner.stats.max_nic_queue.max(sem.queue_len());
             }
+            self.sim.emit(|| {
+                ev(
+                    Track::Node(src.0 as u16),
+                    EventKind::NetTx,
+                    req,
+                    wire_bytes,
+                    dst.0 as u64,
+                )
+            });
             self.sim.sleep(occupancy).await;
             drop(guard);
         }
         let propagation = if src == dst {
             SimDuration::ZERO
         } else {
-            self.params.hop_latency * self.topo.hops(src, dst) as u64
-                + self.params.recv_overhead
+            self.params.hop_latency * self.topo.hops(src, dst) as u64 + self.params.recv_overhead
         };
         let inner = self.inner.clone();
+        let sim2 = self.sim.clone();
         let deliver = move || {
+            sim2.emit(|| {
+                ev(
+                    Track::Node(dst.0 as u16),
+                    EventKind::NetRx,
+                    req,
+                    wire_bytes,
+                    src.0 as u64,
+                )
+            });
             let inner = inner.borrow();
             let mailbox = inner
                 .mailboxes

@@ -1,41 +1,53 @@
-//! Property tests for the mesh: XY routing geometry and per-pair FIFO
-//! delivery under arbitrary traffic.
-
-use proptest::prelude::*;
+//! Randomized tests for the mesh: XY routing geometry and per-pair FIFO
+//! delivery under arbitrary traffic. Cases come from the in-repo [`Rng`];
+//! `heavy-tests` multiplies the count.
 
 use paragon_mesh::{Mesh, MeshParams, NodeId, Topology};
-use paragon_sim::Sim;
+use paragon_sim::{Rng, Sim};
 
-proptest! {
-    /// Hop count is the Manhattan distance, symmetric, and triangle-
-    /// inequality-consistent; the XY route has exactly hops+1 nodes.
-    #[test]
-    fn routing_geometry(
-        cols in 1usize..12,
-        rows in 1usize..12,
-        a in 0usize..144,
-        b in 0usize..144,
-        c in 0usize..144,
-    ) {
+fn cases(light: usize, heavy: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        light
+    }
+}
+
+/// Hop count is the Manhattan distance, symmetric, and triangle-
+/// inequality-consistent; the XY route has exactly hops+1 nodes.
+#[test]
+fn routing_geometry() {
+    let mut rng = Rng::seed_from_u64(0x4e57);
+    for _ in 0..cases(256, 4096) {
+        let cols = rng.range_usize(1..12);
+        let rows = rng.range_usize(1..12);
         let t = Topology::new(cols, rows);
         let n = t.nodes();
-        let (a, b, c) = (NodeId(a % n), NodeId(b % n), NodeId(c % n));
-        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
-        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        let a = NodeId(rng.range_usize(0..144) % n);
+        let b = NodeId(rng.range_usize(0..144) % n);
+        let c = NodeId(rng.range_usize(0..144) % n);
+        assert_eq!(t.hops(a, b), t.hops(b, a));
+        assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
         let route = t.route(a, b);
-        prop_assert_eq!(route.len(), t.hops(a, b) + 1);
-        prop_assert_eq!(route[0], a);
-        prop_assert_eq!(*route.last().unwrap(), b);
+        assert_eq!(route.len(), t.hops(a, b) + 1);
+        assert_eq!(route[0], a);
+        assert_eq!(*route.last().unwrap(), b);
         // Each step moves exactly one hop.
         for w in route.windows(2) {
-            prop_assert_eq!(t.hops(w[0], w[1]), 1);
+            assert_eq!(t.hops(w[0], w[1]), 1);
         }
     }
+}
 
-    /// Messages between one (src, dst) pair always arrive in send order,
-    /// whatever their sizes.
-    #[test]
-    fn per_pair_fifo(sizes in prop::collection::vec(0u64..100_000, 1..30)) {
+/// Messages between one (src, dst) pair always arrive in send order,
+/// whatever their sizes.
+#[test]
+fn per_pair_fifo() {
+    let mut rng = Rng::seed_from_u64(0xf1f0);
+    for _ in 0..cases(32, 256) {
+        let sizes: Vec<u64> = (0..rng.range_usize(1..30))
+            .map(|_| rng.range_u64(0..100_000))
+            .collect();
         let sim = Sim::new(9);
         let mesh: Mesh<u64> = Mesh::new(&sim, Topology::new(4, 4), MeshParams::paragon());
         let mut rx = mesh.bind(NodeId(5));
@@ -55,6 +67,6 @@ proptest! {
         });
         sim.run();
         let got = h.try_take().unwrap();
-        prop_assert_eq!(got, (0..n as u64).collect::<Vec<_>>());
+        assert_eq!(got, (0..n as u64).collect::<Vec<_>>());
     }
 }

@@ -114,9 +114,7 @@ impl AsciiChart {
         for (si, s) in self.series.iter().enumerate() {
             out.push_str(&format!(
                 "{:>11} {} = {}\n",
-                "",
-                GLYPHS[si] as char,
-                s.label
+                "", GLYPHS[si] as char, s.label
             ));
         }
         out

@@ -7,10 +7,12 @@
 
 mod chart;
 mod hist;
+pub mod json;
 mod record;
 mod table;
 
 pub use chart::{AsciiChart, Series};
 pub use hist::Histogram;
+pub use json::Json;
 pub use record::{summary, DataPoint, ExperimentRecord};
 pub use table::Table;

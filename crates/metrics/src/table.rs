@@ -29,7 +29,8 @@ impl Table {
             "row width does not match table {:?}",
             self.title
         );
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

@@ -16,7 +16,7 @@ use std::future::Future;
 use std::rc::Rc;
 
 use paragon_sim::sync::{Semaphore, Signal};
-use paragon_sim::{Sim, SimDuration, SimTime};
+use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, SimTime, Track};
 
 /// ART timing and concurrency configuration.
 #[derive(Debug, Clone)]
@@ -96,15 +96,30 @@ impl ArtPool {
         T: 'static,
         F: Future<Output = T> + 'static,
     {
+        self.submit_tagged(0, Track::Sys, op).await
+    }
+
+    /// [`ArtPool::submit`] with a trace context: `req` and `track` stamp
+    /// the ArtSubmit (queued on the active list), ArtStart (an ART began
+    /// posting it) and ArtDone flight-recorder events.
+    pub async fn submit_tagged<T, F>(&self, req: ReqId, track: Track, op: F) -> AsyncHandle<T>
+    where
+        T: 'static,
+        F: Future<Output = T> + 'static,
+    {
         self.sim.sleep(self.cfg.setup).await;
         let handle = AsyncHandle::new(self.sim.now());
+        let queue_pos;
         {
             let mut st = self.stats.borrow_mut();
             st.submitted += 1;
             let now_active = self.active.get() + 1;
+            queue_pos = now_active;
             self.active.set(now_active);
             st.max_active = st.max_active.max(now_active);
         }
+        self.sim
+            .emit(|| ev(track, EventKind::ArtSubmit, req, queue_pos as u64, 0));
         let pool = self.clone();
         let h = handle.clone();
         self.sim.spawn_named("art", async move {
@@ -112,12 +127,14 @@ impl ArtPool {
             // semaphore grants in arrival order.
             let _g = pool.gate.acquire().await;
             h.started.set(Some(pool.sim.now()));
+            pool.sim.emit(|| ev(track, EventKind::ArtStart, req, 0, 0));
             pool.sim.sleep(pool.cfg.dispatch).await;
             let value = op.await;
             *h.slot.borrow_mut() = Some(value);
             h.completed.set(Some(pool.sim.now()));
             pool.active.set(pool.active.get() - 1);
             pool.stats.borrow_mut().completed += 1;
+            pool.sim.emit(|| ev(track, EventKind::ArtDone, req, 0, 0));
             h.done.set();
         });
         handle

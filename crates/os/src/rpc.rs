@@ -19,28 +19,28 @@ use std::rc::Rc;
 
 use paragon_mesh::{Mesh, MeshParams, NodeId, Topology};
 use paragon_sim::sync::{oneshot, OneshotSender};
-use paragon_sim::Sim;
+use paragon_sim::{ReqId, Sim};
 
 /// Types that know their size on the wire. Headers are added by the RPC
 /// layer; implementations report payload bytes only.
 pub trait WireSize {
     /// Serialized payload size in bytes.
     fn wire_bytes(&self) -> u64;
+
+    /// Flight-recorder request id this message belongs to (`0` =
+    /// untagged). The RPC layer stamps it on the mesh's NetTx/NetRx
+    /// events; a reply inherits the tag of the call it answers.
+    fn trace_req(&self) -> ReqId {
+        0
+    }
 }
 
 /// Fixed per-message header cost (routing, request ids, lengths).
 pub const RPC_HEADER_BYTES: u64 = 64;
 
 enum RpcWire<Req, Resp> {
-    Call {
-        id: u64,
-        reply_to: NodeId,
-        req: Req,
-    },
-    Reply {
-        id: u64,
-        resp: Resp,
-    },
+    Call { id: u64, reply_to: NodeId, req: Req },
+    Reply { id: u64, resp: Resp },
 }
 
 /// Counters for one RPC network.
@@ -129,6 +129,10 @@ where
             while let Some(env) = rx.recv().await {
                 match env.payload {
                     RpcWire::Call { id, reply_to, req } => {
+                        // The reply rides under the request's trace tag —
+                        // capture it before the request moves into the
+                        // handler.
+                        let tag = req.trace_req();
                         let fut = handler(env.src, req);
                         let net2 = net.clone();
                         net.sim.spawn_named("rpc-handler", async move {
@@ -136,7 +140,13 @@ where
                             net2.stats.borrow_mut().replies += 1;
                             let bytes = resp.wire_bytes() + RPC_HEADER_BYTES;
                             net2.mesh
-                                .send(node, reply_to, bytes, RpcWire::Reply { id, resp })
+                                .send_tagged(
+                                    node,
+                                    reply_to,
+                                    bytes,
+                                    RpcWire::Reply { id, resp },
+                                    tag,
+                                )
                                 .await;
                         });
                     }
@@ -188,9 +198,10 @@ where
         self.pending.borrow_mut().insert(id, tx);
         self.net.stats.borrow_mut().calls += 1;
         let bytes = req.wire_bytes() + RPC_HEADER_BYTES;
+        let tag = req.trace_req();
         self.net
             .mesh
-            .send(
+            .send_tagged(
                 self.node,
                 dst,
                 bytes,
@@ -199,6 +210,7 @@ where
                     reply_to: self.node,
                     req,
                 },
+                tag,
             )
             .await;
         rx.await.expect("rpc fabric dropped a pending reply")
@@ -299,8 +311,12 @@ mod tests {
     fn two_servers_one_client() {
         let sim = Sim::new(1);
         let net = net(&sim, MeshParams::instant());
-        net.serve(NodeId(1), |_s, Ping(x)| Box::pin(async move { Pong(x + 1, Vec::new()) }));
-        net.serve(NodeId(2), |_s, Ping(x)| Box::pin(async move { Pong(x + 2, Vec::new()) }));
+        net.serve(NodeId(1), |_s, Ping(x)| {
+            Box::pin(async move { Pong(x + 1, Vec::new()) })
+        });
+        net.serve(NodeId(2), |_s, Ping(x)| {
+            Box::pin(async move { Pong(x + 2, Vec::new()) })
+        });
         let client = net.client(NodeId(0));
         let h = sim.spawn(async move {
             let a = client.call(NodeId(1), Ping(0)).await.0;

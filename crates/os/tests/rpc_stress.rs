@@ -45,12 +45,20 @@ fn all_pairs_heavy_traffic() {
             let client = client.clone();
             let dst = NodeId(4 + ((c as u64 + k) % 4) as usize);
             let x = c as u64 * 100 + k;
-            handles.push((x, c, sim.spawn(async move { client.call(dst, Req(x)).await.0 })));
+            handles.push((
+                x,
+                c,
+                sim.spawn(async move { client.call(dst, Req(x)).await.0 }),
+            ));
         }
     }
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
     for (x, c, h) in handles {
-        assert_eq!(h.try_take(), Some(x * 1000 + c as u64), "call {x} misrouted");
+        assert_eq!(
+            h.try_take(),
+            Some(x * 1000 + c as u64),
+            "call {x} misrouted"
+        );
     }
     let st = net.stats();
     assert_eq!(st.calls, 128);

@@ -15,7 +15,7 @@ use std::rc::Rc;
 use bytes::{Bytes, BytesMut};
 use paragon_mesh::NodeId;
 use paragon_os::{ArtPool, AsyncHandle, RpcClient};
-use paragon_sim::{Sim, SimDuration};
+use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, Track};
 
 use crate::meta::FileMeta;
 use crate::modes::IoMode;
@@ -234,7 +234,9 @@ impl PfsFile {
         self.syscall().await;
         match self.mode {
             IoMode::MUnix => {
-                let at = self.ptr(PtrRequest::UnixAcquire { file: self.meta.id }).await;
+                let at = self
+                    .ptr(PtrRequest::UnixAcquire { file: self.meta.id })
+                    .await;
                 // Atomicity: the token is held across the transfer.
                 let result = self.transfer_read(at, len).await;
                 self.ptr(PtrRequest::UnixRelease {
@@ -299,7 +301,9 @@ impl PfsFile {
                 let this = self.clone();
                 self.arts
                     .submit(async move {
-                        let at = this.ptr(PtrRequest::UnixAcquire { file: this.meta.id }).await;
+                        let at = this
+                            .ptr(PtrRequest::UnixAcquire { file: this.meta.id })
+                            .await;
                         let result = this.transfer_read(at, len).await;
                         this.ptr(PtrRequest::UnixRelease {
                             file: this.meta.id,
@@ -347,7 +351,20 @@ impl PfsFile {
     /// the raw striped transfer. This is what a prefetch issues ("the file
     /// pointer is not changed in the process of prefetching").
     pub async fn transfer_read(&self, offset: u64, len: u32) -> Result<Bytes, PfsError> {
-        self.transfer_read_global(offset, len, 0).await
+        let req = self.sim.mint_req();
+        self.transfer_read_inner(offset, len, 0, req).await
+    }
+
+    /// [`PfsFile::transfer_read`] under a caller-minted flight-recorder
+    /// request id (the prefetch engine mints one id per issue so the
+    /// prefetch's whole lifetime shares one correlation key).
+    pub async fn transfer_read_tagged(
+        &self,
+        offset: u64,
+        len: u32,
+        req: ReqId,
+    ) -> Result<Bytes, PfsError> {
+        self.transfer_read_inner(offset, len, 0, req).await
     }
 
     async fn transfer_read_global(
@@ -356,10 +373,22 @@ impl PfsFile {
         len: u32,
         global_parties: u16,
     ) -> Result<Bytes, PfsError> {
+        let req = self.sim.mint_req();
+        self.transfer_read_inner(offset, len, global_parties, req)
+            .await
+    }
+
+    async fn transfer_read_inner(
+        &self,
+        offset: u64,
+        len: u32,
+        global_parties: u16,
+        req: ReqId,
+    ) -> Result<Bytes, PfsError> {
         assert!(len > 0, "zero-length read");
-        let rank = self.rank;
+        let cn = Track::Cn(self.rank);
         self.sim
-            .trace(|| format!("cn{rank}.read start off={offset} len={len}"));
+            .emit(|| ev(cn, EventKind::ReadStart, req, offset, len as u64));
         let plan = self.meta.attrs.plan(offset, len as u64);
         let shared = self.nprocs > 1;
         let mut handles = Vec::with_capacity(plan.len());
@@ -367,7 +396,8 @@ impl PfsFile {
             let (ion, _) = self.meta.slot(sreq.slot as u16)?;
             let dst = self.io_node_ids[ion];
             let rpc = self.rpc.clone();
-            let req = PfsRequest::Read {
+            let msg = PfsRequest::Read {
+                req,
                 file: self.meta.id,
                 slot: sreq.slot as u16,
                 offset: sreq.slot_offset,
@@ -379,7 +409,7 @@ impl PfsFile {
             handles.push((
                 sreq,
                 self.sim
-                    .spawn_named("pfs-read-leg", async move { rpc.call(dst, req).await }),
+                    .spawn_named("pfs-read-leg", async move { rpc.call(dst, msg).await }),
             ));
         }
         let mut out = BytesMut::zeroed(len as usize);
@@ -403,7 +433,9 @@ impl PfsFile {
         st.bytes_read += len as u64;
         drop(st);
         self.sim
-            .trace(|| format!("cn{rank}.read done off={offset} len={len}"));
+            .emit(|| ev(cn, EventKind::Copy, req, offset, len as u64));
+        self.sim
+            .emit(|| ev(cn, EventKind::ReadDone, req, offset, len as u64));
         Ok(out.freeze())
     }
 
@@ -419,7 +451,9 @@ impl PfsFile {
         let len = data.len() as u64;
         match self.mode {
             IoMode::MUnix => {
-                let at = self.ptr(PtrRequest::UnixAcquire { file: self.meta.id }).await;
+                let at = self
+                    .ptr(PtrRequest::UnixAcquire { file: self.meta.id })
+                    .await;
                 let result = self.transfer_write(at, data).await;
                 self.ptr(PtrRequest::UnixRelease {
                     file: self.meta.id,
@@ -470,6 +504,11 @@ impl PfsFile {
     /// Raw striped write, no syscall charge.
     pub async fn transfer_write(&self, offset: u64, data: Bytes) -> Result<(), PfsError> {
         assert!(!data.is_empty(), "zero-length write");
+        let req = self.sim.mint_req();
+        let cn = Track::Cn(self.rank);
+        let wlen = data.len() as u64;
+        self.sim
+            .emit(|| ev(cn, EventKind::WriteStart, req, offset, wlen));
         let plan = self.meta.attrs.plan(offset, data.len() as u64);
         let shared = self.nprocs > 1;
         let mut handles = Vec::with_capacity(plan.len());
@@ -485,7 +524,8 @@ impl PfsFile {
                     .copy_from_slice(&data[src_at..src_at + p.len as usize]);
             }
             let rpc = self.rpc.clone();
-            let req = PfsRequest::Write {
+            let msg = PfsRequest::Write {
+                req,
                 file: self.meta.id,
                 slot: sreq.slot as u16,
                 offset: sreq.slot_offset,
@@ -495,7 +535,7 @@ impl PfsFile {
             };
             handles.push(
                 self.sim
-                    .spawn_named("pfs-write-leg", async move { rpc.call(dst, req).await }),
+                    .spawn_named("pfs-write-leg", async move { rpc.call(dst, msg).await }),
             );
         }
         for h in handles {
@@ -508,6 +548,9 @@ impl PfsFile {
         let mut st = self.stats.borrow_mut();
         st.writes += 1;
         st.bytes_written += data.len() as u64;
+        drop(st);
+        self.sim
+            .emit(|| ev(cn, EventKind::WriteDone, req, offset, wlen));
         Ok(())
     }
 

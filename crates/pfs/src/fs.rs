@@ -87,7 +87,11 @@ impl ParallelFs {
             })
         });
 
-        let io_node_ids = Rc::new((0..machine.io_nodes()).map(|i| machine.io_node(i)).collect());
+        let io_node_ids = Rc::new(
+            (0..machine.io_nodes())
+                .map(|i| machine.io_node(i))
+                .collect(),
+        );
         Rc::new(ParallelFs {
             sim,
             machine,
@@ -184,9 +188,10 @@ impl ParallelFs {
             }
             let (ion, inode) = meta.slots[slot];
             let ufs = self.machine.ufs(ion).clone();
-            handles.push(self.sim.spawn(async move {
-                ufs.write(inode, 0, buf.freeze()).await
-            }));
+            handles.push(
+                self.sim
+                    .spawn(async move { ufs.write(inode, 0, buf.freeze()).await }),
+            );
         }
         for h in handles {
             h.await.map_err(PfsError::from)?;

@@ -51,7 +51,12 @@ impl Registry {
     }
 
     /// Register a new file and return its id.
-    pub fn insert(&mut self, name: &str, attrs: StripeAttrs, slots: Vec<(usize, InodeId)>) -> PfsFileId {
+    pub fn insert(
+        &mut self,
+        name: &str,
+        attrs: StripeAttrs,
+        slots: Vec<(usize, InodeId)>,
+    ) -> PfsFileId {
         assert_eq!(
             attrs.factor(),
             slots.len(),
@@ -77,10 +82,7 @@ impl Registry {
 
     /// Look a file up by name.
     pub fn lookup(&self, name: &str) -> Option<&FileMeta> {
-        self.files
-            .iter()
-            .flatten()
-            .find(|f| f.name == name)
+        self.files.iter().flatten().find(|f| f.name == name)
     }
 
     /// Remove a file, returning its metadata (for slot-file cleanup).

@@ -142,18 +142,12 @@ mod tests {
             .collect();
         assert_eq!(shared, vec![IoMode::MUnix, IoMode::MLog, IoMode::MSync]);
         // Exactly one atomic, one synchronizing, one same-data mode.
-        assert_eq!(
-            IoMode::all().iter().filter(|m| m.atomic()).count(),
-            1
-        );
+        assert_eq!(IoMode::all().iter().filter(|m| m.atomic()).count(), 1);
         assert_eq!(
             IoMode::all().iter().filter(|m| m.synchronizing()).count(),
             1
         );
-        assert_eq!(
-            IoMode::all().iter().filter(|m| m.same_data()).count(),
-            1
-        );
+        assert_eq!(IoMode::all().iter().filter(|m| m.same_data()).count(), 1);
         // M_RECORD is node-ordered but not shared-pointer.
         assert!(IoMode::MRecord.node_ordered());
         assert!(!IoMode::MRecord.shared_pointer());

@@ -194,8 +194,11 @@ mod tests {
                 s.sleep(SimDuration::from_micros(rank as u64)).await;
                 let at = ps2.handle(PtrRequest::UnixAcquire { file: F }).await;
                 s.sleep(SimDuration::from_millis(10)).await; // "the I/O"
-                ps2.handle(PtrRequest::UnixRelease { file: F, advance: 100 })
-                    .await;
+                ps2.handle(PtrRequest::UnixRelease {
+                    file: F,
+                    advance: 100,
+                })
+                .await;
                 log2.borrow_mut().push((rank, at));
             });
         }
@@ -213,7 +216,9 @@ mod tests {
             let ps2 = ps.clone();
             let o = offsets.clone();
             sim.spawn(async move {
-                let at = ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 64 }).await;
+                let at = ps2
+                    .handle(PtrRequest::LogFetchAdd { file: F, len: 64 })
+                    .await;
                 o.borrow_mut().push(at);
             });
         }
@@ -264,8 +269,12 @@ mod tests {
         let g = PfsFileId(9);
         let ps2 = ps.clone();
         let h = sim.spawn(async move {
-            let a = ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 10 }).await;
-            let b = ps2.handle(PtrRequest::LogFetchAdd { file: g, len: 20 }).await;
+            let a = ps2
+                .handle(PtrRequest::LogFetchAdd { file: F, len: 10 })
+                .await;
+            let b = ps2
+                .handle(PtrRequest::LogFetchAdd { file: g, len: 20 })
+                .await;
             (a, b)
         });
         sim.run();
@@ -280,7 +289,8 @@ mod tests {
         let ps = server(&sim);
         let ps2 = ps.clone();
         sim.spawn(async move {
-            ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 512 }).await;
+            ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 512 })
+                .await;
             ps2.handle(PtrRequest::Rewind { file: F }).await;
         });
         sim.run();
@@ -294,7 +304,8 @@ mod tests {
         let s = sim.clone();
         let ps2 = ps.clone();
         let h = sim.spawn(async move {
-            ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 1 }).await;
+            ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 1 })
+                .await;
             s.now().as_nanos()
         });
         sim.run();

@@ -3,6 +3,7 @@
 
 use bytes::Bytes;
 use paragon_os::WireSize;
+use paragon_sim::ReqId;
 use paragon_ufs::UfsError;
 
 /// Identifier of a PFS file (machine-wide).
@@ -14,6 +15,8 @@ pub struct PfsFileId(pub u32);
 pub enum PfsRequest {
     /// Read a contiguous run of one stripe file.
     Read {
+        /// Flight-recorder request id minted at the client (`0` = none).
+        req: ReqId,
         file: PfsFileId,
         /// Group slot whose stripe file is addressed.
         slot: u16,
@@ -31,6 +34,8 @@ pub enum PfsRequest {
     },
     /// Write a contiguous run of one stripe file.
     Write {
+        /// Flight-recorder request id minted at the client (`0` = none).
+        req: ReqId,
         file: PfsFileId,
         slot: u16,
         offset: u64,
@@ -115,6 +120,13 @@ impl WireSize for PfsRequest {
             PfsRequest::Ptr(_) => 24,
         }
     }
+
+    fn trace_req(&self) -> ReqId {
+        match self {
+            PfsRequest::Read { req, .. } | PfsRequest::Write { req, .. } => *req,
+            PfsRequest::Ptr(_) => 0,
+        }
+    }
 }
 
 impl WireSize for PfsResponse {
@@ -133,6 +145,7 @@ mod tests {
     #[test]
     fn read_requests_are_small_on_the_wire() {
         let req = PfsRequest::Read {
+            req: 0,
             file: PfsFileId(0),
             slot: 0,
             offset: 0,
@@ -155,6 +168,7 @@ mod tests {
     #[test]
     fn write_requests_carry_their_payload() {
         let req = PfsRequest::Write {
+            req: 0,
             file: PfsFileId(1),
             slot: 2,
             offset: 0,

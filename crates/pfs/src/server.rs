@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use paragon_sim::sync::{Semaphore, Signal};
-use paragon_sim::{Sim, SimDuration};
+use paragon_sim::{ev, EventKind, ReqId, Rng, Sim, SimDuration, Track};
 use paragon_ufs::Ufs;
 
 use crate::meta::Registry;
@@ -73,7 +73,7 @@ pub struct IonServer {
     registry: Rc<RefCell<Registry>>,
     global: Rc<RefCell<HashMap<GlobalKey, GlobalEntry>>>,
     stats: Rc<RefCell<ServerStats>>,
-    rng: Rc<RefCell<rand::rngs::StdRng>>,
+    rng: Rc<RefCell<Rng>>,
     /// FIFO server thread pool.
     threads: Semaphore,
 }
@@ -108,9 +108,11 @@ impl IonServer {
     }
 
     /// Service one request. Installed as this node's RPC handler.
-    pub async fn handle(&self, req: PfsRequest) -> PfsResponse {
-        match req {
+    pub async fn handle(&self, request: PfsRequest) -> PfsResponse {
+        let ion = Track::Ion(self.ion_index as u16);
+        match request {
             PfsRequest::Read {
+                req,
                 file,
                 slot,
                 offset,
@@ -119,12 +121,26 @@ impl IonServer {
                 shared,
                 global_parties,
             } => {
+                self.sim
+                    .emit(|| ev(ion, EventKind::ServeStart, req, offset, len as u64));
                 let result = self
-                    .read(file, slot, offset, len, fast_path, shared, global_parties)
+                    .read(
+                        file,
+                        slot,
+                        offset,
+                        len,
+                        fast_path,
+                        shared,
+                        global_parties,
+                        req,
+                    )
                     .await;
+                self.sim
+                    .emit(|| ev(ion, EventKind::ServeDone, req, offset, len as u64));
                 PfsResponse::Data(result)
             }
             PfsRequest::Write {
+                req,
                 file,
                 slot,
                 offset,
@@ -132,7 +148,14 @@ impl IonServer {
                 fast_path,
                 shared,
             } => {
-                let result = self.write(file, slot, offset, data, fast_path, shared).await;
+                let len = data.len() as u64;
+                self.sim
+                    .emit(|| ev(ion, EventKind::ServeStart, req, offset, len));
+                let result = self
+                    .write(file, slot, offset, data, fast_path, shared, req)
+                    .await;
+                self.sim
+                    .emit(|| ev(ion, EventKind::ServeDone, req, offset, len));
                 PfsResponse::WriteAck(result)
             }
             PfsRequest::Ptr(_) => {
@@ -146,14 +169,14 @@ impl IonServer {
         if shared {
             cost += self.params.shared_file_check;
         }
-        if !offset.is_multiple_of(self.params.fs_block) || !len.is_multiple_of(self.params.fs_block) {
+        if !offset.is_multiple_of(self.params.fs_block) || !len.is_multiple_of(self.params.fs_block)
+        {
             cost += self.params.partial_block_penalty;
             self.stats.borrow_mut().partial_block_requests += 1;
         }
         if !cost.is_zero() {
             // ±25 % service-time variability (deterministic per seed).
-            use rand::Rng;
-            let f = 1.0 + self.rng.borrow_mut().gen_range(-0.25..0.25);
+            let f = 1.0 + self.rng.borrow_mut().range_f64(-0.25..0.25);
             cost = SimDuration::from_nanos((cost.as_nanos() as f64 * f).round() as u64);
         }
         self.sim.sleep(cost).await;
@@ -181,20 +204,29 @@ impl IonServer {
         fast_path: bool,
         shared: bool,
         global_parties: u16,
+        req: ReqId,
     ) -> Result<Bytes, PfsError> {
         self.stats.borrow_mut().reads += 1;
         if global_parties > 1 {
             return self
-                .global_read(file, slot, offset, len, fast_path, shared, global_parties)
+                .global_read(
+                    file,
+                    slot,
+                    offset,
+                    len,
+                    fast_path,
+                    shared,
+                    global_parties,
+                    req,
+                )
                 .await;
         }
         // Occupy a server thread for the request's processing + transfer.
         let _thread = self.threads.acquire().await;
-        let ion = self.ion_index;
-        self.sim
-            .trace(|| format!("ion{ion}.serve read slot={slot} off={offset} len={len}"));
         self.charge_overheads(offset, len as u64, shared).await;
-        let data = self.physical_read(file, slot, offset, len, fast_path).await?;
+        let data = self
+            .physical_read(file, slot, offset, len, fast_path, req)
+            .await?;
         self.stats.borrow_mut().bytes_read += len as u64;
         Ok(data)
     }
@@ -211,6 +243,7 @@ impl IonServer {
         fast_path: bool,
         shared: bool,
         parties: u16,
+        req: ReqId,
     ) -> Result<Bytes, PfsError> {
         // Every arrival pays its processing on a thread, but *waiting*
         // for another node's physical read must not hold one (a full
@@ -222,13 +255,8 @@ impl IonServer {
         let key = (file, slot, offset, len);
         let existing = {
             let map = self.global.borrow();
-            map.get(&key).map(|e| {
-                (
-                    e.done.clone(),
-                    e.data.clone(),
-                    e.remaining.clone(),
-                )
-            })
+            map.get(&key)
+                .map(|e| (e.done.clone(), e.data.clone(), e.remaining.clone()))
         };
         match existing {
             Some((done, data, remaining)) => {
@@ -255,7 +283,9 @@ impl IonServer {
                 let remaining = entry.remaining.clone();
                 self.global.borrow_mut().insert(key, entry);
                 let _thread = self.threads.acquire().await;
-                let result = self.physical_read(file, slot, offset, len, fast_path).await;
+                let result = self
+                    .physical_read(file, slot, offset, len, fast_path, req)
+                    .await;
                 *data.borrow_mut() = Some(result.clone());
                 done.set();
                 self.consume_global(key, &remaining);
@@ -282,16 +312,18 @@ impl IonServer {
         offset: u64,
         len: u32,
         fast_path: bool,
+        req: ReqId,
     ) -> Result<Bytes, PfsError> {
         let inode = self.resolve(file, slot)?;
         let data = if fast_path {
-            self.ufs.read_direct(inode, offset, len).await?
+            self.ufs.read_direct_req(inode, offset, len, req).await?
         } else {
-            self.ufs.read_cached(inode, offset, len).await?
+            self.ufs.read_cached_req(inode, offset, len, req).await?
         };
         Ok(data)
     }
 
+    #[allow(clippy::too_many_arguments)]
     async fn write(
         &self,
         file: PfsFileId,
@@ -300,9 +332,11 @@ impl IonServer {
         data: Bytes,
         fast_path: bool,
         shared: bool,
+        _req: ReqId,
     ) -> Result<u32, PfsError> {
         let _thread = self.threads.acquire().await;
-        self.charge_overheads(offset, data.len() as u64, shared).await;
+        self.charge_overheads(offset, data.len() as u64, shared)
+            .await;
         let len = data.len() as u32;
         let inode = self.resolve(file, slot)?;
         if fast_path {
@@ -325,7 +359,14 @@ mod tests {
     use paragon_ufs::UfsParams;
 
     fn setup(sim: &Sim) -> (IonServer, PfsFileId) {
-        let raid = RaidArray::new(sim, DiskParams::ideal(1e8), SchedPolicy::Fifo, 1, 64 * 1024, "s");
+        let raid = RaidArray::new(
+            sim,
+            DiskParams::ideal(1e8),
+            SchedPolicy::Fifo,
+            1,
+            64 * 1024,
+            "s",
+        );
         let mut up = UfsParams::paragon();
         up.metadata_op = SimDuration::ZERO;
         let ufs = Ufs::new(sim, raid, up);
@@ -361,6 +402,7 @@ mod tests {
         let h = sim.spawn(async move {
             let payload = Bytes::from(vec![0x5au8; 128 * 1024]);
             let req = PfsRequest::Write {
+                req: 0,
                 file,
                 slot: 0,
                 offset: 0,
@@ -372,6 +414,7 @@ mod tests {
                 panic!("write failed")
             };
             let req = PfsRequest::Read {
+                req: 0,
                 file,
                 slot: 0,
                 offset: 0,
@@ -399,6 +442,7 @@ mod tests {
         sim.spawn(async move {
             let data = Bytes::from(vec![1u8; 128 * 1024]);
             s2.handle(PfsRequest::Write {
+                req: 0,
                 file,
                 slot: 0,
                 offset: 0,
@@ -409,6 +453,7 @@ mod tests {
             .await;
             // 1000-byte read at offset 13: doubly unaligned.
             s2.handle(PfsRequest::Read {
+                req: 0,
                 file,
                 slot: 0,
                 offset: 13,
@@ -431,6 +476,7 @@ mod tests {
         sim.spawn(async move {
             writer
                 .handle(PfsRequest::Write {
+                    req: 0,
                     file,
                     slot: 0,
                     offset: 0,
@@ -449,6 +495,7 @@ mod tests {
             handles.push(sim.spawn(async move {
                 let PfsResponse::Data(Ok(data)) = s2
                     .handle(PfsRequest::Read {
+                        req: 0,
                         file,
                         slot: 0,
                         offset: 0,
@@ -482,6 +529,7 @@ mod tests {
         let h = sim.spawn(async move {
             let PfsResponse::Data(result) = s2
                 .handle(PfsRequest::Read {
+                    req: 0,
                     file,
                     slot: 0,
                     offset: 0,

@@ -4,13 +4,11 @@
 
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
 use paragon_machine::{Machine, MachineConfig};
 use paragon_pfs::{
     pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, PfsFileId, StripeAttrs,
 };
-use paragon_sim::Sim;
+use paragon_sim::{Rng, Sim};
 
 fn mount(sim: &Sim, cn: usize, ion: usize) -> Rc<ParallelFs> {
     let machine = Rc::new(Machine::new(sim, MachineConfig::tiny_instant(cn, ion)));
@@ -28,22 +26,28 @@ async fn make_file(pfs: &ParallelFs, size: u64, seed: u64) -> PfsFileId {
     id
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// M_RECORD's individual pointers partition the file: over any number
-    /// of rounds, the union of every rank's offsets tiles the prefix
-    /// exactly once.
-    #[test]
-    fn m_record_offsets_partition_the_file(
-        nprocs in 1usize..7,
-        rounds in 1u64..12,
-        len in 1u32..100_000,
-    ) {
+/// M_RECORD's individual pointers partition the file: over any number
+/// of rounds, the union of every rank's offsets tiles the prefix
+/// exactly once.
+#[test]
+fn m_record_offsets_partition_the_file() {
+    let mut rng = Rng::seed_from_u64(0x3ec0);
+    let n_cases = if cfg!(feature = "heavy-tests") {
+        192
+    } else {
+        24
+    };
+    for _ in 0..n_cases {
+        let nprocs = rng.range_usize(1..7);
+        let rounds = rng.range_u64(1..12);
+        let len = rng.range_u64(1..100_000) as u32;
         let sim = Sim::new(1);
         let pfs = mount(&sim, nprocs, 2);
         let h = sim.spawn(async move {
-            let id = pfs.create("/pfs/p", StripeAttrs::across(2, 4096)).await.unwrap();
+            let id = pfs
+                .create("/pfs/p", StripeAttrs::across(2, 4096))
+                .await
+                .unwrap();
             // Size the file so every offset is in range (content unused).
             pfs.populate_with(id, rounds * nprocs as u64 * len as u64, |_| 0)
                 .await
@@ -62,8 +66,10 @@ proptest! {
         sim.run();
         let mut offsets = h.try_take().expect("completed");
         offsets.sort();
-        let expect: Vec<u64> = (0..rounds * nprocs as u64).map(|k| k * len as u64).collect();
-        prop_assert_eq!(offsets, expect);
+        let expect: Vec<u64> = (0..rounds * nprocs as u64)
+            .map(|k| k * len as u64)
+            .collect();
+        assert_eq!(offsets, expect);
     }
 }
 

@@ -14,7 +14,12 @@ fn mount(sim: &Sim, cn: usize, ion: usize) -> Rc<ParallelFs> {
 
 /// Each writer stamps its payload with its rank; read the file back and
 /// return the rank stamp of every 8 KB record in file order.
-async fn stamped_write_run(pfs: Rc<ParallelFs>, mode: IoMode, writers: usize, rounds: u64) -> Vec<u8> {
+async fn stamped_write_run(
+    pfs: Rc<ParallelFs>,
+    mode: IoMode,
+    writers: usize,
+    rounds: u64,
+) -> Vec<u8> {
     const REC: usize = 8 * 1024;
     let id = pfs
         .create("/pfs/w", StripeAttrs::across(2, 4096))
@@ -29,7 +34,9 @@ async fn stamped_write_run(pfs: Rc<ParallelFs>, mode: IoMode, writers: usize, ro
         let sim2 = sim.clone();
         tasks.push(sim.spawn(async move {
             for _ in 0..rounds {
-                f.write(Bytes::from(vec![rank as u8 + 1; REC])).await.unwrap();
+                f.write(Bytes::from(vec![rank as u8 + 1; REC]))
+                    .await
+                    .unwrap();
                 // Stagger so arrival orders vary across modes.
                 sim2.sleep(SimDuration::from_micros(rank as u64 + 1)).await;
             }
@@ -96,19 +103,13 @@ fn m_unix_appends_atomically() {
 fn m_sync_writes_in_node_order_per_round() {
     let stamps = run_mode(IoMode::MSync, 4, 3);
     // Node order within every collective round.
-    assert_eq!(
-        stamps,
-        vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]
-    );
+    assert_eq!(stamps, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
 }
 
 #[test]
 fn m_record_writes_interleave_by_rank() {
     let stamps = run_mode(IoMode::MRecord, 4, 3);
-    assert_eq!(
-        stamps,
-        vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]
-    );
+    assert_eq!(stamps, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
 }
 
 #[test]

@@ -19,13 +19,11 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::kernel::Kernel;
+use crate::rng::Rng;
 use crate::task::{ReadyQueue, TaskId, TaskSlot, TaskWaker};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Trace;
+use crate::trace::{EventBody, ReqId, Trace};
 
 /// Summary of a completed (or exhausted) simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,16 +63,23 @@ impl Sim {
         }
     }
 
-    /// This world's trace buffer. Arm it with [`Trace::arm`] to make
-    /// [`Sim::trace`] calls record; disarmed tracing costs nothing.
+    /// This world's flight recorder. Arm it with [`Trace::arm`] to make
+    /// [`Sim::emit`] calls record; disarmed tracing costs nothing.
     pub fn tracer(&self) -> Trace {
         self.trace.clone()
     }
 
-    /// Record a trace event at the current virtual time; `label` is only
-    /// evaluated when a trace is armed.
-    pub fn trace(&self, label: impl FnOnce() -> String) {
-        self.trace.record(self.now(), label);
+    /// Record a trace event at the current virtual time; `body` is only
+    /// evaluated when the recorder is armed, so a disarmed simulation
+    /// performs no per-event work or allocation.
+    pub fn emit(&self, body: impl FnOnce() -> EventBody) {
+        self.trace.record(self.now(), body);
+    }
+
+    /// Mint a fresh request id for threading one logical operation through
+    /// the trace (client → ART → mesh → server → disk). Monotone from 1.
+    pub fn mint_req(&self) -> ReqId {
+        self.trace.mint_req()
     }
 
     /// Current virtual time.
@@ -89,8 +94,8 @@ impl Sim {
 
     /// A deterministic RNG stream named by `label`. The same `(seed, label)`
     /// always yields the same stream, independent of call order.
-    pub fn rng(&self, label: &str) -> StdRng {
-        StdRng::seed_from_u64(derive_seed(self.seed, label))
+    pub fn rng(&self, label: &str) -> Rng {
+        Rng::seed_from_u64(derive_seed(self.seed, label))
     }
 
     /// Spawn a task. The returned [`JoinHandle`] can be awaited for the
@@ -365,7 +370,10 @@ mod tests {
         });
         let report = sim.run();
         assert!(done.get());
-        assert_eq!(report.end_time, SimTime::ZERO + SimDuration::from_secs(3600));
+        assert_eq!(
+            report.end_time,
+            SimTime::ZERO + SimDuration::from_secs(3600)
+        );
         assert_eq!(report.unfinished_tasks, 0);
     }
 
@@ -400,7 +408,12 @@ mod tests {
         let times: Vec<u64> = log.borrow().iter().map(|&(_, t)| t).collect();
         let mut sorted = times.clone();
         sorted.sort();
-        assert_eq!(times, sorted, "wakeups out of time order: {:?}", log.borrow());
+        assert_eq!(
+            times,
+            sorted,
+            "wakeups out of time order: {:?}",
+            log.borrow()
+        );
     }
 
     #[test]
@@ -435,9 +448,7 @@ mod tests {
     fn timeout_returns_value_when_fast() {
         let sim = Sim::new(1);
         let s = sim.clone();
-        let h = sim.spawn(async move {
-            s.timeout(SimDuration::from_secs(5), async { 9 }).await
-        });
+        let h = sim.spawn(async move { s.timeout(SimDuration::from_secs(5), async { 9 }).await });
         sim.run();
         assert_eq!(h.try_take(), Some(Some(9)));
     }
@@ -450,7 +461,8 @@ mod tests {
                 let s = sim.clone();
                 sim.spawn(async move {
                     for i in 0..4u64 {
-                        s.sleep(SimDuration::from_micros((n + 1) * 7 + i * 13)).await;
+                        s.sleep(SimDuration::from_micros((n + 1) * 7 + i * 13))
+                            .await;
                     }
                 });
             }

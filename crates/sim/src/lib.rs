@@ -31,12 +31,17 @@
 
 mod executor;
 mod kernel;
-mod task;
+mod rng;
 pub mod sync;
+mod task;
 mod time;
 mod trace;
 
 pub use executor::{derive_seed, JoinHandle, RunReport, Sim, Sleep};
+pub use rng::Rng;
 pub use task::TaskId;
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{
+    ev, export_json, hash_events, parse_json, render_track_summary, EventBody, EventKind, ReqId,
+    Trace, TraceEvent, Track,
+};

@@ -32,13 +32,15 @@ pub(crate) struct ReadyQueue {
 
 impl ReadyQueue {
     pub(crate) fn push(&self, id: TaskId) {
-        self.inner.lock().expect("ready queue poisoned").push_back(id);
+        self.inner
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
     }
 
     pub(crate) fn pop(&self) -> Option<TaskId> {
         self.inner.lock().expect("ready queue poisoned").pop_front()
     }
-
 }
 
 /// Waker for one task: pushes the task id back onto the ready queue.

@@ -1,11 +1,20 @@
-//! Property tests for the simulation kernel: determinism, FIFO fairness,
-//! and monotone time under arbitrary task structures.
+//! Randomized tests for the simulation kernel: determinism, FIFO
+//! fairness, and monotone time under arbitrary task structures. Cases
+//! are driven by the in-repo [`Rng`] so the suite is hermetic; the
+//! `heavy-tests` feature multiplies the case count for CI soak.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
-use paragon_sim::{sync::Semaphore, RunReport, Sim, SimDuration};
+use paragon_sim::{ev, sync::Semaphore, EventKind, Rng, RunReport, Sim, SimDuration, Track};
+
+fn cases(light: usize, heavy: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        light
+    }
+}
 
 /// A little random program: `n` tasks, each doing `k` sleeps of pseudo-random
 /// length, contending on one semaphore of capacity `cap`.
@@ -33,33 +42,44 @@ fn run_model(seed: u64, tasks: u8, steps: u8, cap: u8) -> (RunReport, Vec<(u8, u
     (report, l)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Identical (seed, shape) must give identical traces and logs.
-    #[test]
-    fn equal_seed_equal_world(seed in any::<u64>(), tasks in 1u8..8, steps in 1u8..6, cap in 1u8..4) {
+/// Identical (seed, shape) must give identical traces and logs.
+#[test]
+fn equal_seed_equal_world() {
+    let mut rng = Rng::seed_from_u64(0x5eed);
+    for _ in 0..cases(64, 512) {
+        let seed = rng.next_u64();
+        let tasks = rng.range_u64(1..8) as u8;
+        let steps = rng.range_u64(1..6) as u8;
+        let cap = rng.range_u64(1..4) as u8;
         let (ra, la) = run_model(seed, tasks, steps, cap);
         let (rb, lb) = run_model(seed, tasks, steps, cap);
-        prop_assert_eq!(ra, rb);
-        prop_assert_eq!(la, lb);
-        prop_assert_eq!(run_model(seed, tasks, steps, cap).0.unfinished_tasks, 0);
+        assert_eq!(ra, rb);
+        assert_eq!(la, lb);
+        assert_eq!(run_model(seed, tasks, steps, cap).0.unfinished_tasks, 0);
     }
+}
 
-    /// Observed completion times never run backwards.
-    #[test]
-    fn time_is_monotone(seed in any::<u64>(), tasks in 1u8..8, steps in 1u8..6) {
+/// Observed completion times never run backwards.
+#[test]
+fn time_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0x7133);
+    for _ in 0..cases(64, 512) {
+        let seed = rng.next_u64();
+        let tasks = rng.range_u64(1..8) as u8;
+        let steps = rng.range_u64(1..6) as u8;
         let (_r, log) = run_model(seed, tasks, steps, 2);
         let times: Vec<u64> = log.iter().map(|&(_, t)| t).collect();
         let mut sorted = times.clone();
         sorted.sort();
-        prop_assert_eq!(times, sorted);
+        assert_eq!(times, sorted);
     }
+}
 
-    /// With a capacity-1 semaphore and a fixed hold time, holds never overlap:
-    /// consecutive completion times are at least the hold time apart.
-    #[test]
-    fn mutex_holds_never_overlap(tasks in 2u8..8) {
+/// With a capacity-1 semaphore and a fixed hold time, holds never overlap:
+/// consecutive completion times are at least the hold time apart.
+#[test]
+fn mutex_holds_never_overlap() {
+    for tasks in 2u8..8 {
         let sim = Sim::new(0);
         let sem = Semaphore::new(1);
         let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
@@ -77,23 +97,65 @@ proptest! {
         sim.run();
         let log = log.borrow();
         for pair in log.windows(2) {
-            prop_assert!(pair[1] - pair[0] >= 5_000_000);
+            assert!(pair[1] - pair[0] >= 5_000_000);
         }
     }
 }
 
 #[test]
 fn rng_streams_are_stable_across_runs() {
-    use rand::Rng;
     let a: Vec<u32> = {
         let sim = Sim::new(9);
         let mut rng = sim.rng("disk.seek");
-        (0..8).map(|_| rng.gen()).collect()
+        (0..8).map(|_| rng.next_u32()).collect()
     };
     let b: Vec<u32> = {
         let sim = Sim::new(9);
         let mut rng = sim.rng("disk.seek");
-        (0..8).map(|_| rng.gen()).collect()
+        (0..8).map(|_| rng.next_u32()).collect()
     };
     assert_eq!(a, b);
+}
+
+/// Two armed runs of the same seeded program record byte-identical
+/// flight-recorder traces (equal FNV hashes), and a disarmed run of the
+/// same program records nothing yet schedules identically.
+#[test]
+fn same_seed_same_trace_hash() {
+    fn traced_run(seed: u64, arm: bool) -> (u64, usize, u64) {
+        let sim = Sim::new(seed);
+        if arm {
+            sim.tracer().arm(4096);
+        }
+        let mut rng = sim.rng("trace-test");
+        for t in 0..4u16 {
+            let s = sim.clone();
+            let jitter = rng.range_u64(1..50);
+            sim.spawn(async move {
+                for i in 0..3u64 {
+                    let req = s.mint_req();
+                    s.emit(|| ev(Track::Cn(t), EventKind::ReadStart, req, i * 64, 64));
+                    s.sleep(SimDuration::from_micros(jitter + i)).await;
+                    s.emit(|| ev(Track::Cn(t), EventKind::ReadDone, req, i * 64, 64));
+                }
+            });
+        }
+        let total = sim.run().trace_hash;
+        (sim.tracer().hash(), sim.tracer().len(), total)
+    }
+    let (ha, na, ea) = traced_run(77, true);
+    let (hb, nb, eb) = traced_run(77, true);
+    assert_eq!(ha, hb, "same seed must give identical trace hashes");
+    assert_eq!(na, nb);
+    assert_eq!(ea, eb);
+    assert_eq!(na, 24, "4 tasks x 3 reads x start+done");
+    // A different seed reorders the interleaving and changes the hash.
+    let (hc, nc, _) = traced_run(78, true);
+    assert_eq!(nc, na);
+    assert_ne!(ha, hc);
+    // Disarmed: no events, but the virtual schedule is unchanged.
+    let (hd, nd, ed) = traced_run(77, false);
+    assert_eq!(nd, 0);
+    assert_ne!(hd, ha);
+    assert_eq!(ed, ea, "arming must not perturb the simulation");
 }

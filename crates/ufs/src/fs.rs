@@ -19,7 +19,7 @@ use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
 use paragon_disk::RaidArray;
-use paragon_sim::{Sim, SimDuration};
+use paragon_sim::{ReqId, Sim, SimDuration};
 
 use crate::alloc::{ExtentAllocator, NoSpace};
 use crate::cache::{BlockCache, BlockKey, CacheStats};
@@ -277,6 +277,18 @@ impl Ufs {
 
     /// Fast-path read: no cache, disk runs coalesced, zero extra copies.
     pub async fn read_direct(&self, id: InodeId, offset: u64, len: u32) -> Result<Bytes, UfsError> {
+        self.read_direct_req(id, offset, len, 0).await
+    }
+
+    /// [`Ufs::read_direct`] under flight-recorder request context `req`
+    /// (threaded down to the per-spindle DiskStart/DiskDone events).
+    pub async fn read_direct_req(
+        &self,
+        id: InodeId,
+        offset: u64,
+        len: u32,
+        req: ReqId,
+    ) -> Result<Bytes, UfsError> {
         let runs = self.plan_read(id, offset, len)?;
         {
             let mut inner = self.inner.borrow_mut();
@@ -300,7 +312,7 @@ impl Ufs {
             handles.push((
                 (lo - offset) as usize,
                 self.sim
-                    .spawn(async move { raid.read(disk_off, plen).await }),
+                    .spawn(async move { raid.read_req(disk_off, plen, req).await }),
             ));
         }
         let mut out = BytesMut::zeroed(len as usize);
@@ -313,6 +325,17 @@ impl Ufs {
 
     /// Buffered read through the LRU cache; charges a cache→buffer copy.
     pub async fn read_cached(&self, id: InodeId, offset: u64, len: u32) -> Result<Bytes, UfsError> {
+        self.read_cached_req(id, offset, len, 0).await
+    }
+
+    /// [`Ufs::read_cached`] under flight-recorder request context `req`.
+    pub async fn read_cached_req(
+        &self,
+        id: InodeId,
+        offset: u64,
+        len: u32,
+        req: ReqId,
+    ) -> Result<Bytes, UfsError> {
         let bs = self.bs();
         let end = offset + len as u64;
         self.check_bounds(id, offset, len)?;
@@ -356,7 +379,7 @@ impl Ufs {
             for run in runs {
                 let data = self
                     .raid
-                    .read(run.disk_block * bs, (run.len * bs) as u32)
+                    .read_req(run.disk_block * bs, (run.len * bs) as u32, req)
                     .await;
                 for k in 0..run.len {
                     let b = run.file_block + k;
@@ -389,7 +412,12 @@ impl Ufs {
     /// Buffered write: dirty the cache only; data reaches disk on eviction
     /// or [`Ufs::sync`]. Whole-block writes only (the PFS write path always
     /// writes block multiples when buffering is enabled).
-    pub async fn write_cached(&self, id: InodeId, offset: u64, data: Bytes) -> Result<(), UfsError> {
+    pub async fn write_cached(
+        &self,
+        id: InodeId,
+        offset: u64,
+        data: Bytes,
+    ) -> Result<(), UfsError> {
         let bs = self.bs();
         assert!(
             offset.is_multiple_of(bs) && (data.len() as u64).is_multiple_of(bs),
@@ -422,7 +450,10 @@ impl Ufs {
         }
         // Cache write costs one memcpy.
         self.sim
-            .sleep(SimDuration::for_bytes(data.len() as u64, self.params.copy_bw))
+            .sleep(SimDuration::for_bytes(
+                data.len() as u64,
+                self.params.copy_bw,
+            ))
             .await;
         Ok(())
     }
@@ -514,10 +545,7 @@ impl Ufs {
                     }
                     for e in &inode.extents {
                         if e.end() > inner.alloc.capacity() {
-                            problems.push(format!(
-                                "inode {}: extent {e} beyond partition",
-                                id.0
-                            ));
+                            problems.push(format!("inode {}: extent {e} beyond partition", id.0));
                         }
                         for b in e.start..e.end() {
                             if let Some(prev) = owner.insert(b, id) {
@@ -733,9 +761,13 @@ mod tests {
             // Partition is 8192 × 4 KB = 32 MB; write 2 files of 12 MB each,
             // remove one, and the third must fit.
             let a = f2.create("a").await.unwrap();
-            f2.write(a, 0, Bytes::from(vec![1u8; 12 << 20])).await.unwrap();
+            f2.write(a, 0, Bytes::from(vec![1u8; 12 << 20]))
+                .await
+                .unwrap();
             let b = f2.create("b").await.unwrap();
-            f2.write(b, 0, Bytes::from(vec![2u8; 12 << 20])).await.unwrap();
+            f2.write(b, 0, Bytes::from(vec![2u8; 12 << 20]))
+                .await
+                .unwrap();
             f2.remove(a).await.unwrap();
             let c = f2.create("c").await.unwrap();
             f2.write(c, 0, Bytes::from(vec![3u8; 12 << 20])).await

@@ -1,14 +1,22 @@
-//! Property tests for the UFS building blocks: the extent allocator
+//! Randomized tests for the UFS building blocks: the extent allocator
 //! never double-allocates, the cache never exceeds capacity or loses
 //! dirty data, and the file system round-trips arbitrary write/read
-//! scripts byte-for-byte.
+//! scripts byte-for-byte. Cases come from the in-repo [`Rng`];
+//! `heavy-tests` multiplies the count.
 
 use bytes::Bytes;
-use proptest::prelude::*;
 
 use paragon_disk::{DiskParams, RaidArray, SchedPolicy};
-use paragon_sim::Sim;
+use paragon_sim::{Rng, Sim};
 use paragon_ufs::{BlockCache, BlockKey, Extent, ExtentAllocator, InodeId, Ufs, UfsParams};
+
+fn cases(light: usize, heavy: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        light
+    }
+}
 
 // ---------------------------------------------------------------- allocator
 
@@ -18,19 +26,23 @@ enum AllocOp {
     FreeNth(usize),
 }
 
-fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1u64..50).prop_map(AllocOp::Alloc),
-            (0usize..64).prop_map(AllocOp::FreeNth),
-        ],
-        1..80,
-    )
+fn alloc_ops(rng: &mut Rng) -> Vec<AllocOp> {
+    (0..rng.range_usize(1..80))
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                AllocOp::Alloc(rng.range_u64(1..50))
+            } else {
+                AllocOp::FreeNth(rng.range_usize(0..64))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn allocator_never_overlaps_and_conserves(ops in alloc_ops()) {
+#[test]
+fn allocator_never_overlaps_and_conserves() {
+    let mut rng = Rng::seed_from_u64(0xa110);
+    for _ in 0..cases(256, 2048) {
+        let ops = alloc_ops(&mut rng);
         let capacity = 500u64;
         let mut a = ExtentAllocator::new(capacity);
         let mut live: Vec<Extent> = Vec::new();
@@ -38,11 +50,11 @@ proptest! {
             match op {
                 AllocOp::Alloc(n) => {
                     if let Ok(extents) = a.alloc(n) {
-                        prop_assert_eq!(extents.iter().map(|e| e.len).sum::<u64>(), n);
+                        assert_eq!(extents.iter().map(|e| e.len).sum::<u64>(), n);
                         for e in &extents {
-                            prop_assert!(e.end() <= capacity);
+                            assert!(e.end() <= capacity);
                             for other in &live {
-                                prop_assert!(!e.overlaps(other), "{e} overlaps {other}");
+                                assert!(!e.overlaps(other), "{e} overlaps {other}");
                             }
                         }
                         live.extend(extents);
@@ -56,7 +68,7 @@ proptest! {
                 }
             }
             let live_blocks: u64 = live.iter().map(|e| e.len).sum();
-            prop_assert_eq!(a.free_blocks() + live_blocks, capacity);
+            assert_eq!(a.free_blocks() + live_blocks, capacity);
         }
     }
 }
@@ -71,34 +83,44 @@ enum CacheOp {
     TakeDirty,
 }
 
-fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..32).prop_map(CacheOp::Get),
-            (0u64..32).prop_map(CacheOp::InsertClean),
-            (0u64..32).prop_map(CacheOp::InsertDirty),
-            Just(CacheOp::TakeDirty),
-        ],
-        1..120,
-    )
+fn cache_ops(rng: &mut Rng) -> Vec<CacheOp> {
+    (0..rng.range_usize(1..120))
+        .map(|_| match rng.range_u64(0..4) {
+            0 => CacheOp::Get(rng.range_u64(0..32)),
+            1 => CacheOp::InsertClean(rng.range_u64(0..32)),
+            2 => CacheOp::InsertDirty(rng.range_u64(0..32)),
+            _ => CacheOp::TakeDirty,
+        })
+        .collect()
 }
 
-proptest! {
-    /// The cache never exceeds capacity, and every dirty block inserted
-    /// is eventually surfaced (via eviction or take_dirty) exactly once.
-    #[test]
-    fn cache_bounds_and_dirty_conservation(ops in cache_ops(), cap in 1usize..8) {
+/// The cache never exceeds capacity, and every dirty block inserted
+/// is eventually surfaced (via eviction or take_dirty) exactly once.
+#[test]
+fn cache_bounds_and_dirty_conservation() {
+    let mut rng = Rng::seed_from_u64(0xcac4e);
+    for _ in 0..cases(256, 2048) {
+        let ops = cache_ops(&mut rng);
+        let cap = rng.range_usize(1..8);
         let mut c = BlockCache::new(cap);
         let mut dirty_in = 0u64;
         let mut dirty_out = 0u64;
-        let key = |b: u64| BlockKey { inode: InodeId(0), block: b };
+        let key = |b: u64| BlockKey {
+            inode: InodeId(0),
+            block: b,
+        };
         let mut dirty_now: std::collections::HashSet<u64> = Default::default();
         for op in ops {
             match op {
-                CacheOp::Get(b) => { c.get(key(b)); }
+                CacheOp::Get(b) => {
+                    c.get(key(b));
+                }
                 CacheOp::InsertClean(b) => {
                     if let Some(ev) = c.insert_clean(key(b), Bytes::from_static(b"x")) {
-                        if ev.dirty { dirty_out += 1; dirty_now.remove(&ev.key.block); }
+                        if ev.dirty {
+                            dirty_out += 1;
+                            dirty_now.remove(&ev.key.block);
+                        }
                     }
                 }
                 CacheOp::InsertDirty(b) => {
@@ -106,19 +128,24 @@ proptest! {
                         dirty_in += 1;
                     }
                     if let Some(ev) = c.insert_dirty(key(b), Bytes::from_static(b"y")) {
-                        if ev.dirty { dirty_out += 1; dirty_now.remove(&ev.key.block); }
+                        if ev.dirty {
+                            dirty_out += 1;
+                            dirty_now.remove(&ev.key.block);
+                        }
                     }
                 }
                 CacheOp::TakeDirty => {
                     let taken = c.take_dirty();
                     dirty_out += taken.len() as u64;
-                    for (k, _) in taken { dirty_now.remove(&k.block); }
+                    for (k, _) in taken {
+                        dirty_now.remove(&k.block);
+                    }
                 }
             }
-            prop_assert!(c.len() <= cap);
+            assert!(c.len() <= cap);
         }
         dirty_out += c.take_dirty().len() as u64;
-        prop_assert_eq!(dirty_in, dirty_out, "dirty data lost or duplicated");
+        assert_eq!(dirty_in, dirty_out, "dirty data lost or duplicated");
     }
 }
 
@@ -131,36 +158,41 @@ struct WriteOp {
     fill: u8,
 }
 
-fn write_script() -> impl Strategy<Value = Vec<WriteOp>> {
-    prop::collection::vec(
-        (0u64..200_000, 1usize..40_000, 0u8..255).prop_map(|(offset, len, fill)| WriteOp {
-            offset,
-            len,
-            fill,
-        }),
-        1..12,
-    )
+fn write_script(rng: &mut Rng) -> Vec<WriteOp> {
+    (0..rng.range_usize(1..12))
+        .map(|_| WriteOp {
+            offset: rng.range_u64(0..200_000),
+            len: rng.range_usize(1..40_000),
+            fill: rng.next_u32() as u8,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Arbitrary overlapping writes followed by reads reproduce exactly
-    /// what a flat in-memory model says, on both read paths.
-    #[test]
-    fn fs_matches_flat_model(script in write_script()) {
+/// Arbitrary overlapping writes followed by reads reproduce exactly
+/// what a flat in-memory model says, on both read paths.
+#[test]
+fn fs_matches_flat_model() {
+    let mut rng = Rng::seed_from_u64(0xf5f5);
+    for _ in 0..cases(32, 256) {
+        let script = write_script(&mut rng);
         let sim = Sim::new(3);
-        let raid = RaidArray::new(&sim, DiskParams::ideal(1e9), SchedPolicy::Fifo, 3, 8192, "p");
+        let raid = RaidArray::new(
+            &sim,
+            DiskParams::ideal(1e9),
+            SchedPolicy::Fifo,
+            3,
+            8192,
+            "p",
+        );
         let mut params = UfsParams::paragon();
         params.block_size = 4096;
         params.cache_blocks = 4;
         let fs = Ufs::new(&sim, raid, params);
         let fs2 = fs.clone();
-        let script2 = script.clone();
         let h = sim.spawn(async move {
             let id = fs2.create("f").await.unwrap();
             let mut model: Vec<u8> = Vec::new();
-            for w in &script2 {
+            for w in &script {
                 let end = w.offset as usize + w.len;
                 if model.len() < end {
                     model.resize(end, 0);
@@ -176,7 +208,7 @@ proptest! {
         });
         sim.run();
         let (model, direct, cached) = h.try_take().expect("script completed");
-        prop_assert_eq!(&direct[..], &model[..], "fast path diverged");
-        prop_assert_eq!(&cached[..], &model[..], "buffered path diverged");
+        assert_eq!(&direct[..], &model[..], "fast path diverged");
+        assert_eq!(&cached[..], &model[..], "buffered path diverged");
     }
 }

@@ -13,9 +13,10 @@ use std::rc::Rc;
 
 use paragon_core::{PrefetchStats, PrefetchingFile};
 use paragon_machine::{Machine, MachineConfig};
-use paragon_pfs::{pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, PfsFile, PfsFileId};
+use paragon_pfs::{
+    pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, PfsFile, PfsFileId,
+};
 use paragon_sim::{Sim, SimDuration, SimTime};
-use rand::Rng;
 
 use crate::config::{AccessPattern, ExperimentConfig};
 use crate::result::{NodeResult, RunResult};
@@ -73,10 +74,12 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
     // machine (including megabytes of simulated disk contents) alive via
     // an Rc cycle — fatal when a bench harness runs thousands of worlds.
     sim.shutdown();
-    let (per_node, elapsed) = out
-        .borrow_mut()
-        .take()
-        .unwrap_or_else(|| panic!("experiment deadlocked; pending: {:?}", sim.pending_task_labels()));
+    let (per_node, elapsed) = out.borrow_mut().take().unwrap_or_else(|| {
+        panic!(
+            "experiment deadlocked; pending: {:?}",
+            sim.pending_task_labels()
+        )
+    });
 
     let total_bytes = per_node.iter().map(|n| n.bytes).sum();
     let mut prefetch = PrefetchStats::default();
@@ -153,10 +156,7 @@ async fn setup_files(pfs: &Rc<ParallelFs>, cfg: &ExperimentConfig) -> Vec<PfsFil
         }
         files
     } else {
-        let id = pfs
-            .create("/pfs/data", attrs)
-            .await
-            .expect("create failed");
+        let id = pfs.create("/pfs/data", attrs).await.expect("create failed");
         let seed = cfg.seed;
         pfs.populate_with(id, cfg.file_size, |i| pattern_byte(seed, i))
             .await
@@ -274,7 +274,7 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
             }
             AccessPattern::Random => {
                 let slots = (partition / sz as u64).max(1);
-                Some(base + rng.gen_range(0..slots) * sz as u64)
+                Some(base + rng.range_u64(0..slots) * sz as u64)
             }
             AccessPattern::Reread { .. } => Some(base + (k % rounds) * sz as u64),
         };
@@ -333,8 +333,8 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paragon_machine::Calibration;
     use crate::config::StripeLayout;
+    use paragon_machine::Calibration;
 
     /// A small instant-calibration config for fast logic tests.
     fn tiny(mode: IoMode) -> ExperimentConfig {
@@ -384,7 +384,11 @@ mod tests {
         let r = run(&cfg);
         assert_eq!(r.verify_failures, 0);
         assert!(r.prefetch_enabled);
-        assert!(r.prefetch.hits() > 0, "prefetch never hit: {:?}", r.prefetch);
+        assert!(
+            r.prefetch.hits() > 0,
+            "prefetch never hit: {:?}",
+            r.prefetch
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@
 mod config;
 mod driver;
 mod result;
+pub mod spans;
 
 pub use config::{AccessPattern, ExperimentConfig, StripeLayout};
 pub use driver::run;
 pub use result::{NodeResult, RunResult};
+pub use spans::{read_spans, ReadSpan, SpanBreakdown, SpanKind};

@@ -1,0 +1,345 @@
+//! Span reconstruction: from a flat flight-recorder trace to the life of
+//! each read.
+//!
+//! Every PFS transfer carries a request id from the compute node through
+//! the ART, the mesh, the server, and the disks (see
+//! `paragon_sim::trace`). This module groups a recording by request id
+//! and decomposes each `read-start … read-done` interval into four
+//! consecutive phases:
+//!
+//! * **request** — client-side setup, ART queueing, and the request
+//!   message's mesh transit, up to the last request leg's arrival at an
+//!   I/O node;
+//! * **service** — server thread and protocol overheads before the first
+//!   disk command starts moving;
+//! * **disk** — first disk command start to last disk command
+//!   completion (seek + rotation + media transfer across the RAID);
+//! * **reply** — reply mesh transit plus the client's scatter copy, up
+//!   to `read-done`.
+//!
+//! Phase boundaries are clamped to be monotone inside the span, so the
+//! four phases **sum exactly** to the end-to-end latency by
+//! construction — the paper's Table 2 access-time decomposition, derived
+//! from the trace instead of from hand-placed timers. Reads that never
+//! touch a disk (server cache hits) get a zero disk phase.
+
+use std::collections::BTreeMap;
+
+use paragon_metrics::{Histogram, Table};
+use paragon_sim::{EventKind, ReqId, SimDuration, SimTime, TraceEvent, Track};
+
+/// How a transfer entered the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Plain demand read (no prefetch engine, or engine bypass).
+    Demand,
+    /// Demand read that missed the prefetch list and went to the PFS.
+    DemandMiss,
+    /// Asynchronous prefetch transfer issued by the engine.
+    Prefetch,
+}
+
+/// One reconstructed read: a request id's `read-start → read-done`
+/// interval, decomposed into consecutive phases.
+#[derive(Debug, Clone)]
+pub struct ReadSpan {
+    /// Request id (correlates with the raw trace).
+    pub req: ReqId,
+    /// File offset requested.
+    pub offset: u64,
+    /// Bytes requested.
+    pub len: u64,
+    /// Demand read, prefetch miss, or prefetch transfer.
+    pub kind: SpanKind,
+    /// Time the read entered the client.
+    pub start: SimTime,
+    /// Time the read returned to the caller.
+    pub end: SimTime,
+    /// Client + ART + request mesh transit.
+    pub request: SimDuration,
+    /// Server-side overheads before the first disk command.
+    pub service: SimDuration,
+    /// Disk busy interval (first command start → last completion).
+    pub disk: SimDuration,
+    /// Reply transit + scatter copy.
+    pub reply: SimDuration,
+}
+
+impl ReadSpan {
+    /// End-to-end latency; always equals the sum of the four phases.
+    pub fn total(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Reconstruct every completed read span in `events`.
+///
+/// A span needs a `read-start` and a matching `read-done` under the same
+/// request id; transfers still in flight when recording stopped (or cut
+/// off by the trace cap) are skipped.
+pub fn read_spans(events: &[TraceEvent]) -> Vec<ReadSpan> {
+    // Group this request's events; traces are time-ordered already.
+    let mut by_req: BTreeMap<ReqId, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if e.req != 0 {
+            by_req.entry(e.req).or_default().push(e);
+        }
+    }
+    let mut spans = Vec::new();
+    for (req, evs) in by_req {
+        let Some(start_ev) = evs.iter().find(|e| e.kind == EventKind::ReadStart) else {
+            continue;
+        };
+        let Some(end_ev) = evs.iter().rev().find(|e| e.kind == EventKind::ReadDone) else {
+            continue;
+        };
+        let (start, end) = (start_ev.time, end_ev.time);
+        // The client's mesh node id: source of the first request NetTx.
+        let client_node = evs.iter().find_map(|e| match (e.kind, e.track) {
+            (EventKind::NetTx, Track::Node(n)) if e.time >= start => Some(n),
+            _ => None,
+        });
+        let clamp = |t: SimTime| t.max(start).min(end);
+        // Last request-leg arrival at a non-client node. Reply NetRx
+        // events land back on the client's node and are excluded.
+        let b1 = evs
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::NetRx
+                    && match (e.track, client_node) {
+                        (Track::Node(n), Some(c)) => n != c,
+                        _ => true,
+                    }
+            })
+            .map(|e| e.time)
+            .max()
+            .map(clamp)
+            .unwrap_or(start);
+        let first_disk = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::DiskStart)
+            .map(|e| e.time)
+            .min()
+            .map(clamp);
+        let last_disk = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::DiskDone)
+            .map(|e| e.time)
+            .max()
+            .map(clamp);
+        let b2 = first_disk.unwrap_or(b1).max(b1);
+        let b3 = last_disk.unwrap_or(b2).max(b2);
+        let kind = if evs.iter().any(|e| e.kind == EventKind::PrefetchIssue) {
+            SpanKind::Prefetch
+        } else if evs.iter().any(|e| e.kind == EventKind::PrefetchMiss) {
+            SpanKind::DemandMiss
+        } else {
+            SpanKind::Demand
+        };
+        spans.push(ReadSpan {
+            req,
+            offset: start_ev.a,
+            len: start_ev.b,
+            kind,
+            start,
+            end,
+            request: b1.since(start),
+            service: b2.since(b1),
+            disk: b3.since(b2),
+            reply: end.since(b3),
+        });
+    }
+    spans
+}
+
+/// Per-phase aggregate over a set of spans: one [`Histogram`] per phase
+/// plus one for the end-to-end latency.
+#[derive(Debug, Default)]
+pub struct SpanBreakdown {
+    pub request: Histogram,
+    pub service: Histogram,
+    pub disk: Histogram,
+    pub reply: Histogram,
+    pub total: Histogram,
+    /// Spans folded in.
+    pub count: usize,
+}
+
+impl SpanBreakdown {
+    /// Aggregate `spans` (typically pre-filtered by [`SpanKind`]).
+    pub fn of(spans: &[ReadSpan]) -> SpanBreakdown {
+        let mut b = SpanBreakdown::default();
+        for s in spans {
+            b.request.record(s.request.as_secs_f64());
+            b.service.record(s.service.as_secs_f64());
+            b.disk.record(s.disk.as_secs_f64());
+            b.reply.record(s.reply.as_secs_f64());
+            b.total.record(s.total().as_secs_f64());
+            b.count += 1;
+        }
+        b
+    }
+
+    /// Render the Table-2-style access-time decomposition: one row per
+    /// phase with mean/p50/max in milliseconds, plus the end-to-end row.
+    pub fn render(&mut self) -> String {
+        let mut t = Table::new(
+            "access-time decomposition",
+            &["phase", "mean ms", "p50 ms", "max ms"],
+        );
+        let ms = |v: Option<f64>| format!("{:.3}", v.unwrap_or(0.0) * 1e3);
+        {
+            let mut row = |name: &str, h: &mut Histogram| {
+                let mean = ms(h.mean());
+                let p50 = ms(h.quantile(0.5));
+                let max = ms(h.max());
+                t.row(&[name, &mean, &p50, &max]);
+            };
+            row("request", &mut self.request);
+            row("service", &mut self.service);
+            row("disk", &mut self.disk);
+            row("reply", &mut self.reply);
+            row("end-to-end", &mut self.total);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_sim::{ev, EventBody, Track};
+
+    fn mk(t_us: u64, body: EventBody) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(t_us * 1000),
+            track: body.track,
+            kind: body.kind,
+            req: body.req,
+            a: body.a,
+            b: body.b,
+        }
+    }
+
+    fn demand_read(req: ReqId, base_us: u64) -> Vec<TraceEvent> {
+        vec![
+            mk(
+                base_us,
+                ev(Track::Cn(0), EventKind::ReadStart, req, 0, 4096),
+            ),
+            mk(
+                base_us + 10,
+                ev(Track::Node(0), EventKind::NetTx, req, 64, 3),
+            ),
+            mk(
+                base_us + 20,
+                ev(Track::Node(3), EventKind::NetRx, req, 64, 0),
+            ),
+            mk(
+                base_us + 25,
+                ev(Track::Ion(1), EventKind::ServeStart, req, 0, 4096),
+            ),
+            mk(
+                base_us + 30,
+                ev(Track::Disk(2), EventKind::DiskStart, req, 0, 4096),
+            ),
+            mk(
+                base_us + 70,
+                ev(Track::Disk(2), EventKind::DiskDone, req, 0, 4096),
+            ),
+            mk(
+                base_us + 75,
+                ev(Track::Ion(1), EventKind::ServeDone, req, 0, 4096),
+            ),
+            mk(
+                base_us + 80,
+                ev(Track::Node(3), EventKind::NetTx, req, 4160, 0),
+            ),
+            mk(
+                base_us + 90,
+                ev(Track::Node(0), EventKind::NetRx, req, 4160, 3),
+            ),
+            mk(
+                base_us + 95,
+                ev(Track::Cn(0), EventKind::Copy, req, 0, 4096),
+            ),
+            mk(
+                base_us + 100,
+                ev(Track::Cn(0), EventKind::ReadDone, req, 0, 4096),
+            ),
+        ]
+    }
+
+    #[test]
+    fn phases_sum_exactly_to_end_to_end() {
+        let events = demand_read(1, 100);
+        let spans = read_spans(&events);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.kind, SpanKind::Demand);
+        assert_eq!(s.request + s.service + s.disk + s.reply, s.total());
+        assert_eq!(s.request, SimDuration::from_micros(20));
+        assert_eq!(s.service, SimDuration::from_micros(10));
+        assert_eq!(s.disk, SimDuration::from_micros(40));
+        assert_eq!(s.reply, SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn diskless_read_gets_zero_disk_phase() {
+        let req = 7;
+        let events = vec![
+            mk(0, ev(Track::Cn(0), EventKind::ReadStart, req, 0, 64)),
+            mk(5, ev(Track::Node(0), EventKind::NetTx, req, 96, 2)),
+            mk(9, ev(Track::Node(2), EventKind::NetRx, req, 96, 0)),
+            mk(15, ev(Track::Node(2), EventKind::NetTx, req, 128, 0)),
+            mk(19, ev(Track::Node(0), EventKind::NetRx, req, 128, 2)),
+            mk(20, ev(Track::Cn(0), EventKind::ReadDone, req, 0, 64)),
+        ];
+        let spans = read_spans(&events);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].disk, SimDuration::ZERO);
+        assert_eq!(spans[0].request, SimDuration::from_micros(9));
+        assert_eq!(spans[0].reply, SimDuration::from_micros(11));
+    }
+
+    #[test]
+    fn unfinished_and_contextless_events_are_skipped() {
+        let mut events = demand_read(1, 0);
+        events.pop(); // drop read-done
+        events.push(mk(500, ev(Track::Sys, EventKind::Mark, 0, 0, 0)));
+        assert!(read_spans(&events).is_empty());
+    }
+
+    #[test]
+    fn kinds_follow_prefetch_markers() {
+        let mut miss = demand_read(2, 0);
+        miss.insert(
+            0,
+            mk(0, ev(Track::Cn(0), EventKind::PrefetchMiss, 2, 0, 4096)),
+        );
+        let mut pf = demand_read(3, 1000);
+        pf.insert(
+            0,
+            mk(1000, ev(Track::Cn(0), EventKind::PrefetchIssue, 3, 0, 4096)),
+        );
+        let mut events = miss;
+        events.extend(pf);
+        let spans = read_spans(&events);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::DemandMiss);
+        assert_eq!(spans[1].kind, SpanKind::Prefetch);
+    }
+
+    #[test]
+    fn breakdown_aggregates_and_renders() {
+        let mut events = demand_read(1, 0);
+        events.extend(demand_read(2, 1000));
+        let spans = read_spans(&events);
+        let mut b = SpanBreakdown::of(&spans);
+        assert_eq!(b.count, 2);
+        assert_eq!(b.total.mean(), Some(100e-6));
+        let table = b.render();
+        assert!(table.contains("end-to-end"));
+        assert!(table.contains("disk"));
+    }
+}

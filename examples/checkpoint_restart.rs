@@ -12,13 +12,11 @@
 
 use std::rc::Rc;
 
+use bytes::Bytes;
 use paragon::machine::{Machine, MachineConfig};
 use paragon::pfs::{IoMode, OpenOptions, ParallelFs, StripeAttrs};
-use paragon::prefetch::{
-    PrefetchConfig, PrefetchingFile, WriteBehindConfig, WriteBehindFile,
-};
+use paragon::prefetch::{PrefetchConfig, PrefetchingFile, WriteBehindConfig, WriteBehindFile};
 use paragon::sim::{Sim, SimDuration};
-use bytes::Bytes;
 
 const NODES: usize = 8;
 const STATE_PER_NODE: usize = 2 << 20; // 2 MB of solver state per node
@@ -29,9 +27,8 @@ const COMPUTE_PER_EPOCH_MS: u64 = 400;
 /// Solver state byte i of `rank` at `epoch` (deterministic, so restart
 /// can be verified without keeping the data around).
 fn state_byte(rank: usize, epoch: u64, i: u64) -> u8 {
-    (i.wrapping_mul(2654435761)
-        ^ (rank as u64).wrapping_mul(40503)
-        ^ epoch.wrapping_mul(9176)) as u8
+    (i.wrapping_mul(2654435761) ^ (rank as u64).wrapping_mul(40503) ^ epoch.wrapping_mul(9176))
+        as u8
 }
 
 fn main() {
@@ -96,8 +93,7 @@ fn main() {
                 for b in 0..blocks {
                     let data = pf.read(BLOCK).await.unwrap();
                     for (i, &byte) in data.iter().enumerate() {
-                        let want =
-                            state_byte(rank, EPOCHS - 1, b * BLOCK as u64 + i as u64);
+                        let want = state_byte(rank, EPOCHS - 1, b * BLOCK as u64 + i as u64);
                         intact &= byte == want;
                     }
                 }
@@ -126,5 +122,8 @@ fn main() {
         state_mb / restart_time.as_secs_f64()
     );
     assert!(intact, "checkpoint corrupted!");
-    println!("restored state verified bit-for-bit against epoch {}", EPOCHS - 1);
+    println!(
+        "restored state verified bit-for-bit against epoch {}",
+        EPOCHS - 1
+    );
 }

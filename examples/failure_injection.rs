@@ -83,16 +83,17 @@ fn run_case(hotspot: bool, prefetch: bool) -> (f64, u64) {
 fn main() {
     println!("Balanced M_RECORD workload, 64 KB requests, 40 ms compute per read;");
     println!("hot spot = one RAID member at I/O node 3 running 5x slow.\n");
-    println!(
-        "{:<22} {:>16} {:>16}",
-        "", "no prefetch", "prefetch"
-    );
+    println!("{:<22} {:>16} {:>16}", "", "no prefetch", "prefetch");
     for hotspot in [false, true] {
         let (bw_np, _) = run_case(hotspot, false);
         let (bw_pf, hits) = run_case(hotspot, true);
         println!(
             "{:<22} {:>11.2} MB/s {:>11.2} MB/s   (hits {hits})",
-            if hotspot { "degraded (hot spot)" } else { "healthy" },
+            if hotspot {
+                "degraded (hot spot)"
+            } else {
+                "healthy"
+            },
             bw_np,
             bw_pf,
         );

@@ -58,9 +58,7 @@ fn main() {
                         let data = f.read(RECORD).await.unwrap();
                         // Identify which record these bytes are.
                         let rec = (0..RECORDS)
-                            .find(|&r| {
-                                data[..64] == pattern_slice(1, r * RECORD as u64, 64)[..]
-                            })
+                            .find(|&r| data[..64] == pattern_slice(1, r * RECORD as u64, 64)[..])
                             .expect("bytes match a record");
                         got.push(rec);
                         // A little compute so arrival orders differ.

@@ -72,8 +72,9 @@ fn main() {
                 let x = x.clone();
                 let sim3 = sim2.clone();
                 tasks.push(sim2.spawn(async move {
-                    let reader = prefetch
-                        .then(|| PrefetchingFile::new(f.clone(), PrefetchConfig::paper_prototype()));
+                    let reader = prefetch.then(|| {
+                        PrefetchingFile::new(f.clone(), PrefetchConfig::paper_prototype())
+                    });
                     let blocks = N / ROWS_PER_BLOCK / NODES;
                     let mut y = vec![0.0f32; RHS * ROWS_PER_BLOCK * blocks];
                     for b in 0..blocks {
@@ -89,9 +90,8 @@ fn main() {
                                 let mut acc = 0.0f32;
                                 for (j, xj) in xv.iter().enumerate() {
                                     let at = (r * N + j) * 4;
-                                    let e = f32::from_le_bytes(
-                                        data[at..at + 4].try_into().unwrap(),
-                                    );
+                                    let e =
+                                        f32::from_le_bytes(data[at..at + 4].try_into().unwrap());
                                     acc += e * xj;
                                 }
                                 y[(b * ROWS_PER_BLOCK + r) * RHS + v] = acc;

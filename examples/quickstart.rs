@@ -42,9 +42,8 @@ fn main() {
                 let f = pfs
                     .open(0, 1, file, IoMode::MAsync, OpenOptions::default())
                     .unwrap();
-                let reader = prefetch.then(|| {
-                    PrefetchingFile::new(f.clone(), PrefetchConfig::paper_prototype())
-                });
+                let reader = prefetch
+                    .then(|| PrefetchingFile::new(f.clone(), PrefetchConfig::paper_prototype()));
 
                 let t0 = sim2.now();
                 let rounds = FILE_SIZE / REQUEST as u64;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repo's quality gate: everything a change must pass before the
+# experiment tables are worth regenerating. Hermetic — no network, no
+# external tools beyond the Rust toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release"
+cargo build --release
+
+echo "=== cargo test -q"
+cargo test -q
+
+echo "=== cargo fmt --check"
+cargo fmt --check
+
+echo "=== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -22,6 +22,9 @@ BINARIES=(
     ext_scsi16
 )
 
+# Preflight: don't regenerate tables from a tree that fails the gate.
+./scripts/ci.sh
+
 cargo build --release -p paragon-bench
 mkdir -p results/logs
 for bin in "${BINARIES[@]}"; do

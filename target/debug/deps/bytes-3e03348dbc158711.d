@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-3e03348dbc158711.d: crates/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3e03348dbc158711.rlib: crates/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3e03348dbc158711.rmeta: crates/bytes/src/lib.rs
+
+crates/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5667fe4d0ed48597.d: crates/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-5667fe4d0ed48597: crates/bytes/src/lib.rs
+
+crates/bytes/src/lib.rs:

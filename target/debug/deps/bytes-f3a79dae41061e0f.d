@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-f3a79dae41061e0f.d: crates/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-f3a79dae41061e0f.rmeta: crates/bytes/src/lib.rs Cargo.toml
+
+crates/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_integrity-3f2b3020a80d6803.d: tests/data_integrity.rs
+
+/root/repo/target/debug/deps/data_integrity-3f2b3020a80d6803: tests/data_integrity.rs
+
+tests/data_integrity.rs:

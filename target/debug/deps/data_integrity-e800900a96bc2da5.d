@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/data_integrity-e800900a96bc2da5.d: tests/data_integrity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdata_integrity-e800900a96bc2da5.rmeta: tests/data_integrity.rs Cargo.toml
+
+tests/data_integrity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0e5514b7ead6f242.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0e5514b7ead6f242: tests/determinism.rs
+
+tests/determinism.rs:

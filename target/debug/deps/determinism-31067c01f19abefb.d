@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-31067c01f19abefb.d: crates/sim/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-31067c01f19abefb.rmeta: crates/sim/tests/determinism.rs Cargo.toml
+
+crates/sim/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-48b5df93d0dc785d.d: crates/sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-48b5df93d0dc785d: crates/sim/tests/determinism.rs
+
+crates/sim/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ablation-10a8f4d393654c3e.d: crates/bench/src/bin/ext_ablation.rs
+
+/root/repo/target/debug/deps/ext_ablation-10a8f4d393654c3e: crates/bench/src/bin/ext_ablation.rs
+
+crates/bench/src/bin/ext_ablation.rs:

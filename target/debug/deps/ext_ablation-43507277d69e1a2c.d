@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ablation-43507277d69e1a2c.d: crates/bench/src/bin/ext_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ablation-43507277d69e1a2c.rmeta: crates/bench/src/bin/ext_ablation.rs Cargo.toml
+
+crates/bench/src/bin/ext_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ablation-57b3f956243b3598.d: crates/bench/src/bin/ext_ablation.rs
+
+/root/repo/target/debug/deps/ext_ablation-57b3f956243b3598: crates/bench/src/bin/ext_ablation.rs
+
+crates/bench/src/bin/ext_ablation.rs:

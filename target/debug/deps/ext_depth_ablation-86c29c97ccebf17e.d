@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_depth_ablation-86c29c97ccebf17e.d: crates/bench/src/bin/ext_depth_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_depth_ablation-86c29c97ccebf17e.rmeta: crates/bench/src/bin/ext_depth_ablation.rs Cargo.toml
+
+crates/bench/src/bin/ext_depth_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

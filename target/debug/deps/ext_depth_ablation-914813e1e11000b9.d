@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_depth_ablation-914813e1e11000b9.d: crates/bench/src/bin/ext_depth_ablation.rs
+
+/root/repo/target/debug/deps/ext_depth_ablation-914813e1e11000b9: crates/bench/src/bin/ext_depth_ablation.rs
+
+crates/bench/src/bin/ext_depth_ablation.rs:

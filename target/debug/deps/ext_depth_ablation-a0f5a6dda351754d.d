@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_depth_ablation-a0f5a6dda351754d.d: crates/bench/src/bin/ext_depth_ablation.rs
+
+/root/repo/target/debug/deps/ext_depth_ablation-a0f5a6dda351754d: crates/bench/src/bin/ext_depth_ablation.rs
+
+crates/bench/src/bin/ext_depth_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_double_buffering-629d9a5536cd8cd2.d: crates/bench/src/bin/ext_double_buffering.rs
+
+/root/repo/target/debug/deps/ext_double_buffering-629d9a5536cd8cd2: crates/bench/src/bin/ext_double_buffering.rs
+
+crates/bench/src/bin/ext_double_buffering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_double_buffering-7a3f03222b30f6f5.d: crates/bench/src/bin/ext_double_buffering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_double_buffering-7a3f03222b30f6f5.rmeta: crates/bench/src/bin/ext_double_buffering.rs Cargo.toml
+
+crates/bench/src/bin/ext_double_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

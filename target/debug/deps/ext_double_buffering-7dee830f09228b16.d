@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_double_buffering-7dee830f09228b16.d: crates/bench/src/bin/ext_double_buffering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_double_buffering-7dee830f09228b16.rmeta: crates/bench/src/bin/ext_double_buffering.rs Cargo.toml
+
+crates/bench/src/bin/ext_double_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

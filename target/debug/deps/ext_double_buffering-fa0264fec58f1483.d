@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_double_buffering-fa0264fec58f1483.d: crates/bench/src/bin/ext_double_buffering.rs
+
+/root/repo/target/debug/deps/ext_double_buffering-fa0264fec58f1483: crates/bench/src/bin/ext_double_buffering.rs
+
+crates/bench/src/bin/ext_double_buffering.rs:

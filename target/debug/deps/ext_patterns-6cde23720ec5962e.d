@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_patterns-6cde23720ec5962e.d: crates/bench/src/bin/ext_patterns.rs
+
+/root/repo/target/debug/deps/ext_patterns-6cde23720ec5962e: crates/bench/src/bin/ext_patterns.rs
+
+crates/bench/src/bin/ext_patterns.rs:

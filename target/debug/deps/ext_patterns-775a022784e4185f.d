@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_patterns-775a022784e4185f.d: crates/bench/src/bin/ext_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_patterns-775a022784e4185f.rmeta: crates/bench/src/bin/ext_patterns.rs Cargo.toml
+
+crates/bench/src/bin/ext_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_patterns-9d70ee1a20157509.d: crates/bench/src/bin/ext_patterns.rs
+
+/root/repo/target/debug/deps/ext_patterns-9d70ee1a20157509: crates/bench/src/bin/ext_patterns.rs
+
+crates/bench/src/bin/ext_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_patterns-b19cbc5e8973d5bd.d: crates/bench/src/bin/ext_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_patterns-b19cbc5e8973d5bd.rmeta: crates/bench/src/bin/ext_patterns.rs Cargo.toml
+
+crates/bench/src/bin/ext_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

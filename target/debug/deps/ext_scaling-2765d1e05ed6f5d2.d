@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_scaling-2765d1e05ed6f5d2.d: crates/bench/src/bin/ext_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_scaling-2765d1e05ed6f5d2.rmeta: crates/bench/src/bin/ext_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ext_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_scaling-7b2c9eade4f41032.d: crates/bench/src/bin/ext_scaling.rs
+
+/root/repo/target/debug/deps/ext_scaling-7b2c9eade4f41032: crates/bench/src/bin/ext_scaling.rs
+
+crates/bench/src/bin/ext_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_scaling-ee34b0cbacc40211.d: crates/bench/src/bin/ext_scaling.rs
+
+/root/repo/target/debug/deps/ext_scaling-ee34b0cbacc40211: crates/bench/src/bin/ext_scaling.rs
+
+crates/bench/src/bin/ext_scaling.rs:

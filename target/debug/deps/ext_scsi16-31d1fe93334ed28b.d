@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_scsi16-31d1fe93334ed28b.d: crates/bench/src/bin/ext_scsi16.rs
+
+/root/repo/target/debug/deps/ext_scsi16-31d1fe93334ed28b: crates/bench/src/bin/ext_scsi16.rs
+
+crates/bench/src/bin/ext_scsi16.rs:

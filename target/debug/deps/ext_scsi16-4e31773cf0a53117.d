@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_scsi16-4e31773cf0a53117.d: crates/bench/src/bin/ext_scsi16.rs
+
+/root/repo/target/debug/deps/ext_scsi16-4e31773cf0a53117: crates/bench/src/bin/ext_scsi16.rs
+
+crates/bench/src/bin/ext_scsi16.rs:

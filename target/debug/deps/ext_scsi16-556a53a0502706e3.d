@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_scsi16-556a53a0502706e3.d: crates/bench/src/bin/ext_scsi16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_scsi16-556a53a0502706e3.rmeta: crates/bench/src/bin/ext_scsi16.rs Cargo.toml
+
+crates/bench/src/bin/ext_scsi16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_scsi16-b8c7b884979af98e.d: crates/bench/src/bin/ext_scsi16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_scsi16-b8c7b884979af98e.rmeta: crates/bench/src/bin/ext_scsi16.rs Cargo.toml
+
+crates/bench/src/bin/ext_scsi16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_writes-809ac99cca0fbd21.d: crates/bench/src/bin/ext_writes.rs
+
+/root/repo/target/debug/deps/ext_writes-809ac99cca0fbd21: crates/bench/src/bin/ext_writes.rs
+
+crates/bench/src/bin/ext_writes.rs:

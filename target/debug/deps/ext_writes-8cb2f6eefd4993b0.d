@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_writes-8cb2f6eefd4993b0.d: crates/bench/src/bin/ext_writes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_writes-8cb2f6eefd4993b0.rmeta: crates/bench/src/bin/ext_writes.rs Cargo.toml
+
+crates/bench/src/bin/ext_writes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_writes-90e112703bfa359d.d: crates/bench/src/bin/ext_writes.rs
+
+/root/repo/target/debug/deps/ext_writes-90e112703bfa359d: crates/bench/src/bin/ext_writes.rs
+
+crates/bench/src/bin/ext_writes.rs:

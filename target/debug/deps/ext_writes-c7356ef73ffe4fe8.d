@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_writes-c7356ef73ffe4fe8.d: crates/bench/src/bin/ext_writes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_writes-c7356ef73ffe4fe8.rmeta: crates/bench/src/bin/ext_writes.rs Cargo.toml
+
+crates/bench/src/bin/ext_writes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-de863809d3a8faf4.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-de863809d3a8faf4: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_io_modes-54a0cadff44ea08a.d: crates/bench/src/bin/fig2_io_modes.rs
+
+/root/repo/target/debug/deps/fig2_io_modes-54a0cadff44ea08a: crates/bench/src/bin/fig2_io_modes.rs
+
+crates/bench/src/bin/fig2_io_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_io_modes-8efe94ab2ef6adbb.d: crates/bench/src/bin/fig2_io_modes.rs
+
+/root/repo/target/debug/deps/fig2_io_modes-8efe94ab2ef6adbb: crates/bench/src/bin/fig2_io_modes.rs
+
+crates/bench/src/bin/fig2_io_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_io_modes-fd0f835ff5219cbd.d: crates/bench/src/bin/fig2_io_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_io_modes-fd0f835ff5219cbd.rmeta: crates/bench/src/bin/fig2_io_modes.rs Cargo.toml
+
+crates/bench/src/bin/fig2_io_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_balanced-c95305b09cc52fc9.d: crates/bench/src/bin/fig4_balanced.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_balanced-c95305b09cc52fc9.rmeta: crates/bench/src/bin/fig4_balanced.rs Cargo.toml
+
+crates/bench/src/bin/fig4_balanced.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

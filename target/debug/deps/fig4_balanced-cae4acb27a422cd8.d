@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_balanced-cae4acb27a422cd8.d: crates/bench/src/bin/fig4_balanced.rs
+
+/root/repo/target/debug/deps/fig4_balanced-cae4acb27a422cd8: crates/bench/src/bin/fig4_balanced.rs
+
+crates/bench/src/bin/fig4_balanced.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_balanced-e06fc1c3a894ecd6.d: crates/bench/src/bin/fig4_balanced.rs
+
+/root/repo/target/debug/deps/fig4_balanced-e06fc1c3a894ecd6: crates/bench/src/bin/fig4_balanced.rs
+
+crates/bench/src/bin/fig4_balanced.rs:

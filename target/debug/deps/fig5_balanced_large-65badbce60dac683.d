@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_balanced_large-65badbce60dac683.d: crates/bench/src/bin/fig5_balanced_large.rs
+
+/root/repo/target/debug/deps/fig5_balanced_large-65badbce60dac683: crates/bench/src/bin/fig5_balanced_large.rs
+
+crates/bench/src/bin/fig5_balanced_large.rs:

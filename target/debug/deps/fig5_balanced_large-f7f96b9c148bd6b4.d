@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_balanced_large-f7f96b9c148bd6b4.d: crates/bench/src/bin/fig5_balanced_large.rs
+
+/root/repo/target/debug/deps/fig5_balanced_large-f7f96b9c148bd6b4: crates/bench/src/bin/fig5_balanced_large.rs
+
+crates/bench/src/bin/fig5_balanced_large.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mode_semantics-0af84d294651c21e.d: crates/pfs/tests/mode_semantics.rs
+
+/root/repo/target/debug/deps/mode_semantics-0af84d294651c21e: crates/pfs/tests/mode_semantics.rs
+
+crates/pfs/tests/mode_semantics.rs:

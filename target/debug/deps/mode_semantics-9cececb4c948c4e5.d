@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mode_semantics-9cececb4c948c4e5.d: crates/pfs/tests/mode_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmode_semantics-9cececb4c948c4e5.rmeta: crates/pfs/tests/mode_semantics.rs Cargo.toml
+
+crates/pfs/tests/mode_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_experiments-80bd82b7f9dc34df.d: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_experiments-80bd82b7f9dc34df.rmeta: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+crates/bench/benches/paper_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-f10b56dc018c8656.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-f10b56dc018c8656: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

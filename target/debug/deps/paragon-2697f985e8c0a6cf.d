@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon-2697f985e8c0a6cf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon-2697f985e8c0a6cf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paragon-41a76b3283c742bd.d: src/lib.rs
+
+/root/repo/target/debug/deps/paragon-41a76b3283c742bd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paragon-84a6135ecd253d21.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparagon-84a6135ecd253d21.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparagon-84a6135ecd253d21.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon-a6e36f066af0cb72.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon-a6e36f066af0cb72.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/paragon_bench-28c92477e9ad801a.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/paragon_bench-28c92477e9ad801a: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paragon_bench-3c574cdb996950e4.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libparagon_bench-3c574cdb996950e4.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libparagon_bench-3c574cdb996950e4.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/paragon_bench-ae2242313b0e040c.d: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_bench-ae2242313b0e040c.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

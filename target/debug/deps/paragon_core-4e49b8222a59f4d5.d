@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/paragon_core-4e49b8222a59f4d5.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_core-4e49b8222a59f4d5.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/engine.rs:
+crates/core/src/predictor.rs:
+crates/core/src/stats.rs:
+crates/core/src/writeback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

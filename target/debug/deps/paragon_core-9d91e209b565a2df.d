@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paragon_core-9d91e209b565a2df.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+/root/repo/target/debug/deps/paragon_core-9d91e209b565a2df: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/engine.rs:
+crates/core/src/predictor.rs:
+crates/core/src/stats.rs:
+crates/core/src/writeback.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/paragon_core-cbff5ea1ff6d534c.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+/root/repo/target/debug/deps/libparagon_core-cbff5ea1ff6d534c.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+/root/repo/target/debug/deps/libparagon_core-cbff5ea1ff6d534c.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/engine.rs:
+crates/core/src/predictor.rs:
+crates/core/src/stats.rs:
+crates/core/src/writeback.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon_disk-085da21d2ee4ca5d.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+/root/repo/target/debug/deps/paragon_disk-085da21d2ee4ca5d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/params.rs:
+crates/disk/src/raid.rs:
+crates/disk/src/store.rs:

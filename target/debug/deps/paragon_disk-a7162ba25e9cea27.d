@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/paragon_disk-a7162ba25e9cea27.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_disk-a7162ba25e9cea27.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs Cargo.toml
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/params.rs:
+crates/disk/src/raid.rs:
+crates/disk/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/paragon_disk-beb1b0d1379bfdc2.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+/root/repo/target/debug/deps/libparagon_disk-beb1b0d1379bfdc2.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+/root/repo/target/debug/deps/libparagon_disk-beb1b0d1379bfdc2.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/params.rs:
+crates/disk/src/raid.rs:
+crates/disk/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon_machine-05d6f54d723ba0ae.d: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+/root/repo/target/debug/deps/libparagon_machine-05d6f54d723ba0ae.rlib: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+/root/repo/target/debug/deps/libparagon_machine-05d6f54d723ba0ae.rmeta: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/calib.rs:
+crates/machine/src/machine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paragon_machine-849602472ab36d89.d: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+/root/repo/target/debug/deps/paragon_machine-849602472ab36d89: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/calib.rs:
+crates/machine/src/machine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/paragon_machine-a4cdc564aed5d402.d: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_machine-a4cdc564aed5d402.rmeta: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/calib.rs:
+crates/machine/src/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

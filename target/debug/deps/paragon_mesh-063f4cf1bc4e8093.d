@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/paragon_mesh-063f4cf1bc4e8093.d: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_mesh-063f4cf1bc4e8093.rmeta: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/net.rs:
+crates/mesh/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon_mesh-306b341c34164dd9.d: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libparagon_mesh-306b341c34164dd9.rlib: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libparagon_mesh-306b341c34164dd9.rmeta: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/net.rs:
+crates/mesh/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paragon_mesh-3831aa8436a7151d.d: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/paragon_mesh-3831aa8436a7151d: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/net.rs:
+crates/mesh/src/topology.rs:

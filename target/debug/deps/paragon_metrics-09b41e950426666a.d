@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paragon_metrics-09b41e950426666a.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/paragon_metrics-09b41e950426666a: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/hist.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/paragon_metrics-37e1ee97dbae32d6.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libparagon_metrics-37e1ee97dbae32d6.rlib: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libparagon_metrics-37e1ee97dbae32d6.rmeta: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/hist.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/paragon_metrics-eaa9391974329ccf.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_metrics-eaa9391974329ccf.rmeta: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/hist.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon_os-10979f7531c57a6e.d: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+/root/repo/target/debug/deps/libparagon_os-10979f7531c57a6e.rlib: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+/root/repo/target/debug/deps/libparagon_os-10979f7531c57a6e.rmeta: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+crates/os/src/lib.rs:
+crates/os/src/art.rs:
+crates/os/src/rpc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/paragon_os-a0f7c7f6c5ba7491.d: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_os-a0f7c7f6c5ba7491.rmeta: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs Cargo.toml
+
+crates/os/src/lib.rs:
+crates/os/src/art.rs:
+crates/os/src/rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

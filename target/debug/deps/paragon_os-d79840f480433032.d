@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paragon_os-d79840f480433032.d: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+/root/repo/target/debug/deps/paragon_os-d79840f480433032: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+crates/os/src/lib.rs:
+crates/os/src/art.rs:
+crates/os/src/rpc.rs:

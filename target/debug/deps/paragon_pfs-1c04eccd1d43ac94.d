@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/paragon_pfs-1c04eccd1d43ac94.d: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_pfs-1c04eccd1d43ac94.rmeta: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs Cargo.toml
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/client.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/meta.rs:
+crates/pfs/src/modes.rs:
+crates/pfs/src/pointer.rs:
+crates/pfs/src/proto.rs:
+crates/pfs/src/server.rs:
+crates/pfs/src/stripe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/paragon_pfs-4dfa929a30cc96ad.d: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+/root/repo/target/debug/deps/libparagon_pfs-4dfa929a30cc96ad.rlib: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+/root/repo/target/debug/deps/libparagon_pfs-4dfa929a30cc96ad.rmeta: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/client.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/meta.rs:
+crates/pfs/src/modes.rs:
+crates/pfs/src/pointer.rs:
+crates/pfs/src/proto.rs:
+crates/pfs/src/server.rs:
+crates/pfs/src/stripe.rs:

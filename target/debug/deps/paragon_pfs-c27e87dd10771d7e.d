@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/paragon_pfs-c27e87dd10771d7e.d: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+/root/repo/target/debug/deps/paragon_pfs-c27e87dd10771d7e: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/client.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/meta.rs:
+crates/pfs/src/modes.rs:
+crates/pfs/src/pointer.rs:
+crates/pfs/src/proto.rs:
+crates/pfs/src/server.rs:
+crates/pfs/src/stripe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon_ufs-da0b213f41a58a81.d: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+/root/repo/target/debug/deps/paragon_ufs-da0b213f41a58a81: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+crates/ufs/src/lib.rs:
+crates/ufs/src/alloc.rs:
+crates/ufs/src/cache.rs:
+crates/ufs/src/fs.rs:
+crates/ufs/src/inode.rs:

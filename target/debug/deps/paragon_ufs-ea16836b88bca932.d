@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/paragon_ufs-ea16836b88bca932.d: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+/root/repo/target/debug/deps/libparagon_ufs-ea16836b88bca932.rlib: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+/root/repo/target/debug/deps/libparagon_ufs-ea16836b88bca932.rmeta: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+crates/ufs/src/lib.rs:
+crates/ufs/src/alloc.rs:
+crates/ufs/src/cache.rs:
+crates/ufs/src/fs.rs:
+crates/ufs/src/inode.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/paragon_ufs-fa16434232666dff.d: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_ufs-fa16434232666dff.rmeta: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs Cargo.toml
+
+crates/ufs/src/lib.rs:
+crates/ufs/src/alloc.rs:
+crates/ufs/src/cache.rs:
+crates/ufs/src/fs.rs:
+crates/ufs/src/inode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/paragon_workload-25d2b828013b1bb7.d: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+/root/repo/target/debug/deps/libparagon_workload-25d2b828013b1bb7.rlib: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+/root/repo/target/debug/deps/libparagon_workload-25d2b828013b1bb7.rmeta: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/config.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/result.rs:
+crates/workload/src/spans.rs:

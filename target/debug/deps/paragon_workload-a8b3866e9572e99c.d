@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragon_workload-a8b3866e9572e99c.d: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+/root/repo/target/debug/deps/paragon_workload-a8b3866e9572e99c: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/config.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/result.rs:
+crates/workload/src/spans.rs:

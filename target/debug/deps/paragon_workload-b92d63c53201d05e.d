@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/paragon_workload-b92d63c53201d05e.d: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_workload-b92d63c53201d05e.rmeta: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/config.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/result.rs:
+crates/workload/src/spans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

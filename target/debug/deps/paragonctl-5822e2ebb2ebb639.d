@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paragonctl-5822e2ebb2ebb639.d: crates/bench/src/bin/paragonctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagonctl-5822e2ebb2ebb639.rmeta: crates/bench/src/bin/paragonctl.rs Cargo.toml
+
+crates/bench/src/bin/paragonctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

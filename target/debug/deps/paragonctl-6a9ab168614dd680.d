@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paragonctl-6a9ab168614dd680.d: crates/bench/src/bin/paragonctl.rs
+
+/root/repo/target/debug/deps/paragonctl-6a9ab168614dd680: crates/bench/src/bin/paragonctl.rs
+
+crates/bench/src/bin/paragonctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paragonctl-aa1434d766d2466d.d: crates/bench/src/bin/paragonctl.rs
+
+/root/repo/target/debug/deps/paragonctl-aa1434d766d2466d: crates/bench/src/bin/paragonctl.rs
+
+crates/bench/src/bin/paragonctl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_equivalence-3440e5d16381d663.d: tests/prop_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_equivalence-3440e5d16381d663.rmeta: tests/prop_equivalence.rs Cargo.toml
+
+tests/prop_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

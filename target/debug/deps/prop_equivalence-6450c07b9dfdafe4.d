@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-6450c07b9dfdafe4.d: tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-6450c07b9dfdafe4: tests/prop_equivalence.rs
+
+tests/prop_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-1edf318a5632e58d.d: crates/ufs/tests/props.rs
+
+/root/repo/target/debug/deps/props-1edf318a5632e58d: crates/ufs/tests/props.rs
+
+crates/ufs/tests/props.rs:

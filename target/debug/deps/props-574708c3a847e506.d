@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-574708c3a847e506.d: crates/mesh/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-574708c3a847e506.rmeta: crates/mesh/tests/props.rs Cargo.toml
+
+crates/mesh/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

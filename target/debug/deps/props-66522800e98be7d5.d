@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-66522800e98be7d5.d: crates/disk/tests/props.rs
+
+/root/repo/target/debug/deps/props-66522800e98be7d5: crates/disk/tests/props.rs
+
+crates/disk/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b92dbba14353db87.d: crates/mesh/tests/props.rs
+
+/root/repo/target/debug/deps/props-b92dbba14353db87: crates/mesh/tests/props.rs
+
+crates/mesh/tests/props.rs:

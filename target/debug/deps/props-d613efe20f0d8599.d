@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-d613efe20f0d8599.d: crates/disk/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-d613efe20f0d8599.rmeta: crates/disk/tests/props.rs Cargo.toml
+
+crates/disk/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-f71d356014f5b376.d: crates/ufs/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-f71d356014f5b376.rmeta: crates/ufs/tests/props.rs Cargo.toml
+
+crates/ufs/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc_stress-2678a9cd7dc85ba2.d: crates/os/tests/rpc_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc_stress-2678a9cd7dc85ba2.rmeta: crates/os/tests/rpc_stress.rs Cargo.toml
+
+crates/os/tests/rpc_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

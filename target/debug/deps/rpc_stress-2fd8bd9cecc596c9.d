@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpc_stress-2fd8bd9cecc596c9.d: crates/os/tests/rpc_stress.rs
+
+/root/repo/target/debug/deps/rpc_stress-2fd8bd9cecc596c9: crates/os/tests/rpc_stress.rs
+
+crates/os/tests/rpc_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stripe_props-2265313e4b6982b1.d: crates/pfs/tests/stripe_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstripe_props-2265313e4b6982b1.rmeta: crates/pfs/tests/stripe_props.rs Cargo.toml
+
+crates/pfs/tests/stripe_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stripe_props-de16f7ba690fb9c7.d: crates/pfs/tests/stripe_props.rs
+
+/root/repo/target/debug/deps/stripe_props-de16f7ba690fb9c7: crates/pfs/tests/stripe_props.rs
+
+crates/pfs/tests/stripe_props.rs:

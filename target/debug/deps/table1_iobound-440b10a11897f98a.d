@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_iobound-440b10a11897f98a.d: crates/bench/src/bin/table1_iobound.rs
+
+/root/repo/target/debug/deps/table1_iobound-440b10a11897f98a: crates/bench/src/bin/table1_iobound.rs
+
+crates/bench/src/bin/table1_iobound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_iobound-636891ff173c1064.d: crates/bench/src/bin/table1_iobound.rs
+
+/root/repo/target/debug/deps/table1_iobound-636891ff173c1064: crates/bench/src/bin/table1_iobound.rs
+
+crates/bench/src/bin/table1_iobound.rs:

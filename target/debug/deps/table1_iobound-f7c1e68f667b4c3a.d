@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_iobound-f7c1e68f667b4c3a.d: crates/bench/src/bin/table1_iobound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_iobound-f7c1e68f667b4c3a.rmeta: crates/bench/src/bin/table1_iobound.rs Cargo.toml
+
+crates/bench/src/bin/table1_iobound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_access_times-439a5f602124dadf.d: crates/bench/src/bin/table2_access_times.rs
+
+/root/repo/target/debug/deps/table2_access_times-439a5f602124dadf: crates/bench/src/bin/table2_access_times.rs
+
+crates/bench/src/bin/table2_access_times.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_access_times-633f670a46304ed1.d: crates/bench/src/bin/table2_access_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_access_times-633f670a46304ed1.rmeta: crates/bench/src/bin/table2_access_times.rs Cargo.toml
+
+crates/bench/src/bin/table2_access_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

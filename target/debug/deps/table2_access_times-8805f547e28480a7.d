@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_access_times-8805f547e28480a7.d: crates/bench/src/bin/table2_access_times.rs
+
+/root/repo/target/debug/deps/table2_access_times-8805f547e28480a7: crates/bench/src/bin/table2_access_times.rs
+
+crates/bench/src/bin/table2_access_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_stripe_units-d7401f306ba8f44d.d: crates/bench/src/bin/table3_stripe_units.rs
+
+/root/repo/target/debug/deps/table3_stripe_units-d7401f306ba8f44d: crates/bench/src/bin/table3_stripe_units.rs
+
+crates/bench/src/bin/table3_stripe_units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_stripe_units-e2a48f68050f35f5.d: crates/bench/src/bin/table3_stripe_units.rs
+
+/root/repo/target/debug/deps/table3_stripe_units-e2a48f68050f35f5: crates/bench/src/bin/table3_stripe_units.rs
+
+crates/bench/src/bin/table3_stripe_units.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_stripe_groups-5e070693499838e8.d: crates/bench/src/bin/table4_stripe_groups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_stripe_groups-5e070693499838e8.rmeta: crates/bench/src/bin/table4_stripe_groups.rs Cargo.toml
+
+crates/bench/src/bin/table4_stripe_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

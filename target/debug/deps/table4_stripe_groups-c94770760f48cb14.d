@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_stripe_groups-c94770760f48cb14.d: crates/bench/src/bin/table4_stripe_groups.rs
+
+/root/repo/target/debug/deps/table4_stripe_groups-c94770760f48cb14: crates/bench/src/bin/table4_stripe_groups.rs
+
+crates/bench/src/bin/table4_stripe_groups.rs:

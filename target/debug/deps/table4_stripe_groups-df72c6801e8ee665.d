@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_stripe_groups-df72c6801e8ee665.d: crates/bench/src/bin/table4_stripe_groups.rs
+
+/root/repo/target/debug/deps/table4_stripe_groups-df72c6801e8ee665: crates/bench/src/bin/table4_stripe_groups.rs
+
+crates/bench/src/bin/table4_stripe_groups.rs:

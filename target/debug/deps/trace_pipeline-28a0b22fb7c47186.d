@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_pipeline-28a0b22fb7c47186.d: tests/trace_pipeline.rs
+
+/root/repo/target/debug/deps/trace_pipeline-28a0b22fb7c47186: tests/trace_pipeline.rs
+
+tests/trace_pipeline.rs:

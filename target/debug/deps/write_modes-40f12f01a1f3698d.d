@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/write_modes-40f12f01a1f3698d.d: crates/pfs/tests/write_modes.rs
+
+/root/repo/target/debug/deps/write_modes-40f12f01a1f3698d: crates/pfs/tests/write_modes.rs
+
+crates/pfs/tests/write_modes.rs:

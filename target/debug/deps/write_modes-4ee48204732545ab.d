@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/write_modes-4ee48204732545ab.d: crates/pfs/tests/write_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwrite_modes-4ee48204732545ab.rmeta: crates/pfs/tests/write_modes.rs Cargo.toml
+
+crates/pfs/tests/write_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint_restart-a84e9041f373614e.d: examples/checkpoint_restart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint_restart-a84e9041f373614e.rmeta: examples/checkpoint_restart.rs Cargo.toml
+
+examples/checkpoint_restart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-a92f372cf288f8cd.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-a92f372cf288f8cd: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

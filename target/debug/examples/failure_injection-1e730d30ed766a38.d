@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_injection-1e730d30ed766a38.d: examples/failure_injection.rs
+
+/root/repo/target/debug/examples/failure_injection-1e730d30ed766a38: examples/failure_injection.rs
+
+examples/failure_injection.rs:

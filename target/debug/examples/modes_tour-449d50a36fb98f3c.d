@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/modes_tour-449d50a36fb98f3c.d: examples/modes_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodes_tour-449d50a36fb98f3c.rmeta: examples/modes_tour.rs Cargo.toml
+
+examples/modes_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modes_tour-f6e78796e86f192d.d: examples/modes_tour.rs
+
+/root/repo/target/debug/examples/modes_tour-f6e78796e86f192d: examples/modes_tour.rs
+
+examples/modes_tour.rs:

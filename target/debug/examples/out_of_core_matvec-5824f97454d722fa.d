@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/out_of_core_matvec-5824f97454d722fa.d: examples/out_of_core_matvec.rs Cargo.toml
+
+/root/repo/target/debug/examples/libout_of_core_matvec-5824f97454d722fa.rmeta: examples/out_of_core_matvec.rs Cargo.toml
+
+examples/out_of_core_matvec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

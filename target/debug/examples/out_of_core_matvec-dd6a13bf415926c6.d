@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/out_of_core_matvec-dd6a13bf415926c6.d: examples/out_of_core_matvec.rs
+
+/root/repo/target/debug/examples/out_of_core_matvec-dd6a13bf415926c6: examples/out_of_core_matvec.rs
+
+examples/out_of_core_matvec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7bd326f3b176c94e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7bd326f3b176c94e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-9539bd87877e6624.d: crates/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-9539bd87877e6624.rlib: crates/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-9539bd87877e6624.rmeta: crates/bytes/src/lib.rs
+
+crates/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ablation-e00a985e278366d8.d: crates/bench/src/bin/ext_ablation.rs
+
+/root/repo/target/release/deps/ext_ablation-e00a985e278366d8: crates/bench/src/bin/ext_ablation.rs
+
+crates/bench/src/bin/ext_ablation.rs:

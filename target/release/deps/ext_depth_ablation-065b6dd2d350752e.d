@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_depth_ablation-065b6dd2d350752e.d: crates/bench/src/bin/ext_depth_ablation.rs
+
+/root/repo/target/release/deps/ext_depth_ablation-065b6dd2d350752e: crates/bench/src/bin/ext_depth_ablation.rs
+
+crates/bench/src/bin/ext_depth_ablation.rs:

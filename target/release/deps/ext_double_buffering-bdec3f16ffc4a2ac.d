@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_double_buffering-bdec3f16ffc4a2ac.d: crates/bench/src/bin/ext_double_buffering.rs
+
+/root/repo/target/release/deps/ext_double_buffering-bdec3f16ffc4a2ac: crates/bench/src/bin/ext_double_buffering.rs
+
+crates/bench/src/bin/ext_double_buffering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_patterns-eefe5c17d8e58e34.d: crates/bench/src/bin/ext_patterns.rs
+
+/root/repo/target/release/deps/ext_patterns-eefe5c17d8e58e34: crates/bench/src/bin/ext_patterns.rs
+
+crates/bench/src/bin/ext_patterns.rs:

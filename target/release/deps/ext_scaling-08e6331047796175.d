@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_scaling-08e6331047796175.d: crates/bench/src/bin/ext_scaling.rs
+
+/root/repo/target/release/deps/ext_scaling-08e6331047796175: crates/bench/src/bin/ext_scaling.rs
+
+crates/bench/src/bin/ext_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_scsi16-b383bee30bdc73f5.d: crates/bench/src/bin/ext_scsi16.rs
+
+/root/repo/target/release/deps/ext_scsi16-b383bee30bdc73f5: crates/bench/src/bin/ext_scsi16.rs
+
+crates/bench/src/bin/ext_scsi16.rs:

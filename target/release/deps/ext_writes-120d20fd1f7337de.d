@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_writes-120d20fd1f7337de.d: crates/bench/src/bin/ext_writes.rs
+
+/root/repo/target/release/deps/ext_writes-120d20fd1f7337de: crates/bench/src/bin/ext_writes.rs
+
+crates/bench/src/bin/ext_writes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_io_modes-9c77a3514b573fce.d: crates/bench/src/bin/fig2_io_modes.rs
+
+/root/repo/target/release/deps/fig2_io_modes-9c77a3514b573fce: crates/bench/src/bin/fig2_io_modes.rs
+
+crates/bench/src/bin/fig2_io_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_balanced-f37a704eb02deab1.d: crates/bench/src/bin/fig4_balanced.rs
+
+/root/repo/target/release/deps/fig4_balanced-f37a704eb02deab1: crates/bench/src/bin/fig4_balanced.rs
+
+crates/bench/src/bin/fig4_balanced.rs:

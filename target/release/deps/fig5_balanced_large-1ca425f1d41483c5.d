@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_balanced_large-1ca425f1d41483c5.d: crates/bench/src/bin/fig5_balanced_large.rs
+
+/root/repo/target/release/deps/fig5_balanced_large-1ca425f1d41483c5: crates/bench/src/bin/fig5_balanced_large.rs
+
+crates/bench/src/bin/fig5_balanced_large.rs:

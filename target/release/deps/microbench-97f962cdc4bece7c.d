@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-97f962cdc4bece7c.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-97f962cdc4bece7c: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

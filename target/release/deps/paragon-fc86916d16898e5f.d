@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/paragon-fc86916d16898e5f.d: src/lib.rs
+
+/root/repo/target/release/deps/libparagon-fc86916d16898e5f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparagon-fc86916d16898e5f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/paragon_bench-61a3fe805f72e476.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libparagon_bench-61a3fe805f72e476.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libparagon_bench-61a3fe805f72e476.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/paragon_core-d341f0c18b374718.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+/root/repo/target/release/deps/libparagon_core-d341f0c18b374718.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+/root/repo/target/release/deps/libparagon_core-d341f0c18b374718.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/engine.rs crates/core/src/predictor.rs crates/core/src/stats.rs crates/core/src/writeback.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/engine.rs:
+crates/core/src/predictor.rs:
+crates/core/src/stats.rs:
+crates/core/src/writeback.rs:

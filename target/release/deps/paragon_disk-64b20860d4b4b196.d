@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/paragon_disk-64b20860d4b4b196.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+/root/repo/target/release/deps/libparagon_disk-64b20860d4b4b196.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+/root/repo/target/release/deps/libparagon_disk-64b20860d4b4b196.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/params.rs crates/disk/src/raid.rs crates/disk/src/store.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/params.rs:
+crates/disk/src/raid.rs:
+crates/disk/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paragon_machine-d1f286f3ef1cc2b7.d: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+/root/repo/target/release/deps/libparagon_machine-d1f286f3ef1cc2b7.rlib: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+/root/repo/target/release/deps/libparagon_machine-d1f286f3ef1cc2b7.rmeta: crates/machine/src/lib.rs crates/machine/src/calib.rs crates/machine/src/machine.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/calib.rs:
+crates/machine/src/machine.rs:

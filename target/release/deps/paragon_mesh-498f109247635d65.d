@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paragon_mesh-498f109247635d65.d: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libparagon_mesh-498f109247635d65.rlib: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libparagon_mesh-498f109247635d65.rmeta: crates/mesh/src/lib.rs crates/mesh/src/net.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/net.rs:
+crates/mesh/src/topology.rs:

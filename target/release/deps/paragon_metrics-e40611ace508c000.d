@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/paragon_metrics-e40611ace508c000.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libparagon_metrics-e40611ace508c000.rlib: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libparagon_metrics-e40611ace508c000.rmeta: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/hist.rs crates/metrics/src/json.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/hist.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:

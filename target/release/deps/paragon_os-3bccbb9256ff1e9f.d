@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paragon_os-3bccbb9256ff1e9f.d: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+/root/repo/target/release/deps/libparagon_os-3bccbb9256ff1e9f.rlib: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+/root/repo/target/release/deps/libparagon_os-3bccbb9256ff1e9f.rmeta: crates/os/src/lib.rs crates/os/src/art.rs crates/os/src/rpc.rs
+
+crates/os/src/lib.rs:
+crates/os/src/art.rs:
+crates/os/src/rpc.rs:

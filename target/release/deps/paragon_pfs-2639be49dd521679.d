@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/paragon_pfs-2639be49dd521679.d: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+/root/repo/target/release/deps/libparagon_pfs-2639be49dd521679.rlib: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+/root/repo/target/release/deps/libparagon_pfs-2639be49dd521679.rmeta: crates/pfs/src/lib.rs crates/pfs/src/client.rs crates/pfs/src/fs.rs crates/pfs/src/meta.rs crates/pfs/src/modes.rs crates/pfs/src/pointer.rs crates/pfs/src/proto.rs crates/pfs/src/server.rs crates/pfs/src/stripe.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/client.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/meta.rs:
+crates/pfs/src/modes.rs:
+crates/pfs/src/pointer.rs:
+crates/pfs/src/proto.rs:
+crates/pfs/src/server.rs:
+crates/pfs/src/stripe.rs:

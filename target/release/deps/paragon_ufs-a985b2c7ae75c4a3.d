@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/paragon_ufs-a985b2c7ae75c4a3.d: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+/root/repo/target/release/deps/libparagon_ufs-a985b2c7ae75c4a3.rlib: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+/root/repo/target/release/deps/libparagon_ufs-a985b2c7ae75c4a3.rmeta: crates/ufs/src/lib.rs crates/ufs/src/alloc.rs crates/ufs/src/cache.rs crates/ufs/src/fs.rs crates/ufs/src/inode.rs
+
+crates/ufs/src/lib.rs:
+crates/ufs/src/alloc.rs:
+crates/ufs/src/cache.rs:
+crates/ufs/src/fs.rs:
+crates/ufs/src/inode.rs:

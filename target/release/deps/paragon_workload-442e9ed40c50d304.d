@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/paragon_workload-442e9ed40c50d304.d: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+/root/repo/target/release/deps/libparagon_workload-442e9ed40c50d304.rlib: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+/root/repo/target/release/deps/libparagon_workload-442e9ed40c50d304.rmeta: crates/workload/src/lib.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/result.rs crates/workload/src/spans.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/config.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/result.rs:
+crates/workload/src/spans.rs:

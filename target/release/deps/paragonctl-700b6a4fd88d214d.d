@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paragonctl-700b6a4fd88d214d.d: crates/bench/src/bin/paragonctl.rs
+
+/root/repo/target/release/deps/paragonctl-700b6a4fd88d214d: crates/bench/src/bin/paragonctl.rs
+
+crates/bench/src/bin/paragonctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_iobound-e9566d9923540e91.d: crates/bench/src/bin/table1_iobound.rs
+
+/root/repo/target/release/deps/table1_iobound-e9566d9923540e91: crates/bench/src/bin/table1_iobound.rs
+
+crates/bench/src/bin/table1_iobound.rs:

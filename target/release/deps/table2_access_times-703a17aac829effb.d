@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_access_times-703a17aac829effb.d: crates/bench/src/bin/table2_access_times.rs
+
+/root/repo/target/release/deps/table2_access_times-703a17aac829effb: crates/bench/src/bin/table2_access_times.rs
+
+crates/bench/src/bin/table2_access_times.rs:

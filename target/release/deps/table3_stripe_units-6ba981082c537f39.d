@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_stripe_units-6ba981082c537f39.d: crates/bench/src/bin/table3_stripe_units.rs
+
+/root/repo/target/release/deps/table3_stripe_units-6ba981082c537f39: crates/bench/src/bin/table3_stripe_units.rs
+
+crates/bench/src/bin/table3_stripe_units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_stripe_groups-87b200aa50fdfc8c.d: crates/bench/src/bin/table4_stripe_groups.rs
+
+/root/repo/target/release/deps/table4_stripe_groups-87b200aa50fdfc8c: crates/bench/src/bin/table4_stripe_groups.rs
+
+crates/bench/src/bin/table4_stripe_groups.rs:

@@ -47,7 +47,10 @@ fn balanced_workload_prefetching_wins_when_delay_matches_read_time() {
     let no_pf = run(&cfg);
     let pf = run(&cfg.clone().with_prefetch());
     let gain = pf.bandwidth_mb_s() / no_pf.bandwidth_mb_s();
-    assert!(gain > 1.25, "expected a significant balanced win, got {gain}");
+    assert!(
+        gain > 1.25,
+        "expected a significant balanced win, got {gain}"
+    );
     // With delay < T the hit is typically still in flight — "even if at
     // the time of a read request the data is not available ... if most of
     // the read is already done, the performance benefits can be
@@ -101,7 +104,10 @@ fn striping_across_eight_beats_eight_ways_on_one() {
     narrow_cfg.layout = StripeLayout::WaysOnOne { ways: 8, ion: 0 };
     let narrow = run(&narrow_cfg);
     let speedup = wide.bandwidth_mb_s() / narrow.bandwidth_mb_s();
-    assert!(speedup > 2.0, "8-node stripe group should win big: {speedup}");
+    assert!(
+        speedup > 2.0,
+        "8-node stripe group should win big: {speedup}"
+    );
 }
 
 #[test]
@@ -118,7 +124,10 @@ fn mode_ordering_matches_figure_2() {
     let r#async = bw(IoMode::MAsync);
     assert!(unix < sync, "M_UNIX serializes: {unix} !< {sync}");
     assert!(sync < record, "M_SYNC coordinates: {sync} !< {record}");
-    assert!(log < record, "M_LOG pays the pointer server: {log} !< {record}");
+    assert!(
+        log < record,
+        "M_LOG pays the pointer server: {log} !< {record}"
+    );
     assert!(
         record <= r#async * 1.01,
         "M_RECORD bookkeeping: {record} !<= {async}"
@@ -146,12 +155,7 @@ fn prefetching_hides_latency_it_claims_to_hide() {
     let mut cfg = testbed(64 * 1024);
     cfg.delay = SimDuration::from_millis(25);
     let pf = run(&cfg.with_prefetch());
-    let max_read = pf
-        .per_node
-        .iter()
-        .map(|n| n.read_time_max)
-        .max()
-        .unwrap();
+    let max_read = pf.per_node.iter().map(|n| n.read_time_max).max().unwrap();
     let bound = max_read * pf.prefetch.issued.max(1);
     assert!(pf.prefetch.overlap_saved > SimDuration::ZERO);
     assert!(pf.prefetch.overlap_saved < bound);

@@ -4,12 +4,10 @@
 
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
 use paragon::machine::{Machine, MachineConfig};
 use paragon::pfs::{pattern_byte, IoMode, OpenOptions, ParallelFs, StripeAttrs};
 use paragon::prefetch::{PrefetchConfig, PrefetchingFile};
-use paragon::sim::Sim;
+use paragon::sim::{Rng, Sim};
 
 /// One node's access script: a list of read sizes (mode-driven offsets).
 #[derive(Debug, Clone)]
@@ -22,27 +20,19 @@ struct Script {
     depth: u32,
 }
 
-fn scripts() -> impl Strategy<Value = Script> {
-    (
-        prop_oneof![
-            Just(IoMode::MRecord),
-            Just(IoMode::MAsync),
-            Just(IoMode::MGlobal)
-        ],
-        1usize..5,
-        prop_oneof![Just(4096u64), Just(10_000), Just(65_536)],
-        1usize..4,
-        prop::collection::vec(1u32..40_000, 1..12),
-        1u32..4,
-    )
-        .prop_map(|(mode, nprocs, stripe_unit, io_nodes, reads, depth)| Script {
-            mode,
-            nprocs,
-            stripe_unit,
-            io_nodes,
-            reads,
-            depth,
-        })
+fn random_script(rng: &mut Rng) -> Script {
+    let mode = [IoMode::MRecord, IoMode::MAsync, IoMode::MGlobal][rng.range_usize(0..3)];
+    let stripe_unit = [4096u64, 10_000, 65_536][rng.range_usize(0..3)];
+    Script {
+        mode,
+        nprocs: rng.range_usize(1..5),
+        stripe_unit,
+        io_nodes: rng.range_usize(1..4),
+        reads: (0..rng.range_usize(1..12))
+            .map(|_| rng.range_u64(1..40_000) as u32)
+            .collect(),
+        depth: rng.range_u64(1..4) as u32,
+    }
 }
 
 /// Run one node's script and return the concatenated bytes it read.
@@ -100,13 +90,18 @@ fn run_script(s: &Script, prefetch: bool) -> Vec<u8> {
     h.try_take().expect("script completed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn prefetching_is_invisible_to_the_application(s in scripts()) {
+#[test]
+fn prefetching_is_invisible_to_the_application() {
+    let mut rng = Rng::seed_from_u64(0xe9a1);
+    let n_cases = if cfg!(feature = "heavy-tests") {
+        192
+    } else {
+        24
+    };
+    for _ in 0..n_cases {
+        let s = random_script(&mut rng);
         let plain = run_script(&s, false);
         let prefetched = run_script(&s, true);
-        prop_assert_eq!(plain, prefetched, "prefetching changed data: {:?}", s);
+        assert_eq!(plain, prefetched, "prefetching changed data: {s:?}");
     }
 }
