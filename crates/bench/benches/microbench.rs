@@ -79,12 +79,12 @@ fn bench_disk() {
         let disk = Disk::new(&sim, DiskParams::scsi_1995(), SchedPolicy::Elevator, "b");
         let d2 = disk.clone();
         sim.spawn(async move {
-            d2.write(0, Bytes::from(vec![1u8; 1 << 20])).await;
+            d2.write(0, Bytes::from(vec![1u8; 1 << 20])).await.unwrap();
         });
         sim.run();
         sim.spawn(async move {
             for i in 0..1000u64 {
-                disk.read((i * 1024) % (1 << 20), 1024).await;
+                disk.read((i * 1024) % (1 << 20), 1024).await.unwrap();
             }
         });
         sim.run().events_processed
@@ -94,7 +94,7 @@ fn bench_disk() {
 fn end_to_end_cfg() -> paragon_workload::ExperimentConfig {
     use paragon_machine::Calibration;
     use paragon_pfs::IoMode;
-    use paragon_workload::{AccessPattern, ExperimentConfig, StripeLayout};
+    use paragon_workload::{AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
     ExperimentConfig {
         seed: 1,
         compute_nodes: 4,
@@ -112,6 +112,7 @@ fn end_to_end_cfg() -> paragon_workload::ExperimentConfig {
         separate_files: false,
         verify_data: false,
         trace_cap: 0,
+        faults: FaultSpec::default(),
     }
 }
 

@@ -54,6 +54,10 @@ pub struct PrefetchConfig {
     pub copy_bw: f64,
     /// Predictor selection.
     pub predictor: PredictorKind,
+    /// Consecutive failed prefetches before the engine throttles itself
+    /// (stops issuing speculation and serves demand reads only); the same
+    /// count of consecutive good demand reads re-enables it.
+    pub fault_threshold: u32,
 }
 
 impl PrefetchConfig {
@@ -66,6 +70,7 @@ impl PrefetchConfig {
             max_buffer_bytes: 4 << 20,
             copy_bw: 45e6,
             predictor: PredictorKind::ModeDefault,
+            fault_threshold: 3,
         }
     }
 
@@ -89,6 +94,11 @@ pub struct PrefetchingFile {
     list: RefCell<PrefetchList>,
     stats: Rc<RefCell<PrefetchStats>>,
     closed: std::cell::Cell<bool>,
+    /// Consecutive prefetches that came back failed (resets on any good
+    /// prefetch or, while throttled, counts good demand reads instead).
+    fault_streak: std::cell::Cell<u32>,
+    /// Quarantine flag: while set, no new speculation is issued.
+    throttled: std::cell::Cell<bool>,
 }
 
 impl PrefetchingFile {
@@ -119,6 +129,8 @@ impl PrefetchingFile {
             predictor: RefCell::new(predictor),
             stats: Rc::new(RefCell::new(PrefetchStats::default())),
             closed: std::cell::Cell::new(false),
+            fault_streak: std::cell::Cell::new(0),
+            throttled: std::cell::Cell::new(false),
         }
     }
 
@@ -171,7 +183,9 @@ impl PrefetchingFile {
                 self.sim
                     .emit(|| ev(cn, EventKind::PrefetchMiss, req, offset, len as u64));
                 self.stats.borrow_mut().misses += 1;
-                self.file.transfer_read_tagged(offset, len, req).await?
+                let data = self.file.transfer_read_tagged(offset, len, req).await?;
+                self.note_good_read();
+                data
             }
         };
         self.predictor.borrow_mut().observe(offset, len);
@@ -187,24 +201,28 @@ impl PrefetchingFile {
     ) -> Result<Bytes, PfsError> {
         let arrived_at = self.sim.now();
         let ready = entry.is_ready();
-        {
-            let mut st = self.stats.borrow_mut();
-            if ready {
-                st.hits_ready += 1;
-                if let Some(done) = entry.handle.completed_at() {
-                    st.overlap_saved += done.saturating_since(entry.handle.submitted_at());
-                }
-            } else {
-                st.hits_inflight += 1;
-                st.overlap_saved += arrived_at.saturating_since(entry.handle.submitted_at());
-            }
-        }
         let result = entry.handle.join().await;
         if !ready {
             self.stats.borrow_mut().inflight_wait += self.sim.now().saturating_since(arrived_at);
         }
         match result {
             Ok(data) => {
+                // Count the hit only now that the buffer proved good: a
+                // failed prefetch is accounted a miss (the demand
+                // fallback is what actually serves the read).
+                {
+                    let mut st = self.stats.borrow_mut();
+                    if ready {
+                        st.hits_ready += 1;
+                        if let Some(done) = entry.handle.completed_at() {
+                            st.overlap_saved += done.saturating_since(entry.handle.submitted_at());
+                        }
+                    } else {
+                        st.hits_inflight += 1;
+                        st.overlap_saved +=
+                            arrived_at.saturating_since(entry.handle.submitted_at());
+                    }
+                }
                 // The hit pays the prefetch-buffer → user-buffer copy.
                 self.sim
                     .sleep(SimDuration::for_bytes(len as u64, self.cfg.copy_bw))
@@ -220,20 +238,84 @@ impl PrefetchingFile {
                         len as u64,
                     )
                 });
+                self.note_good_read();
                 Ok(data.slice(0..len as usize))
             }
             Err(_) => {
-                // The speculation failed (e.g. raced a truncate); fall back
-                // to a demand read rather than surfacing a phantom error.
-                self.stats.borrow_mut().wasted += 1;
-                self.file.transfer_read(offset, len).await
+                // The speculation failed (injected fault, raced a
+                // truncate, …): quarantine the buffer and fall back to a
+                // demand read rather than surfacing a phantom error — the
+                // demand path carries its own retry policy.
+                {
+                    let mut st = self.stats.borrow_mut();
+                    st.misses += 1;
+                    st.wasted += 1;
+                }
+                self.note_prefetch_fault(entry.req, offset, len);
+                let data = self.file.transfer_read(offset, len).await?;
+                self.note_good_read();
+                Ok(data)
             }
         }
+    }
+
+    /// A prefetched buffer joined with an error: count it, trace it, and
+    /// — after `fault_threshold` consecutive failures — throttle all
+    /// further speculation so a sick I/O path is not hammered with
+    /// requests nobody is waiting on.
+    fn note_prefetch_fault(&self, req: paragon_sim::ReqId, offset: u64, len: u32) {
+        let cn = Track::Cn(self.file.rank());
+        self.stats.borrow_mut().faults += 1;
+        self.sim
+            .emit(|| ev(cn, EventKind::PrefetchFault, req, offset, len as u64));
+        if !self.throttled.get() {
+            let streak = self.fault_streak.get() + 1;
+            self.fault_streak.set(streak);
+            if streak >= self.cfg.fault_threshold {
+                self.throttled.set(true);
+                self.fault_streak.set(0);
+                self.stats.borrow_mut().throttles += 1;
+                self.sim
+                    .emit(|| ev(cn, EventKind::PrefetchThrottle, req, streak as u64, 0));
+            }
+        }
+    }
+
+    /// A read (hit consumption, fallback, or demand miss) completed
+    /// cleanly. Healthy engine: clear the fault streak. Throttled engine:
+    /// count it toward recovery, and after `fault_threshold` consecutive
+    /// good reads resume speculation.
+    fn note_good_read(&self) {
+        if !self.throttled.get() {
+            self.fault_streak.set(0);
+            return;
+        }
+        let good = self.fault_streak.get() + 1;
+        self.fault_streak.set(good);
+        if good >= self.cfg.fault_threshold {
+            self.throttled.set(false);
+            self.fault_streak.set(0);
+            self.stats.borrow_mut().resumes += 1;
+            let cn = Track::Cn(self.file.rank());
+            self.sim
+                .emit(|| ev(cn, EventKind::PrefetchResume, 0, good as u64, 0));
+        }
+    }
+
+    /// Is speculation currently quarantined by the fault throttle?
+    pub fn is_throttled(&self) -> bool {
+        self.throttled.get()
     }
 
     /// Issue asynchronous reads for the next `depth` anticipated requests
     /// that are not already buffered and do not run past EOF.
     async fn issue_prefetches(&self, len: u32) {
+        if self.throttled.get() {
+            // Quarantined: the I/O path is failing prefetches; issue no
+            // speculation until demand reads prove it healthy again.
+            self.stats.borrow_mut().throttled_skips += self.cfg.depth as u64;
+            return;
+        }
         let size = self.file.size();
         for k in 1..=self.cfg.depth {
             let target = {
@@ -559,6 +641,60 @@ mod tests {
         assert_eq!(stats.hits(), 0);
         assert_eq!(stats.issued, stats.wasted); // anything issued was wrong
         assert!(stats.suppressed >= 1);
+    }
+
+    #[test]
+    fn failed_prefetches_throttle_then_resume() {
+        // Real 1995 latencies so the prefetch pipelined by the second
+        // read is guaranteed still short of the disks when the fault
+        // plan arms; its member-0 read then fails, the engine
+        // quarantines itself (threshold 1), and the demand fallback —
+        // served after the scheduled transient is exhausted — both
+        // returns correct data and re-enables speculation.
+        let sim = Sim::new(11);
+        let machine = Rc::new(Machine::new(
+            &sim,
+            MachineConfig {
+                compute_nodes: 1,
+                io_nodes: 2,
+                calib: paragon_machine::Calibration::paragon_1995(),
+            },
+        ));
+        let pfs = ParallelFs::new(machine);
+        let faults = sim.faults();
+        let h = sim.spawn(async move {
+            let id = pfs
+                .create("/pfs/t", StripeAttrs::across(2, 16 * KB))
+                .await
+                .unwrap();
+            pfs.populate_with(id, 1024 * KB, |i| pattern_byte(13, i))
+                .await
+                .unwrap();
+            let f = pfs
+                .open(0, 1, id, IoMode::MAsync, OpenOptions::default())
+                .unwrap();
+            let mut cfg = PrefetchConfig::paper_prototype();
+            cfg.fault_threshold = 1;
+            let pf = PrefetchingFile::new(f, cfg);
+            for i in 0..2u64 {
+                let data = pf.read(32 * 1024).await.unwrap();
+                assert_eq!(&data[..], &pattern_slice(13, i * 32 * KB, 32 * 1024)[..]);
+            }
+            faults.schedule_disk_transients(0, 1);
+            faults.arm();
+            for i in 2..5u64 {
+                let data = pf.read(32 * 1024).await.unwrap();
+                assert_eq!(&data[..], &pattern_slice(13, i * 32 * KB, 32 * 1024)[..]);
+            }
+            assert!(!pf.is_throttled(), "engine must have resumed");
+            pf.close().await
+        });
+        sim.run();
+        let stats = h.try_take().expect("body did not complete");
+        assert_eq!(stats.faults, 1, "exactly the one injected fault");
+        assert_eq!(stats.throttles, 1);
+        assert_eq!(stats.resumes, 1);
+        assert!(stats.hits() >= 1, "post-resume prefetches hit again");
     }
 
     #[test]

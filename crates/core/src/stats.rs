@@ -28,6 +28,17 @@ pub struct PrefetchStats {
     /// `wasted`): the transfer keeps running on its ART, the data is
     /// dropped on arrival.
     pub cancelled: u64,
+    /// Prefetches that completed with an error (injected fault, device
+    /// failure); each is also `wasted`, and each triggered a demand-read
+    /// fallback.
+    pub faults: u64,
+    /// Times the engine quarantined itself after a run of failed
+    /// prefetches.
+    pub throttles: u64,
+    /// Times the engine resumed speculation after a throttle.
+    pub resumes: u64,
+    /// Prefetch slots skipped while throttled.
+    pub throttled_skips: u64,
     /// Bytes copied prefetch buffer → user buffer (the extra copy Fast
     /// Path would have avoided).
     pub bytes_copied: u64,
@@ -79,6 +90,10 @@ impl PrefetchStats {
         self.misses += other.misses;
         self.wasted += other.wasted;
         self.cancelled += other.cancelled;
+        self.faults += other.faults;
+        self.throttles += other.throttles;
+        self.resumes += other.resumes;
+        self.throttled_skips += other.throttled_skips;
         self.bytes_copied += other.bytes_copied;
         self.overlap_saved += other.overlap_saved;
         self.inflight_wait += other.inflight_wait;
@@ -113,6 +128,10 @@ mod tests {
             misses: 5,
             wasted: 6,
             cancelled: 1,
+            faults: 2,
+            throttles: 1,
+            resumes: 1,
+            throttled_skips: 3,
             bytes_copied: 7,
             overlap_saved: SimDuration::from_millis(8),
             inflight_wait: SimDuration::from_millis(9),
@@ -121,6 +140,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.issued, 2);
         assert_eq!(a.misses, 10);
+        assert_eq!(a.faults, 4);
+        assert_eq!(a.throttles, 2);
+        assert_eq!(a.resumes, 2);
+        assert_eq!(a.throttled_skips, 6);
         assert_eq!(a.overlap_saved, SimDuration::from_millis(16));
         assert_eq!(a.demand_reads(), 24);
     }

@@ -8,10 +8,34 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use paragon_sim::sync::{channel, oneshot, OneshotSender, Receiver, Sender};
-use paragon_sim::{ev, EventKind, ReqId, Rng, Sim, SimDuration, Track};
+use paragon_sim::{ev, DiskFault, EventKind, FaultPlan, ReqId, Rng, Sim, SimDuration, Track};
 
 use crate::params::{DiskParams, SchedPolicy};
 use crate::store::BlockStore;
+
+/// Why a disk request failed. Injected by the simulation's
+/// [`FaultPlan`]; never produced on a healthy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// One-shot media error; a retry of the same request may succeed.
+    Transient,
+    /// The member is dead: every request fails until the plan revives it.
+    Dead,
+    /// The disk's server task is gone (simulated controller crash).
+    Down,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Transient => write!(f, "transient media error"),
+            DiskError::Dead => write!(f, "disk dead"),
+            DiskError::Down => write!(f, "disk server down"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
 
 /// A disk operation.
 #[derive(Debug, Clone)]
@@ -40,7 +64,7 @@ impl DiskOp {
 struct DiskRequest {
     op: DiskOp,
     req: ReqId,
-    reply: OneshotSender<Bytes>,
+    reply: OneshotSender<Result<Bytes, DiskError>>,
 }
 
 /// Cumulative per-disk counters, readable while the simulation runs.
@@ -62,6 +86,8 @@ pub struct DiskStats {
     pub far_seeks: u64,
     /// Deepest queue observed.
     pub max_queue_depth: usize,
+    /// Requests failed by fault injection.
+    pub faulted: u64,
 }
 
 /// Handle to a simulated disk. Clone freely; all clones enqueue to the same
@@ -94,9 +120,12 @@ impl Disk {
         };
         let rng = sim.rng(&format!("disk.{label}"));
         let sim2 = sim.clone();
+        let faults = sim.faults();
         sim.spawn_named(
             "disk-server",
-            server_loop(sim2, rx, params, policy, stats, slowdown, rng, track),
+            server_loop(
+                sim2, rx, params, policy, stats, slowdown, rng, track, faults,
+            ),
         );
         disk
     }
@@ -108,41 +137,49 @@ impl Disk {
     }
 
     /// Read `len` bytes at `offset`; resolves when the media transfer ends.
-    pub async fn read(&self, offset: u64, len: u32) -> Bytes {
+    /// Fails only under fault injection (a crashed server task or an
+    /// injected media error).
+    pub async fn read(&self, offset: u64, len: u32) -> Result<Bytes, DiskError> {
         self.read_req(offset, len, 0).await
     }
 
     /// [`Disk::read`] under flight-recorder request context `req`.
-    pub async fn read_req(&self, offset: u64, len: u32, req: ReqId) -> Bytes {
+    pub async fn read_req(&self, offset: u64, len: u32, req: ReqId) -> Result<Bytes, DiskError> {
         let (otx, orx) = oneshot();
-        self.tx
+        if self
+            .tx
             .send(DiskRequest {
                 op: DiskOp::Read { offset, len },
                 req,
                 reply: otx,
             })
-            .ok()
-            .expect("disk server task terminated");
-        orx.await.expect("disk server dropped request")
+            .is_err()
+        {
+            return Err(DiskError::Down);
+        }
+        orx.await.unwrap_or(Err(DiskError::Down))
     }
 
     /// Write `data` at `offset`; resolves when the media transfer ends.
-    pub async fn write(&self, offset: u64, data: Bytes) {
+    pub async fn write(&self, offset: u64, data: Bytes) -> Result<(), DiskError> {
         self.write_req(offset, data, 0).await
     }
 
     /// [`Disk::write`] under flight-recorder request context `req`.
-    pub async fn write_req(&self, offset: u64, data: Bytes, req: ReqId) {
+    pub async fn write_req(&self, offset: u64, data: Bytes, req: ReqId) -> Result<(), DiskError> {
         let (otx, orx) = oneshot();
-        self.tx
+        if self
+            .tx
             .send(DiskRequest {
                 op: DiskOp::Write { offset, data },
                 req,
                 reply: otx,
             })
-            .ok()
-            .expect("disk server task terminated");
-        orx.await.expect("disk server dropped request");
+            .is_err()
+        {
+            return Err(DiskError::Down);
+        }
+        orx.await.unwrap_or(Err(DiskError::Down)).map(|_| ())
     }
 
     /// Snapshot of the disk's counters.
@@ -168,6 +205,7 @@ async fn server_loop(
     slowdown: Rc<Cell<f64>>,
     mut rng: Rng,
     track: Rc<Cell<Track>>,
+    faults: FaultPlan,
 ) {
     let mut store = BlockStore::new();
     // Head position: byte offset just past the last serviced request.
@@ -206,12 +244,11 @@ async fn server_loop(
 
         let key = match policy {
             SchedPolicy::Fifo => {
-                // Earliest arrival.
-                *pending
-                    .iter()
-                    .min_by_key(|((_, seq), _)| *seq)
-                    .map(|(k, _)| k)
-                    .expect("pending nonempty")
+                // Earliest arrival (pending is nonempty here).
+                match pending.iter().min_by_key(|((_, seq), _)| *seq) {
+                    Some((k, _)) => *k,
+                    None => continue,
+                }
             }
             SchedPolicy::Elevator => {
                 // N-step SCAN: snapshot the queue, serve it in offset
@@ -223,13 +260,34 @@ async fn server_loop(
                     // serve descending from the back for O(1) pops.
                     sweep.reverse();
                 }
-                sweep.pop().expect("sweep refilled from nonempty pending")
+                match sweep.pop() {
+                    Some(k) => k,
+                    None => continue,
+                }
             }
         };
-        let req = pending.remove(&key).expect("key just selected");
+        let Some(req) = pending.remove(&key) else {
+            continue;
+        };
 
         let offset = req.op.offset();
         let len = req.op.len();
+
+        // Consult the fault plan. A dead member fails fast (the controller
+        // knows the device is gone); a transient media error is discovered
+        // only after the service attempt, so it still charges full time.
+        let fault = match (track.get(), &req.op) {
+            (Track::Disk(i), DiskOp::Read { .. }) => faults.disk_read_fault(i),
+            (Track::Disk(i), DiskOp::Write { .. }) => faults.disk_write_fault(i),
+            _ => None,
+        };
+        if fault == Some(DiskFault::Dead) {
+            sim.emit(|| ev(track.get(), EventKind::FaultDiskError, req.req, offset, len));
+            stats.borrow_mut().faulted += 1;
+            req.reply.send(Err(DiskError::Dead));
+            continue;
+        }
+
         let service = service_time(&params, &mut segments, head, offset, len, &mut rng, &stats);
         let service = scale(service, slowdown.get());
         sim.emit(|| ev(track.get(), EventKind::DiskStart, req.req, offset, len));
@@ -242,16 +300,22 @@ async fn server_loop(
             st.requests += 1;
             st.busy += service;
         }
+        if fault == Some(DiskFault::Transient) {
+            sim.emit(|| ev(track.get(), EventKind::FaultDiskError, req.req, offset, len));
+            stats.borrow_mut().faulted += 1;
+            req.reply.send(Err(DiskError::Transient));
+            continue;
+        }
         match req.op {
             DiskOp::Read { offset, len } => {
                 stats.borrow_mut().bytes_read += len as u64;
                 let data = store.read(offset, len as usize);
-                req.reply.send(data);
+                req.reply.send(Ok(data));
             }
             DiskOp::Write { offset, data } => {
                 stats.borrow_mut().bytes_written += data.len() as u64;
                 store.write(offset, &data);
-                req.reply.send(Bytes::new());
+                req.reply.send(Ok(Bytes::new()));
             }
         }
     }
@@ -297,12 +361,8 @@ impl Segments {
         }
         if self.slots.len() < self.cap {
             self.slots.push((end, clock));
-        } else {
-            let lru = self
-                .slots
-                .iter_mut()
-                .min_by_key(|(_, stamp)| *stamp)
-                .expect("cap >= 1");
+        } else if let Some(lru) = self.slots.iter_mut().min_by_key(|(_, stamp)| *stamp) {
+            // cap >= 1, so a full slot list always has an LRU entry.
             *lru = (end, clock);
         }
     }
@@ -374,8 +434,8 @@ mod tests {
         let d2 = disk.clone();
         let h = sim.spawn(async move {
             let payload = Bytes::from(vec![0xabu8; 4096]);
-            d2.write(1000, payload.clone()).await;
-            let back = d2.read(1000, 4096).await;
+            d2.write(1000, payload.clone()).await.unwrap();
+            let back = d2.read(1000, 4096).await.unwrap();
             back == payload
         });
         sim.run();
@@ -388,7 +448,7 @@ mod tests {
         let disk = fixed_disk(&sim, 1_000_000.0);
         let d2 = disk.clone();
         let h = sim.spawn(async move {
-            d2.read(0, 500_000).await;
+            d2.read(0, 500_000).await.unwrap();
         });
         sim.run();
         drop(h);
@@ -406,7 +466,7 @@ mod tests {
             let d = disk.clone();
             let o = order.clone();
             sim.spawn(async move {
-                d.read(off, 1000).await;
+                d.read(off, 1000).await.unwrap();
                 o.borrow_mut().push(off);
             });
         }
@@ -424,7 +484,7 @@ mod tests {
         let s0 = sim.clone();
         // Occupy the disk so the following three requests queue up together.
         sim.spawn(async move {
-            d0.read(0, 100_000).await;
+            d0.read(0, 100_000).await.unwrap();
             o0.borrow_mut().push(0);
         });
         for off in [900_000u64, 200_000, 500_000] {
@@ -434,7 +494,7 @@ mod tests {
             sim.spawn(async move {
                 // Arrive while the first request is being serviced.
                 s.sleep(SimDuration::from_millis(10)).await;
-                d.read(off, 1000).await;
+                d.read(off, 1000).await.unwrap();
                 o.borrow_mut().push(off);
             });
         }
@@ -451,7 +511,7 @@ mod tests {
         let d = disk.clone();
         sim.spawn(async move {
             for i in 0..8u64 {
-                d.read(i * 64 * 1024, 64 * 1024).await;
+                d.read(i * 64 * 1024, 64 * 1024).await.unwrap();
             }
         });
         sim.run();
@@ -472,7 +532,7 @@ mod tests {
             // Touch ten scattered regions: each first touch is a fresh
             // stream the segment cache has never seen.
             for i in 1..=10u64 {
-                d.read(i * 512 * 1024 * 1024, 8 * 1024).await;
+                d.read(i * 512 * 1024 * 1024, 8 * 1024).await.unwrap();
             }
         });
         sim.run();
@@ -492,8 +552,8 @@ mod tests {
         let d = disk.clone();
         sim.spawn(async move {
             for i in 0..6u64 {
-                d.read(i * 64 * 1024, 64 * 1024).await; // stream A
-                d.read(1 << 30 | (i * 64 * 1024), 64 * 1024).await; // stream B
+                d.read(i * 64 * 1024, 64 * 1024).await.unwrap(); // stream A
+                d.read(1 << 30 | (i * 64 * 1024), 64 * 1024).await.unwrap(); // stream B
             }
         });
         sim.run();
@@ -509,7 +569,7 @@ mod tests {
         disk.set_slowdown(3.0);
         let d = disk.clone();
         let h = sim.spawn(async move {
-            d.read(0, 100_000).await;
+            d.read(0, 100_000).await.unwrap();
         });
         let report = sim.run();
         drop(h);
@@ -527,10 +587,60 @@ mod tests {
         for i in 0..5u64 {
             let d = disk.clone();
             sim.spawn(async move {
-                d.read(i * 1000, 1000).await;
+                d.read(i * 1000, 1000).await.unwrap();
             });
         }
         sim.run();
         assert!(disk.stats().max_queue_depth >= 4);
+    }
+
+    #[test]
+    fn injected_transient_error_fails_once_then_recovers() {
+        let sim = Sim::new(1);
+        let disk = fixed_disk(&sim, 1e6);
+        disk.set_track(Track::Disk(0));
+        sim.faults().schedule_disk_transients(0, 1);
+        sim.faults().arm();
+        let d = disk.clone();
+        let h = sim.spawn(async move {
+            d.write(0, Bytes::from(vec![7u8; 64])).await.unwrap();
+            let first = d.read(0, 64).await;
+            let second = d.read(0, 64).await;
+            (first, second)
+        });
+        sim.run();
+        let (first, second) = h.try_take().unwrap();
+        assert_eq!(first, Err(DiskError::Transient));
+        assert_eq!(second.unwrap(), Bytes::from(vec![7u8; 64]));
+        assert_eq!(disk.stats().faulted, 1);
+    }
+
+    #[test]
+    fn dead_disk_fails_fast_without_charging_service() {
+        let sim = Sim::new(1);
+        let disk = fixed_disk(&sim, 1e6);
+        disk.set_track(Track::Disk(4));
+        sim.faults().kill_disk(4);
+        sim.faults().arm();
+        let d = disk.clone();
+        let h = sim.spawn(async move { d.read(0, 500_000).await });
+        let report = sim.run();
+        assert_eq!(h.try_take(), Some(Err(DiskError::Dead)));
+        assert_eq!(report.end_time, SimTime::ZERO, "no media time charged");
+        assert_eq!(disk.stats().busy, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn requests_to_a_crashed_server_return_down() {
+        let sim = Sim::new(1);
+        let disk = fixed_disk(&sim, 1e6);
+        // Tear down the world (drops the server task), then submit.
+        sim.run();
+        sim.shutdown();
+        let d = disk.clone();
+        let sim2 = Sim::new(2);
+        let h = sim2.spawn(async move { d.read(0, 64).await });
+        sim2.run();
+        assert_eq!(h.try_take(), Some(Err(DiskError::Down)));
     }
 }

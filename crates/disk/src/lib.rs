@@ -10,12 +10,15 @@
 //! layers above (UFS, PFS, the prefetcher) can be tested for data integrity
 //! as well as timing.
 
+// Robustness: an injected fault must surface as an `Err`, never a panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod disk;
 mod params;
 mod raid;
 mod store;
 
-pub use disk::{Disk, DiskOp, DiskStats};
+pub use disk::{Disk, DiskError, DiskOp, DiskStats};
 pub use params::{DiskParams, SchedPolicy};
-pub use raid::{RaidArray, StripeMap, StripePiece};
+pub use raid::{RaidArray, RaidStats, StripeMap, StripePiece};
 pub use store::{BlockStore, STORE_PAGE};

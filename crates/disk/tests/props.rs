@@ -57,9 +57,11 @@ fn disk_preserves_data() {
                     model.resize(end, 0);
                 }
                 model[op.offset as usize..end].fill(op.fill);
-                d.write(op.offset, Bytes::from(vec![op.fill; op.len])).await;
+                d.write(op.offset, Bytes::from(vec![op.fill; op.len]))
+                    .await
+                    .unwrap();
             }
-            let back = d.read(0, model.len() as u32).await;
+            let back = d.read(0, model.len() as u32).await.unwrap();
             back[..] == model[..]
         });
         sim.run();
@@ -76,13 +78,15 @@ fn raid_preserves_data() {
         let script = ops(&mut rng);
         let width = rng.range_usize(1..6);
         let interleave = rng.range_u64(1..40_000);
+        let parity = rng.gen_bool(0.5);
         let sim = Sim::new(6);
-        let raid = RaidArray::new(
+        let raid = RaidArray::new_with_parity(
             &sim,
             DiskParams::ideal(1e9),
             SchedPolicy::Fifo,
             width,
             interleave,
+            parity,
             "prop",
         );
         let r = raid.clone();
@@ -94,9 +98,11 @@ fn raid_preserves_data() {
                     model.resize(end, 0);
                 }
                 model[op.offset as usize..end].fill(op.fill);
-                r.write(op.offset, Bytes::from(vec![op.fill; op.len])).await;
+                r.write(op.offset, Bytes::from(vec![op.fill; op.len]))
+                    .await
+                    .unwrap();
             }
-            let back = r.read(0, model.len() as u32).await;
+            let back = r.read(0, model.len() as u32).await.unwrap();
             back[..] == model[..]
         });
         sim.run();

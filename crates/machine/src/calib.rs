@@ -39,6 +39,10 @@ pub struct Calibration {
     pub raid_members: usize,
     /// RAID interleave in bytes.
     pub raid_interleave: u64,
+    /// Add a parity member to every array so reads can reconstruct
+    /// around one dead data member (degraded mode) at the cost of the
+    /// extra spindle and read-modify-write parity updates.
+    pub raid_parity: bool,
     /// Mesh timing.
     pub mesh: MeshParams,
     /// File-system block size (the PFS transfer unit), bytes.
@@ -80,6 +84,14 @@ pub struct Calibration {
     pub shared_file_check: SimDuration,
     /// UFS metadata operation cost.
     pub metadata_op: SimDuration,
+    /// Client deadline per data-transfer RPC attempt (positioned reads
+    /// and writes — the idempotent legs). Generous next to a healthy
+    /// worst-case leg so it only fires under injected faults.
+    pub rpc_attempt_timeout: SimDuration,
+    /// Extra attempts after a failed data-transfer RPC.
+    pub rpc_retries: u32,
+    /// Linear backoff base between data-transfer RPC attempts.
+    pub rpc_backoff: SimDuration,
 }
 
 impl Calibration {
@@ -98,6 +110,7 @@ impl Calibration {
             sched: SchedPolicy::Elevator,
             raid_members: 3,
             raid_interleave: 8 * 1024,
+            raid_parity: false,
             mesh: MeshParams::paragon(),
             fs_block: 64 * 1024,
             ufs_capacity_blocks: 16 * 1024, // 1 GB per I/O node
@@ -119,6 +132,11 @@ impl Calibration {
             record_bookkeeping: SimDuration::from_micros(50),
             shared_file_check: SimDuration::from_micros(1_500),
             metadata_op: SimDuration::from_micros(500),
+            // A healthy 1 MB leg costs well under a second; 10 s only
+            // trips when a fault has eaten the request or the reply.
+            rpc_attempt_timeout: SimDuration::from_secs(10),
+            rpc_retries: 3,
+            rpc_backoff: SimDuration::from_millis(100),
         }
     }
 
@@ -146,6 +164,7 @@ impl Calibration {
             sched: SchedPolicy::Fifo,
             raid_members: 1,
             raid_interleave: 64 * 1024,
+            raid_parity: false,
             mesh: MeshParams::instant(),
             fs_block: 64 * 1024,
             ufs_capacity_blocks: 16 * 1024,
@@ -163,6 +182,9 @@ impl Calibration {
             record_bookkeeping: SimDuration::ZERO,
             shared_file_check: SimDuration::ZERO,
             metadata_op: SimDuration::ZERO,
+            rpc_attempt_timeout: SimDuration::from_secs(60),
+            rpc_retries: 3,
+            rpc_backoff: SimDuration::from_millis(1),
         }
     }
 

@@ -75,18 +75,22 @@ impl Machine {
         let topo = Topology::for_nodes(total);
         let mut raids = Vec::with_capacity(config.io_nodes);
         let mut ufs = Vec::with_capacity(config.io_nodes);
+        // Give every spindle (including any parity member) a
+        // flight-recorder lane of its own; arrays occupy consecutive
+        // lane ranges in I/O-node order.
+        let mut track_base = 0u16;
         for i in 0..config.io_nodes {
-            let raid = RaidArray::new(
+            let raid = RaidArray::new_with_parity(
                 sim,
                 config.calib.disk.clone(),
                 config.calib.sched,
                 config.calib.raid_members,
                 config.calib.raid_interleave,
+                config.calib.raid_parity,
                 &format!("ion{i}"),
             );
-            // Give every spindle a flight-recorder lane of its own:
-            // I/O node i owns disks [i*members, (i+1)*members).
-            raid.set_tracks((i * config.calib.raid_members) as u16);
+            raid.set_tracks(track_base);
+            track_base += raid.spindles() as u16;
             ufs.push(Ufs::new(sim, raid.clone(), config.calib.ufs_params()));
             raids.push(raid);
         }

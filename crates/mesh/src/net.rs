@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use paragon_sim::sync::{channel, Receiver, Semaphore, Sender};
-use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, Track};
+use paragon_sim::{ev, EventKind, FaultPlan, MeshVerdict, ReqId, Sim, SimDuration, Track};
 
 use crate::topology::{NodeId, Topology};
 
@@ -80,6 +80,13 @@ pub struct MeshStats {
     pub messages: u64,
     pub bytes: u64,
     pub max_nic_queue: usize,
+    /// Messages lost: injected drops, crash-window drops, and sends to a
+    /// receiver that has shut down.
+    pub drops: u64,
+    /// Messages duplicated by the fault plan.
+    pub dups: u64,
+    /// Messages delayed by the fault plan.
+    pub delays: u64,
 }
 
 struct MeshInner<M> {
@@ -94,6 +101,7 @@ pub struct Mesh<M> {
     topo: Topology,
     params: MeshParams,
     nic_tx: Rc<Vec<Semaphore>>,
+    faults: FaultPlan,
     inner: Rc<RefCell<MeshInner<M>>>,
 }
 
@@ -104,12 +112,13 @@ impl<M> Clone for Mesh<M> {
             topo: self.topo,
             params: self.params.clone(),
             nic_tx: self.nic_tx.clone(),
+            faults: self.faults.clone(),
             inner: self.inner.clone(),
         }
     }
 }
 
-impl<M: 'static> Mesh<M> {
+impl<M: Clone + 'static> Mesh<M> {
     /// Build a mesh over `topo` with the given timing parameters.
     pub fn new(sim: &Sim, topo: Topology, params: MeshParams) -> Self {
         let nic_tx = (0..topo.nodes()).map(|_| Semaphore::new(1)).collect();
@@ -118,6 +127,7 @@ impl<M: 'static> Mesh<M> {
             topo,
             params,
             nic_tx: Rc::new(nic_tx),
+            faults: sim.faults(),
             inner: Rc::new(RefCell::new(MeshInner {
                 mailboxes: HashMap::new(),
                 stats: MeshStats::default(),
@@ -185,44 +195,116 @@ impl<M: 'static> Mesh<M> {
             self.sim.sleep(occupancy).await;
             drop(guard);
         }
+        // The message has left the NIC; the fault plan now decides its
+        // fate in transit. Verdicts are drawn in NIC-release order, which
+        // the executor makes deterministic.
+        let mut extra_delay = SimDuration::ZERO;
+        let mut copies = 1usize;
+        match self
+            .faults
+            .mesh_verdict(src.0 as u16, dst.0 as u16, self.sim.now())
+        {
+            MeshVerdict::Deliver => {}
+            MeshVerdict::Drop => {
+                self.sim.emit(|| {
+                    ev(
+                        Track::Node(src.0 as u16),
+                        EventKind::MeshDrop,
+                        req,
+                        wire_bytes,
+                        dst.0 as u64,
+                    )
+                });
+                self.inner.borrow_mut().stats.drops += 1;
+                return;
+            }
+            MeshVerdict::Duplicate => {
+                self.sim.emit(|| {
+                    ev(
+                        Track::Node(src.0 as u16),
+                        EventKind::MeshDup,
+                        req,
+                        wire_bytes,
+                        dst.0 as u64,
+                    )
+                });
+                self.inner.borrow_mut().stats.dups += 1;
+                copies = 2;
+            }
+            MeshVerdict::Delay(d) => {
+                self.sim.emit(|| {
+                    ev(
+                        Track::Node(src.0 as u16),
+                        EventKind::MeshDelay,
+                        req,
+                        d.as_nanos(),
+                        dst.0 as u64,
+                    )
+                });
+                self.inner.borrow_mut().stats.delays += 1;
+                extra_delay = d;
+            }
+        }
         let propagation = if src == dst {
             SimDuration::ZERO
         } else {
             self.params.hop_latency * self.topo.hops(src, dst) as u64 + self.params.recv_overhead
-        };
-        let inner = self.inner.clone();
-        let sim2 = self.sim.clone();
-        let deliver = move || {
-            sim2.emit(|| {
-                ev(
-                    Track::Node(dst.0 as u16),
-                    EventKind::NetRx,
-                    req,
-                    wire_bytes,
-                    src.0 as u64,
-                )
-            });
-            let inner = inner.borrow();
-            let mailbox = inner
-                .mailboxes
-                .get(&dst)
-                .unwrap_or_else(|| panic!("send to unbound node {}", dst.0));
-            // A dropped receiver means the node shut down; drop the message
-            // like a real NIC would.
-            let _ = mailbox.send(Envelope {
-                src,
-                wire_bytes,
-                payload,
-            });
-        };
-        if propagation.is_zero() {
-            deliver();
-        } else {
-            let sim = self.sim.clone();
-            self.sim.spawn_named("mesh-deliver", async move {
-                sim.sleep(propagation).await;
+        } + extra_delay;
+        let mut payloads = Vec::with_capacity(copies);
+        for _ in 1..copies {
+            payloads.push(payload.clone());
+        }
+        payloads.push(payload);
+        for payload in payloads {
+            let inner = self.inner.clone();
+            let sim2 = self.sim.clone();
+            let deliver = move || {
+                sim2.emit(|| {
+                    ev(
+                        Track::Node(dst.0 as u16),
+                        EventKind::NetRx,
+                        req,
+                        wire_bytes,
+                        src.0 as u64,
+                    )
+                });
+                let mailbox = inner
+                    .borrow()
+                    .mailboxes
+                    .get(&dst)
+                    .unwrap_or_else(|| panic!("send to unbound node {}", dst.0))
+                    .clone();
+                // A dropped receiver means the node shut down; the frame is
+                // lost like on a real NIC — but observably so.
+                if mailbox
+                    .send(Envelope {
+                        src,
+                        wire_bytes,
+                        payload,
+                    })
+                    .is_err()
+                {
+                    sim2.emit(|| {
+                        ev(
+                            Track::Node(dst.0 as u16),
+                            EventKind::MeshDrop,
+                            req,
+                            wire_bytes,
+                            dst.0 as u64,
+                        )
+                    });
+                    inner.borrow_mut().stats.drops += 1;
+                }
+            };
+            if propagation.is_zero() {
                 deliver();
-            });
+            } else {
+                let sim = self.sim.clone();
+                self.sim.spawn_named("mesh-deliver", async move {
+                    sim.sleep(propagation).await;
+                    deliver();
+                });
+            }
         }
     }
 
@@ -373,5 +455,89 @@ mod tests {
         let mesh = two_node_mesh(&sim, MeshParams::instant());
         let _a = mesh.bind(NodeId(0));
         let _b = mesh.bind(NodeId(0));
+    }
+
+    #[test]
+    fn dead_receiver_drop_is_counted_and_traced() {
+        let sim = Sim::new(1);
+        let mesh = two_node_mesh(&sim, MeshParams::instant());
+        let rx = mesh.bind(NodeId(1));
+        drop(rx); // the node "shut down"
+        sim.tracer().arm(16);
+        let m = mesh.clone();
+        sim.spawn(async move {
+            m.send(NodeId(0), NodeId(1), 64, 1).await;
+        });
+        sim.run();
+        assert_eq!(mesh.stats().drops, 1);
+        assert!(sim
+            .tracer()
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::MeshDrop));
+    }
+
+    #[test]
+    fn injected_drop_loses_the_message() {
+        let sim = Sim::new(1);
+        let mesh = two_node_mesh(&sim, MeshParams::instant());
+        let mut rx = mesh.bind(NodeId(1));
+        sim.faults().set_mesh_faults(1000, 0, 0, SimDuration::ZERO);
+        sim.faults().arm();
+        let h = sim.spawn(async move { rx.recv().await });
+        let m = mesh.clone();
+        sim.spawn(async move {
+            m.send(NodeId(0), NodeId(1), 64, 9u64).await;
+        });
+        sim.run();
+        assert!(!h.is_finished(), "dropped message must never arrive");
+        assert_eq!(mesh.stats().drops, 1);
+        sim.shutdown();
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_twice() {
+        let sim = Sim::new(1);
+        let mesh = two_node_mesh(&sim, MeshParams::instant());
+        let mut rx = mesh.bind(NodeId(1));
+        sim.faults().set_mesh_faults(0, 1000, 0, SimDuration::ZERO);
+        sim.faults().arm();
+        let h = sim.spawn(async move {
+            let a = rx.recv().await.unwrap().payload;
+            let b = rx.recv().await.unwrap().payload;
+            (a, b)
+        });
+        let m = mesh.clone();
+        sim.spawn(async move {
+            m.send(NodeId(0), NodeId(1), 64, 7u64).await;
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some((7, 7)));
+        assert_eq!(mesh.stats().dups, 1);
+    }
+
+    #[test]
+    fn injected_delay_postpones_delivery() {
+        let sim = Sim::new(1);
+        let mesh = two_node_mesh(&sim, MeshParams::instant());
+        let mut rx = mesh.bind(NodeId(1));
+        sim.faults()
+            .set_mesh_faults(0, 0, 1000, SimDuration::from_millis(5));
+        sim.faults().arm();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            rx.recv().await.unwrap();
+            s.now()
+        });
+        let m = mesh.clone();
+        sim.spawn(async move {
+            m.send(NodeId(0), NodeId(1), 64, 1u64).await;
+        });
+        sim.run();
+        assert_eq!(
+            h.try_take(),
+            Some(SimTime::ZERO + SimDuration::from_millis(5))
+        );
+        assert_eq!(mesh.stats().delays, 1);
     }
 }

@@ -139,6 +139,30 @@ impl ArtPool {
         });
         handle
     }
+
+    /// [`ArtPool::submit_tagged`] with a posting deadline: if `op` has not
+    /// completed within `deadline` of the ART starting to post it, the
+    /// request resolves to `fallback` instead (the abandoned operation's
+    /// result is discarded when it eventually finishes). Queue time on the
+    /// active list does not count against the deadline.
+    pub async fn submit_deadline<T, F>(
+        &self,
+        req: ReqId,
+        track: Track,
+        deadline: SimDuration,
+        fallback: T,
+        op: F,
+    ) -> AsyncHandle<T>
+    where
+        T: 'static,
+        F: Future<Output = T> + 'static,
+    {
+        let sim = self.sim.clone();
+        self.submit_tagged(req, track, async move {
+            sim.timeout(deadline, op).await.unwrap_or(fallback)
+        })
+        .await
+    }
 }
 
 /// The user-visible asynchronous request structure. Clone freely; all
@@ -188,10 +212,12 @@ impl<T> AsyncHandle<T> {
     /// already took it — one request has one consumer.
     pub async fn join(&self) -> T {
         self.done.wait().await;
-        self.slot
-            .borrow_mut()
-            .take()
-            .expect("async request result taken twice")
+        match self.slot.borrow_mut().take() {
+            Some(v) => v,
+            // A programming error, not an injectable fault: one request
+            // has exactly one consumer.
+            None => panic!("async request result taken twice"),
+        }
     }
 
     /// Take the result without waiting, if complete and untaken.
@@ -361,6 +387,34 @@ mod tests {
         // Submitted after 1 ms setup; started immediately; completed after
         // 2 ms dispatch + 10 ms I/O.
         assert_eq!(h.try_take(), Some((1, 1, 13)));
+    }
+
+    #[test]
+    fn deadline_abandons_a_stuck_request() {
+        let sim = Sim::new(1);
+        let pool = ArtPool::new(&sim, ArtConfig::instant());
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let s2 = s.clone();
+            let slow = async move {
+                s2.sleep(SimDuration::from_secs(10)).await;
+                Ok(7u32)
+            };
+            let req = pool
+                .submit_deadline(
+                    0,
+                    Track::Sys,
+                    SimDuration::from_millis(5),
+                    Err("late"),
+                    slow,
+                )
+                .await;
+            let v = req.join().await;
+            (v, s.now().as_millis_round())
+        });
+        sim.run();
+        // Resolves with the fallback at the 5 ms deadline, not at 10 s.
+        assert_eq!(h.try_take(), Some((Err("late"), 5)));
     }
 
     #[test]

@@ -31,8 +31,11 @@
 //! assert_eq!(h.try_take(), Some(40)); // full overlap: 40 ms, not 80
 //! ```
 
+// Robustness: an injected fault must surface as an `Err`, never a panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod art;
 pub mod rpc;
 
 pub use art::{ArtConfig, ArtPool, ArtStats, AsyncHandle};
-pub use rpc::{RpcClient, RpcNet, RpcStats, WireSize, RPC_HEADER_BYTES};
+pub use rpc::{RpcClient, RpcError, RpcNet, RpcPolicy, RpcStats, WireSize, RPC_HEADER_BYTES};

@@ -19,7 +19,7 @@ use std::rc::Rc;
 
 use paragon_mesh::{Mesh, MeshParams, NodeId, Topology};
 use paragon_sim::sync::{oneshot, OneshotSender};
-use paragon_sim::{ReqId, Sim};
+use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, Track};
 
 /// Types that know their size on the wire. Headers are added by the RPC
 /// layer; implementations report payload bytes only.
@@ -38,9 +38,86 @@ pub trait WireSize {
 /// Fixed per-message header cost (routing, request ids, lengths).
 pub const RPC_HEADER_BYTES: u64 = 64;
 
+#[derive(Clone)]
 enum RpcWire<Req, Resp> {
     Call { id: u64, reply_to: NodeId, req: Req },
     Reply { id: u64, resp: Resp },
+}
+
+/// Why an RPC failed. Healthy fabrics never produce these; they exist so
+/// injected faults surface as values instead of hangs or panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply arrived within the attempt deadline.
+    Timeout,
+    /// The reply path was torn down (server task gone, endpoint dropped).
+    Dropped,
+    /// Every attempt allowed by the retry policy failed.
+    TooManyRetries {
+        /// Attempts made (initial call + retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Dropped => write!(f, "rpc reply path dropped"),
+            RpcError::TooManyRetries { attempts } => {
+                write!(f, "rpc failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Deadline and retry discipline for [`RpcClient::call_policy`].
+///
+/// Each attempt is given `attempt_timeout`; a failed attempt waits
+/// `backoff × attempt-number` (deterministic linear backoff) before the
+/// next. `retries == 0` means a single attempt whose failure is returned
+/// as-is; with retries, exhaustion maps to [`RpcError::TooManyRetries`].
+///
+/// Only idempotent requests should be retried: a timed-out attempt may
+/// still have executed on the server (the reply is discarded, the
+/// side effect is not undone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcPolicy {
+    /// Deadline per attempt. `None` waits forever (no retries fire).
+    pub attempt_timeout: Option<SimDuration>,
+    /// Extra attempts after the first failure.
+    pub retries: u32,
+    /// Base backoff; attempt `n`'s failure waits `backoff × n`.
+    pub backoff: SimDuration,
+}
+
+impl Default for RpcPolicy {
+    fn default() -> Self {
+        RpcPolicy {
+            attempt_timeout: None,
+            retries: 0,
+            backoff: SimDuration::ZERO,
+        }
+    }
+}
+
+impl RpcPolicy {
+    /// No deadline, no retries: identical to [`RpcClient::call`].
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `retries` extra attempts with a `timeout` deadline each and
+    /// `backoff` linear backoff between them.
+    pub fn with_retries(timeout: SimDuration, retries: u32, backoff: SimDuration) -> Self {
+        RpcPolicy {
+            attempt_timeout: Some(timeout),
+            retries,
+            backoff,
+        }
+    }
 }
 
 /// Counters for one RPC network.
@@ -48,6 +125,12 @@ enum RpcWire<Req, Resp> {
 pub struct RpcStats {
     pub calls: u64,
     pub replies: u64,
+    /// Attempts abandoned on their deadline.
+    pub timeouts: u64,
+    /// Retries issued after a failed attempt.
+    pub retries: u64,
+    /// Calls that exhausted their retry policy.
+    pub give_ups: u64,
 }
 
 /// The machine-wide RPC fabric. Clone freely.
@@ -69,8 +152,8 @@ impl<Req, Resp> Clone for RpcNet<Req, Resp> {
 
 impl<Req, Resp> RpcNet<Req, Resp>
 where
-    Req: WireSize + 'static,
-    Resp: WireSize + 'static,
+    Req: WireSize + Clone + 'static,
+    Resp: WireSize + Clone + 'static,
 {
     /// Build the fabric over `topo`.
     pub fn new(sim: &Sim, topo: Topology, params: MeshParams) -> Self {
@@ -182,16 +265,19 @@ impl<Req, Resp> Clone for RpcClient<Req, Resp> {
 
 impl<Req, Resp> RpcClient<Req, Resp>
 where
-    Req: WireSize + 'static,
-    Resp: WireSize + 'static,
+    Req: WireSize + Clone + 'static,
+    Resp: WireSize + Clone + 'static,
 {
     /// The node this endpoint belongs to.
     pub fn node(&self) -> NodeId {
         self.node
     }
 
-    /// Send `req` to `dst` and wait for its reply.
-    pub async fn call(&self, dst: NodeId, req: Req) -> Resp {
+    /// Send `req` to `dst` and wait for its reply. No deadline: if the
+    /// fabric loses the call or the reply, this waits forever (the run
+    /// report will show the unfinished task). `Err(Dropped)` means the
+    /// reply path was torn down, e.g. the client endpoint shut down.
+    pub async fn call(&self, dst: NodeId, req: Req) -> Result<Resp, RpcError> {
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         let (tx, rx) = oneshot();
@@ -213,7 +299,70 @@ where
                 tag,
             )
             .await;
-        rx.await.expect("rpc fabric dropped a pending reply")
+        rx.await.map_err(|_| RpcError::Dropped)
+    }
+
+    /// [`RpcClient::call`] under a deadline/retry `policy`. Each failed
+    /// attempt emits an [`EventKind::RpcRetry`] flight-recorder event;
+    /// exhausting the policy emits [`EventKind::RpcGiveUp`]. Only use
+    /// with idempotent requests — see [`RpcPolicy`].
+    pub async fn call_policy(
+        &self,
+        dst: NodeId,
+        req: Req,
+        policy: RpcPolicy,
+    ) -> Result<Resp, RpcError> {
+        let sim = self.net.sim.clone();
+        let tag = req.trace_req();
+        let track = Track::Node(self.node.0 as u16);
+        let max_attempts = policy.retries + 1;
+        let mut last = RpcError::Timeout;
+        for attempt in 1..=max_attempts {
+            let one = self.call(dst, req.clone());
+            let outcome = match policy.attempt_timeout {
+                Some(d) => sim.timeout(d, one).await.unwrap_or(Err(RpcError::Timeout)),
+                None => one.await,
+            };
+            match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    if e == RpcError::Timeout {
+                        self.net.stats.borrow_mut().timeouts += 1;
+                    }
+                    last = e;
+                }
+            }
+            if attempt < max_attempts {
+                self.net.stats.borrow_mut().retries += 1;
+                sim.emit(|| {
+                    ev(
+                        track,
+                        EventKind::RpcRetry,
+                        tag,
+                        attempt as u64,
+                        dst.0 as u64,
+                    )
+                });
+                sim.sleep(policy.backoff * attempt as u64).await;
+            }
+        }
+        self.net.stats.borrow_mut().give_ups += 1;
+        self.net.sim.emit(|| {
+            ev(
+                track,
+                EventKind::RpcGiveUp,
+                tag,
+                max_attempts as u64,
+                dst.0 as u64,
+            )
+        });
+        if max_attempts > 1 {
+            Err(RpcError::TooManyRetries {
+                attempts: max_attempts,
+            })
+        } else {
+            Err(last)
+        }
     }
 }
 
@@ -222,9 +371,9 @@ mod tests {
     use super::*;
     use paragon_sim::SimDuration;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Ping(u64);
-    #[derive(Debug)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Pong(u64, Vec<u8>);
 
     impl WireSize for Ping {
@@ -250,7 +399,7 @@ mod tests {
             Box::pin(async move { Pong(x * 2, vec![0; 16]) })
         });
         let client = net.client(NodeId(0));
-        let h = sim.spawn(async move { client.call(NodeId(1), Ping(21)).await.0 });
+        let h = sim.spawn(async move { client.call(NodeId(1), Ping(21)).await.unwrap().0 });
         sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(1));
         assert_eq!(h.try_take(), Some(42));
         let st = net.stats();
@@ -274,7 +423,7 @@ mod tests {
         let client = net.client(NodeId(0));
         let s = sim.clone();
         let h = sim.spawn(async move {
-            client.call(NodeId(1), Ping(0)).await;
+            client.call(NodeId(1), Ping(0)).await.unwrap();
             s.now().as_millis_round()
         });
         sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(10));
@@ -300,7 +449,7 @@ mod tests {
         let mut handles = Vec::new();
         for x in 0..5u64 {
             let c = client.clone();
-            handles.push(sim.spawn(async move { c.call(NodeId(1), Ping(x)).await.0 }));
+            handles.push(sim.spawn(async move { c.call(NodeId(1), Ping(x)).await.unwrap().0 }));
         }
         sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(1));
         let got: Vec<u64> = handles.iter().map(|h| h.try_take().unwrap()).collect();
@@ -319,11 +468,89 @@ mod tests {
         });
         let client = net.client(NodeId(0));
         let h = sim.spawn(async move {
-            let a = client.call(NodeId(1), Ping(0)).await.0;
-            let b = client.call(NodeId(2), Ping(0)).await.0;
+            let a = client.call(NodeId(1), Ping(0)).await.unwrap().0;
+            let b = client.call(NodeId(2), Ping(0)).await.unwrap().0;
             (a, b)
         });
         sim.run_until(paragon_sim::SimTime::ZERO + SimDuration::from_secs(1));
         assert_eq!(h.try_take(), Some((1, 2)));
+    }
+
+    #[test]
+    fn retry_policy_rides_out_a_crash_window() {
+        let sim = Sim::new(1);
+        let t0 = paragon_sim::SimTime::ZERO;
+        // Node 1 is down for the first 60 ms: calls sent in the window
+        // vanish. The third attempt (t = 70 ms) lands after the restart.
+        let faults = sim.faults();
+        faults.crash_node(1, t0, t0 + SimDuration::from_millis(60));
+        faults.arm();
+        let net = net(&sim, MeshParams::instant());
+        net.serve(NodeId(1), |_src, Ping(x)| {
+            Box::pin(async move { Pong(x * 2, Vec::new()) })
+        });
+        let client = net.client(NodeId(0));
+        let policy = RpcPolicy::with_retries(
+            SimDuration::from_millis(20),
+            5,
+            SimDuration::from_millis(10),
+        );
+        let h = sim.spawn(async move {
+            client
+                .call_policy(NodeId(1), Ping(21), policy)
+                .await
+                .map(|p| p.0)
+        });
+        sim.run_until(t0 + SimDuration::from_secs(2));
+        assert_eq!(h.try_take(), Some(Ok(42)));
+        let st = net.stats();
+        assert_eq!(st.timeouts, 2, "two attempts died in the window");
+        assert_eq!(st.retries, 2);
+        assert_eq!(st.give_ups, 0);
+    }
+
+    #[test]
+    fn exhausted_policy_gives_up_with_too_many_retries() {
+        let sim = Sim::new(1);
+        let t0 = paragon_sim::SimTime::ZERO;
+        let faults = sim.faults();
+        faults.crash_node(1, t0, t0 + SimDuration::from_secs(100));
+        faults.arm();
+        let net = net(&sim, MeshParams::instant());
+        net.serve(NodeId(1), |_src, Ping(x)| {
+            Box::pin(async move { Pong(x, Vec::new()) })
+        });
+        let client = net.client(NodeId(0));
+        let policy =
+            RpcPolicy::with_retries(SimDuration::from_millis(5), 2, SimDuration::from_millis(1));
+        let h = sim.spawn(async move { client.call_policy(NodeId(1), Ping(0), policy).await });
+        sim.run_until(t0 + SimDuration::from_secs(1));
+        assert_eq!(
+            h.try_take(),
+            Some(Err(RpcError::TooManyRetries { attempts: 3 }))
+        );
+        assert_eq!(net.stats().give_ups, 1);
+    }
+
+    #[test]
+    fn single_attempt_timeout_reports_timeout_not_retries() {
+        let sim = Sim::new(1);
+        let t0 = paragon_sim::SimTime::ZERO;
+        let faults = sim.faults();
+        faults.crash_node(1, t0, t0 + SimDuration::from_secs(100));
+        faults.arm();
+        let net = net(&sim, MeshParams::instant());
+        net.serve(NodeId(1), |_src, Ping(x)| {
+            Box::pin(async move { Pong(x, Vec::new()) })
+        });
+        let client = net.client(NodeId(0));
+        let policy = RpcPolicy {
+            attempt_timeout: Some(SimDuration::from_millis(5)),
+            retries: 0,
+            backoff: SimDuration::ZERO,
+        };
+        let h = sim.spawn(async move { client.call_policy(NodeId(1), Ping(0), policy).await });
+        sim.run_until(t0 + SimDuration::from_secs(1));
+        assert_eq!(h.try_take(), Some(Err(RpcError::Timeout)));
     }
 }

@@ -5,9 +5,9 @@ use paragon_mesh::{MeshParams, NodeId, Topology};
 use paragon_os::{ArtConfig, ArtPool, RpcNet, WireSize};
 use paragon_sim::{Sim, SimDuration, SimTime};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Req(u64);
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Resp(u64);
 
 impl WireSize for Req {
@@ -48,7 +48,7 @@ fn all_pairs_heavy_traffic() {
             handles.push((
                 x,
                 c,
-                sim.spawn(async move { client.call(dst, Req(x)).await.0 }),
+                sim.spawn(async move { client.call(dst, Req(x)).await.unwrap().0 }),
             ));
         }
     }
@@ -87,7 +87,7 @@ fn timed_out_call_discards_late_reply() {
             .is_none();
         // …and the fabric keeps working for later calls (the stale reply
         // at t=10 s must not crash the router or leak into this call).
-        let v = client.call(NodeId(1), Req(2)).await.0;
+        let v = client.call(NodeId(1), Req(2)).await.unwrap().0;
         (timed_out, v)
     });
     let report = sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
@@ -116,7 +116,7 @@ fn art_submitted_rpcs_overlap_with_user_work() {
     let h = sim.spawn(async move {
         let c = client.clone();
         let req = pool
-            .submit(async move { c.call(NodeId(1), Req(41)).await.0 })
+            .submit(async move { c.call(NodeId(1), Req(41)).await.unwrap().0 })
             .await;
         sim3.sleep(SimDuration::from_millis(40)).await; // compute
         let v = req.join().await;

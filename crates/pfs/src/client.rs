@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
 use paragon_mesh::NodeId;
-use paragon_os::{ArtPool, AsyncHandle, RpcClient};
+use paragon_os::{ArtPool, AsyncHandle, RpcClient, RpcPolicy};
 use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, Track};
 
 use crate::meta::FileMeta;
@@ -52,6 +52,10 @@ pub struct ClientParams {
     pub syscall: SimDuration,
     /// M_RECORD node-ordered record bookkeeping per call.
     pub record_bookkeeping: SimDuration,
+    /// Deadline/retry discipline for data-transfer legs. Positioned
+    /// reads and writes are idempotent, so a timed-out leg is re-sent;
+    /// pointer operations are NOT retried (they move shared state).
+    pub data_policy: RpcPolicy,
 }
 
 struct FileState {
@@ -167,10 +171,15 @@ impl PfsFile {
         self.sim.sleep(self.params.syscall).await;
     }
 
-    async fn ptr(&self, req: PtrRequest) -> u64 {
+    /// One shared-pointer operation. Deliberately NO deadline and NO
+    /// retry: pointer operations move shared state, so re-sending one
+    /// could double-advance the pointer. The machinery instead protects
+    /// the service node from injected faults.
+    async fn ptr(&self, req: PtrRequest) -> Result<u64, PfsError> {
         match self.rpc.call(self.service_node, PfsRequest::Ptr(req)).await {
-            PfsResponse::Ptr(at) => at,
-            other => panic!("pointer server replied {other:?}"),
+            Ok(PfsResponse::Ptr(at)) => Ok(at),
+            Ok(_) => Err(PfsError::BadReply),
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -236,14 +245,14 @@ impl PfsFile {
             IoMode::MUnix => {
                 let at = self
                     .ptr(PtrRequest::UnixAcquire { file: self.meta.id })
-                    .await;
+                    .await?;
                 // Atomicity: the token is held across the transfer.
                 let result = self.transfer_read(at, len).await;
                 self.ptr(PtrRequest::UnixRelease {
                     file: self.meta.id,
                     advance: len as u64,
                 })
-                .await;
+                .await?;
                 result
             }
             IoMode::MLog => {
@@ -252,7 +261,7 @@ impl PfsFile {
                         file: self.meta.id,
                         len: len as u64,
                     })
-                    .await;
+                    .await?;
                 self.transfer_read(at, len).await
             }
             IoMode::MSync => {
@@ -263,7 +272,7 @@ impl PfsFile {
                         nprocs: self.nprocs,
                         len: len as u64,
                     })
-                    .await;
+                    .await?;
                 self.transfer_read(at, len).await
             }
             IoMode::MRecord | IoMode::MAsync => {
@@ -303,13 +312,13 @@ impl PfsFile {
                     .submit(async move {
                         let at = this
                             .ptr(PtrRequest::UnixAcquire { file: this.meta.id })
-                            .await;
+                            .await?;
                         let result = this.transfer_read(at, len).await;
                         this.ptr(PtrRequest::UnixRelease {
                             file: this.meta.id,
                             advance: len as u64,
                         })
-                        .await;
+                        .await?;
                         result
                     })
                     .await
@@ -323,7 +332,7 @@ impl PfsFile {
                                 file: this.meta.id,
                                 len: len as u64,
                             })
-                            .await;
+                            .await?;
                         this.transfer_read(at, len).await
                     })
                     .await
@@ -339,7 +348,7 @@ impl PfsFile {
                                 nprocs: this.nprocs,
                                 len: len as u64,
                             })
-                            .await;
+                            .await?;
                         this.transfer_read(at, len).await
                     })
                     .await
@@ -391,6 +400,7 @@ impl PfsFile {
             .emit(|| ev(cn, EventKind::ReadStart, req, offset, len as u64));
         let plan = self.meta.attrs.plan(offset, len as u64);
         let shared = self.nprocs > 1;
+        let policy = self.params.data_policy;
         let mut handles = Vec::with_capacity(plan.len());
         for sreq in plan {
             let (ion, _) = self.meta.slot(sreq.slot as u16)?;
@@ -406,16 +416,22 @@ impl PfsFile {
                 shared,
                 global_parties,
             };
+            // Positioned reads are idempotent: re-sending one under the
+            // retry policy is safe.
             handles.push((
                 sreq,
-                self.sim
-                    .spawn_named("pfs-read-leg", async move { rpc.call(dst, msg).await }),
+                self.sim.spawn_named("pfs-read-leg", async move {
+                    rpc.call_policy(dst, msg, policy).await
+                }),
             ));
         }
         let mut out = BytesMut::zeroed(len as usize);
+        let mut first_err = None;
         for (sreq, h) in handles {
+            // Join every leg before reporting an error (deterministic
+            // completion; no legs left writing into a dropped buffer).
             match h.await {
-                PfsResponse::Data(Ok(data)) => {
+                Ok(PfsResponse::Data(Ok(data))) => {
                     debug_assert_eq!(data.len() as u64, sreq.len);
                     for p in &sreq.pieces {
                         let src = (p.slot_offset - sreq.slot_offset) as usize;
@@ -424,9 +440,19 @@ impl PfsFile {
                             .copy_from_slice(&data[src..src + p.len as usize]);
                     }
                 }
-                PfsResponse::Data(Err(e)) => return Err(e),
-                other => panic!("read leg got {other:?}"),
+                Ok(PfsResponse::Data(Err(e))) => {
+                    first_err.get_or_insert(e);
+                }
+                Ok(_) => {
+                    first_err.get_or_insert(PfsError::BadReply);
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e.into());
+                }
             }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let mut st = self.stats.borrow_mut();
         st.reads += 1;
@@ -453,13 +479,13 @@ impl PfsFile {
             IoMode::MUnix => {
                 let at = self
                     .ptr(PtrRequest::UnixAcquire { file: self.meta.id })
-                    .await;
+                    .await?;
                 let result = self.transfer_write(at, data).await;
                 self.ptr(PtrRequest::UnixRelease {
                     file: self.meta.id,
                     advance: len,
                 })
-                .await;
+                .await?;
                 result.map(|()| at)
             }
             IoMode::MLog => {
@@ -468,7 +494,7 @@ impl PfsFile {
                         file: self.meta.id,
                         len,
                     })
-                    .await;
+                    .await?;
                 self.transfer_write(at, data).await.map(|()| at)
             }
             IoMode::MSync => {
@@ -479,7 +505,7 @@ impl PfsFile {
                         nprocs: self.nprocs,
                         len,
                     })
-                    .await;
+                    .await?;
                 self.transfer_write(at, data).await.map(|()| at)
             }
             IoMode::MRecord | IoMode::MAsync => {
@@ -511,6 +537,7 @@ impl PfsFile {
             .emit(|| ev(cn, EventKind::WriteStart, req, offset, wlen));
         let plan = self.meta.attrs.plan(offset, data.len() as u64);
         let shared = self.nprocs > 1;
+        let policy = self.params.data_policy;
         let mut handles = Vec::with_capacity(plan.len());
         for sreq in plan {
             let (ion, _) = self.meta.slot(sreq.slot as u16)?;
@@ -533,17 +560,29 @@ impl PfsFile {
                 fast_path: self.fast_path,
                 shared,
             };
-            handles.push(
-                self.sim
-                    .spawn_named("pfs-write-leg", async move { rpc.call(dst, msg).await }),
-            );
+            // Positioned writes are idempotent (same bytes, same offset),
+            // so re-sending one under the retry policy is safe.
+            handles.push(self.sim.spawn_named("pfs-write-leg", async move {
+                rpc.call_policy(dst, msg, policy).await
+            }));
         }
+        let mut first_err = None;
         for h in handles {
             match h.await {
-                PfsResponse::WriteAck(Ok(_)) => {}
-                PfsResponse::WriteAck(Err(e)) => return Err(e),
-                other => panic!("write leg got {other:?}"),
+                Ok(PfsResponse::WriteAck(Ok(_))) => {}
+                Ok(PfsResponse::WriteAck(Err(e))) => {
+                    first_err.get_or_insert(e);
+                }
+                Ok(_) => {
+                    first_err.get_or_insert(PfsError::BadReply);
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e.into());
+                }
             }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let mut st = self.stats.borrow_mut();
         st.writes += 1;
@@ -557,14 +596,15 @@ impl PfsFile {
     /// Rewind this handle's pointer state (and, for shared-pointer modes,
     /// the shared pointer itself — callers coordinate so only one node of
     /// a shared open rewinds).
-    pub async fn rewind(&self) {
+    pub async fn rewind(&self) -> Result<(), PfsError> {
         {
             let mut st = self.state.borrow_mut();
             st.round = 0;
             st.local_offset = 0;
         }
         if self.mode.shared_pointer() {
-            self.ptr(PtrRequest::Rewind { file: self.meta.id }).await;
+            self.ptr(PtrRequest::Rewind { file: self.meta.id }).await?;
         }
+        Ok(())
     }
 }

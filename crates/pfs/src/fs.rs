@@ -14,7 +14,7 @@ use std::rc::Rc;
 use bytes::{Bytes, BytesMut};
 use paragon_machine::Machine;
 use paragon_mesh::NodeId;
-use paragon_os::{ArtConfig, ArtPool, RpcClient, RpcNet};
+use paragon_os::{ArtConfig, ArtPool, RpcClient, RpcNet, RpcPolicy};
 use paragon_sim::Sim;
 
 use crate::client::{ClientParams, OpenOptions, PfsFile};
@@ -275,6 +275,11 @@ impl ParallelFs {
             ClientParams {
                 syscall: calib.syscall,
                 record_bookkeeping: calib.record_bookkeeping,
+                data_policy: RpcPolicy::with_retries(
+                    calib.rpc_attempt_timeout,
+                    calib.rpc_retries,
+                    calib.rpc_backoff,
+                ),
             },
             meta,
             self.io_node_ids.clone(),

@@ -35,6 +35,8 @@
 //! assert_eq!(h.try_take(), Some(true));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod client;
 mod fs;
 mod meta;

@@ -102,7 +102,10 @@ impl PointerServer {
                 };
                 match waiter {
                     None => self.pointer(file),
-                    Some(rx) => rx.await.expect("pointer server dropped a token"),
+                    Some(rx) => match rx.await {
+                        Ok(at) => at,
+                        Err(_) => panic!("pointer server dropped a token"),
+                    },
                 }
             }
             PtrRequest::UnixRelease { file, advance } => {
@@ -154,7 +157,10 @@ impl PointerServer {
                     }
                     rx
                 };
-                rx.await.expect("pointer server dropped a sync arrival")
+                match rx.await {
+                    Ok(at) => at,
+                    Err(_) => panic!("pointer server dropped a sync arrival"),
+                }
             }
             PtrRequest::Rewind { file } => {
                 let mut files = self.files.borrow_mut();

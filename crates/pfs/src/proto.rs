@@ -2,7 +2,8 @@
 //! server. One request/response pair rides the machine-wide RPC fabric.
 
 use bytes::Bytes;
-use paragon_os::WireSize;
+use paragon_disk::DiskError;
+use paragon_os::{RpcError, WireSize};
 use paragon_sim::ReqId;
 use paragon_ufs::UfsError;
 
@@ -10,8 +11,10 @@ use paragon_ufs::UfsError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PfsFileId(pub u32);
 
-/// Requests a client can send.
-#[derive(Debug)]
+/// Requests a client can send. `Clone` so the client can re-send an
+/// idempotent request under its retry policy (and so the mesh can model
+/// duplicated deliveries).
+#[derive(Debug, Clone)]
 pub enum PfsRequest {
     /// Read a contiguous run of one stripe file.
     Read {
@@ -71,7 +74,7 @@ pub enum PtrRequest {
 }
 
 /// Responses.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum PfsResponse {
     /// Read reply.
     Data(Result<Bytes, PfsError>),
@@ -90,6 +93,20 @@ pub enum PfsError {
     BadSlot { slot: u16, factor: usize },
     /// No such PFS file.
     UnknownFile(PfsFileId),
+    /// The device under an I/O node failed the request (dead member
+    /// without parity cover, transient media error, disk server gone).
+    DiskError(DiskError),
+    /// A data-transfer RPC attempt exceeded its deadline.
+    Timeout,
+    /// The I/O node (or the reply path back from it) is down.
+    IoNodeDown,
+    /// The client's retry policy was exhausted without a good reply.
+    TooManyRetries {
+        /// Attempts made (initial call + retries).
+        attempts: u32,
+    },
+    /// Protocol violation: a peer answered with the wrong reply kind.
+    BadReply,
 }
 
 impl std::fmt::Display for PfsError {
@@ -100,6 +117,13 @@ impl std::fmt::Display for PfsError {
                 write!(f, "slot {slot} out of range (stripe factor {factor})")
             }
             PfsError::UnknownFile(id) => write!(f, "unknown PFS file {}", id.0),
+            PfsError::DiskError(e) => write!(f, "device failure: {e}"),
+            PfsError::Timeout => write!(f, "request timed out"),
+            PfsError::IoNodeDown => write!(f, "I/O node down"),
+            PfsError::TooManyRetries { attempts } => {
+                write!(f, "gave up after {attempts} attempts")
+            }
+            PfsError::BadReply => write!(f, "protocol violation: wrong reply kind"),
         }
     }
 }
@@ -108,7 +132,22 @@ impl std::error::Error for PfsError {}
 
 impl From<UfsError> for PfsError {
     fn from(e: UfsError) -> Self {
-        PfsError::Ufs(e)
+        match e {
+            // Surface device failures under their own variant so callers
+            // can tell an injected fault from a file-system error.
+            UfsError::Disk(d) => PfsError::DiskError(d),
+            other => PfsError::Ufs(other),
+        }
+    }
+}
+
+impl From<RpcError> for PfsError {
+    fn from(e: RpcError) -> Self {
+        match e {
+            RpcError::Timeout => PfsError::Timeout,
+            RpcError::Dropped => PfsError::IoNodeDown,
+            RpcError::TooManyRetries { attempts } => PfsError::TooManyRetries { attempts },
+        }
     }
 }
 
@@ -163,6 +202,74 @@ mod tests {
         assert_eq!(resp.wire_bytes(), 16 + 4096);
         let err = PfsResponse::Data(Err(PfsError::UnknownFile(PfsFileId(9))));
         assert_eq!(err.wire_bytes(), 16);
+    }
+
+    /// One of every `PfsError` variant, for exhaustive protocol tests.
+    fn all_errors() -> Vec<PfsError> {
+        vec![
+            PfsError::Ufs(UfsError::NotFound),
+            PfsError::BadSlot { slot: 9, factor: 4 },
+            PfsError::UnknownFile(PfsFileId(3)),
+            PfsError::DiskError(DiskError::Transient),
+            PfsError::DiskError(DiskError::Dead),
+            PfsError::DiskError(DiskError::Down),
+            PfsError::Timeout,
+            PfsError::IoNodeDown,
+            PfsError::TooManyRetries { attempts: 4 },
+            PfsError::BadReply,
+        ]
+    }
+
+    #[test]
+    fn every_error_variant_displays() {
+        for e in all_errors() {
+            let text = e.to_string();
+            assert!(!text.is_empty(), "{e:?} has an empty Display");
+            // Errors are protocol values: Display must be stable under
+            // the Clone the reply path performs.
+            assert_eq!(text, e.clone().to_string());
+        }
+    }
+
+    #[test]
+    fn every_error_variant_roundtrips_through_the_reply_protocol() {
+        for e in all_errors() {
+            // A read reply carrying the error…
+            let reply = PfsResponse::Data(Err(e.clone()));
+            assert_eq!(reply.wire_bytes(), 16, "error replies are headers only");
+            let PfsResponse::Data(Err(back)) = reply.clone() else {
+                panic!("reply kind changed in flight")
+            };
+            assert_eq!(back, e);
+            // …and a write acknowledgement carrying the same error.
+            let ack = PfsResponse::WriteAck(Err(e.clone()));
+            let PfsResponse::WriteAck(Err(back)) = ack else {
+                panic!("ack kind changed in flight")
+            };
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn rpc_errors_map_onto_pfs_errors() {
+        assert_eq!(PfsError::from(RpcError::Timeout), PfsError::Timeout);
+        assert_eq!(PfsError::from(RpcError::Dropped), PfsError::IoNodeDown);
+        assert_eq!(
+            PfsError::from(RpcError::TooManyRetries { attempts: 7 }),
+            PfsError::TooManyRetries { attempts: 7 }
+        );
+    }
+
+    #[test]
+    fn ufs_disk_errors_surface_as_device_failures() {
+        assert_eq!(
+            PfsError::from(UfsError::Disk(DiskError::Dead)),
+            PfsError::DiskError(DiskError::Dead)
+        );
+        assert_eq!(
+            PfsError::from(UfsError::NotFound),
+            PfsError::Ufs(UfsError::NotFound)
+        );
     }
 
     #[test]

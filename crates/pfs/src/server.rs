@@ -261,10 +261,10 @@ impl IonServer {
         match existing {
             Some((done, data, remaining)) => {
                 done.wait().await;
-                let result = data
-                    .borrow()
-                    .clone()
-                    .expect("global read signalled without data");
+                let result = match data.borrow().clone() {
+                    Some(r) => r,
+                    None => panic!("global read signalled without data"),
+                };
                 self.consume_global(key, &remaining);
                 self.stats.borrow_mut().global_shares += 1;
                 if result.is_ok() {
@@ -298,7 +298,9 @@ impl IonServer {
     }
 
     fn consume_global(&self, key: GlobalKey, remaining: &Rc<std::cell::Cell<u16>>) {
-        let left = remaining.get() - 1;
+        // Saturating: a retried or mesh-duplicated M_GLOBAL read can
+        // consume the same party slot twice; never underflow the count.
+        let left = remaining.get().saturating_sub(1);
         remaining.set(left);
         if left == 0 {
             self.global.borrow_mut().remove(&key);

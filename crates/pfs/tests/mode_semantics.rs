@@ -120,7 +120,7 @@ fn rewind_restarts_the_stream() {
             .unwrap();
         let a = f.read(16 * 1024).await.unwrap();
         let _b = f.read(16 * 1024).await.unwrap();
-        f.rewind().await;
+        f.rewind().await.unwrap();
         let again = f.read(16 * 1024).await.unwrap();
         a == again
     });
@@ -142,7 +142,7 @@ fn shared_pointer_rewind_resets_for_everyone() {
             .unwrap();
         let a = f0.read(16 * 1024).await.unwrap();
         let _ = f1.read(16 * 1024).await.unwrap();
-        f0.rewind().await;
+        f0.rewind().await.unwrap();
         // After rewind the shared pointer is back at zero; the next read
         // (from either node) gets the first record again.
         let again = f1.read(16 * 1024).await.unwrap();

@@ -19,6 +19,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
+use crate::fault::FaultPlan;
 use crate::kernel::Kernel;
 use crate::rng::Rng;
 use crate::task::{ReadyQueue, TaskId, TaskSlot, TaskWaker};
@@ -48,6 +49,7 @@ pub struct Sim {
     ready: ReadyQueue,
     seed: u64,
     trace: Trace,
+    faults: FaultPlan,
 }
 
 impl Sim {
@@ -60,6 +62,7 @@ impl Sim {
             ready: ReadyQueue::default(),
             seed,
             trace: Trace::default(),
+            faults: FaultPlan::new(derive_seed(seed, "fault-plan")),
         }
     }
 
@@ -67,6 +70,13 @@ impl Sim {
     /// [`Sim::emit`] calls record; disarmed tracing costs nothing.
     pub fn tracer(&self) -> Trace {
         self.trace.clone()
+    }
+
+    /// This world's fault-injection plan. Disarmed by default: configure
+    /// it, then [`FaultPlan::arm`] after setup I/O completes. Its draws
+    /// come from the `"fault-plan"` RNG stream of this world's seed.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults.clone()
     }
 
     /// Record a trace event at the current virtual time; `body` is only

@@ -30,6 +30,7 @@
 //! ```
 
 mod executor;
+mod fault;
 mod kernel;
 mod rng;
 pub mod sync;
@@ -38,6 +39,7 @@ mod time;
 mod trace;
 
 pub use executor::{derive_seed, JoinHandle, RunReport, Sim, Sleep};
+pub use fault::{DiskFault, FaultPlan, FaultStats, MeshVerdict};
 pub use rng::Rng;
 pub use task::TaskId;
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

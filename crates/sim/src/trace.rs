@@ -139,11 +139,48 @@ pub enum EventKind {
     PtrOp,
     /// Anything else (`a`/`b` free-form).
     Mark,
+    /// Injected disk read error (`a`=offset, `b`=len). Transient unless a
+    /// `FaultDiskDown` for the same track precedes it.
+    FaultDiskError,
+    /// A disk (RAID member) died per the fault plan (`a`/`b` unused).
+    FaultDiskDown,
+    /// Mesh message dropped — injected fault or dead receiver (`a`=wire
+    /// bytes, `b`=destination node id).
+    MeshDrop,
+    /// Mesh message duplicated by the fault plan (`a`=wire bytes,
+    /// `b`=destination node id).
+    MeshDup,
+    /// Mesh message delayed by the fault plan (`a`=extra nanoseconds,
+    /// `b`=destination node id).
+    MeshDelay,
+    /// A node entered a crash window (`a`=node id, `b`=until-nanos).
+    FaultNodeDown,
+    /// A crashed node restarted (`a`=node id).
+    FaultNodeUp,
+    /// RPC attempt timed out; the client is retrying (`a`=attempt number,
+    /// `b`=destination node id).
+    RpcRetry,
+    /// RPC gave up after exhausting its retry budget (`a`=attempts,
+    /// `b`=destination node id).
+    RpcGiveUp,
+    /// RAID read reconstructed a dead member from parity (`a`=member
+    /// offset, `b`=len).
+    RaidReconstruct,
+    /// A prefetch came back with an error and was quarantined
+    /// (`a`=offset, `b`=len).
+    PrefetchFault,
+    /// The prefetch engine disabled itself after repeated faults
+    /// (`a`=consecutive fault count).
+    PrefetchThrottle,
+    /// The prefetch engine re-enabled after a clean demand read.
+    PrefetchResume,
 }
 
 impl EventKind {
-    /// Every kind, in hash/serialization order.
-    pub const ALL: [EventKind; 22] = [
+    /// Every kind, in hash/serialization order. New kinds are appended —
+    /// [`EventKind::code`] is positional, so the existing order is frozen
+    /// to keep old trace hashes stable.
+    pub const ALL: [EventKind; 35] = [
         EventKind::ReadStart,
         EventKind::ReadDone,
         EventKind::WriteStart,
@@ -166,6 +203,19 @@ impl EventKind {
         EventKind::Copy,
         EventKind::PtrOp,
         EventKind::Mark,
+        EventKind::FaultDiskError,
+        EventKind::FaultDiskDown,
+        EventKind::MeshDrop,
+        EventKind::MeshDup,
+        EventKind::MeshDelay,
+        EventKind::FaultNodeDown,
+        EventKind::FaultNodeUp,
+        EventKind::RpcRetry,
+        EventKind::RpcGiveUp,
+        EventKind::RaidReconstruct,
+        EventKind::PrefetchFault,
+        EventKind::PrefetchThrottle,
+        EventKind::PrefetchResume,
     ];
 
     /// Stable wire name.
@@ -193,6 +243,19 @@ impl EventKind {
             EventKind::Copy => "copy",
             EventKind::PtrOp => "ptr-op",
             EventKind::Mark => "mark",
+            EventKind::FaultDiskError => "fault-disk-error",
+            EventKind::FaultDiskDown => "fault-disk-down",
+            EventKind::MeshDrop => "mesh-drop",
+            EventKind::MeshDup => "mesh-dup",
+            EventKind::MeshDelay => "mesh-delay",
+            EventKind::FaultNodeDown => "fault-node-down",
+            EventKind::FaultNodeUp => "fault-node-up",
+            EventKind::RpcRetry => "rpc-retry",
+            EventKind::RpcGiveUp => "rpc-give-up",
+            EventKind::RaidReconstruct => "raid-reconstruct",
+            EventKind::PrefetchFault => "pf-fault",
+            EventKind::PrefetchThrottle => "pf-throttle",
+            EventKind::PrefetchResume => "pf-resume",
         }
     }
 

@@ -18,7 +18,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
-use paragon_disk::RaidArray;
+use paragon_disk::{DiskError, RaidArray};
 use paragon_sim::{ReqId, Sim, SimDuration};
 
 use crate::alloc::{ExtentAllocator, NoSpace};
@@ -65,6 +65,8 @@ pub enum UfsError {
     NoSpace(NoSpace),
     /// File already exists (create).
     Exists(InodeId),
+    /// The device under the file system failed the request.
+    Disk(DiskError),
 }
 
 impl std::fmt::Display for UfsError {
@@ -81,6 +83,7 @@ impl std::fmt::Display for UfsError {
                 n.wanted, n.largest_free
             ),
             UfsError::Exists(id) => write!(f, "file exists as inode {}", id.0),
+            UfsError::Disk(e) => write!(f, "disk error: {e}"),
         }
     }
 }
@@ -242,7 +245,7 @@ impl Ufs {
             inner.stats.disk_requests += runs.len() as u64;
         }
         for h in handles {
-            h.await;
+            h.await.map_err(UfsError::Disk)?;
         }
         // Keep the cache coherent: refresh any resident blocks we overwrote.
         {
@@ -317,7 +320,7 @@ impl Ufs {
         }
         let mut out = BytesMut::zeroed(len as usize);
         for (at, h) in handles {
-            let data = h.await;
+            let data = h.await.map_err(UfsError::Disk)?;
             out[at..at + data.len()].copy_from_slice(&data);
         }
         Ok(out.freeze())
@@ -380,7 +383,8 @@ impl Ufs {
                 let data = self
                     .raid
                     .read_req(run.disk_block * bs, (run.len * bs) as u32, req)
-                    .await;
+                    .await
+                    .map_err(UfsError::Disk)?;
                 for k in 0..run.len {
                     let b = run.file_block + k;
                     let block_data = data.slice((k * bs) as usize..((k + 1) * bs) as usize);
@@ -394,7 +398,7 @@ impl Ufs {
                     );
                     if let Some(v) = victim {
                         if v.dirty {
-                            self.write_back(v.key, v.data).await;
+                            self.write_back(v.key, v.data).await?;
                         }
                     }
                 }
@@ -444,7 +448,7 @@ impl Ufs {
             );
             if let Some(v) = victim {
                 if v.dirty {
-                    self.write_back(v.key, v.data).await;
+                    self.write_back(v.key, v.data).await?;
                 }
             }
         }
@@ -459,14 +463,15 @@ impl Ufs {
     }
 
     /// Flush all dirty cache blocks to disk.
-    pub async fn sync(&self) {
+    pub async fn sync(&self) -> Result<(), UfsError> {
         let dirty = self.inner.borrow_mut().cache.take_dirty();
         for (key, data) in dirty {
-            self.write_back(key, data).await;
+            self.write_back(key, data).await?;
         }
+        Ok(())
     }
 
-    async fn write_back(&self, key: BlockKey, data: Bytes) {
+    async fn write_back(&self, key: BlockKey, data: Bytes) -> Result<(), UfsError> {
         let bs = self.bs();
         let disk_block = {
             let mut inner = self.inner.borrow_mut();
@@ -477,9 +482,13 @@ impl Ufs {
                 .and_then(|i| i.map_block(key.block))
         };
         if let Some(db) = disk_block {
-            self.raid.write(db * bs, data).await;
+            self.raid
+                .write(db * bs, data)
+                .await
+                .map_err(UfsError::Disk)?;
         }
         // A vanished inode means the file was removed; drop the data.
+        Ok(())
     }
 
     fn check_bounds(&self, id: InodeId, offset: u64, len: u32) -> Result<(), UfsError> {
@@ -585,7 +594,7 @@ impl Ufs {
         self.sim.sleep(self.params.metadata_op).await;
         let dirty = self.inner.borrow_mut().cache.purge_inode(id);
         for (key, data) in dirty {
-            self.write_back(key, data).await;
+            self.write_back(key, data).await?;
         }
         let mut inner = self.inner.borrow_mut();
         let inode = inner.inodes.remove(id).ok_or(UfsError::NotFound)?;
@@ -724,7 +733,7 @@ mod tests {
             let id = f2.create("f").await.unwrap();
             let data = pattern(8192, 7);
             f2.write_cached(id, 0, data.clone()).await.unwrap();
-            f2.sync().await;
+            f2.sync().await.unwrap();
             // Fast path bypasses the cache, so this proves disk content.
             let back = f2.read_direct(id, 0, 8192).await.unwrap();
             back == data

@@ -47,6 +47,39 @@ pub enum AccessPattern {
     Reread { passes: u32 },
 }
 
+/// Deterministic faults injected during the measured phase. The plan is
+/// configured and armed after setup (population never draws a fault), and
+/// all probabilistic draws come off the run's master seed — identical
+/// configs produce identical fault sequences.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Per-mille probability that any disk read fails transiently.
+    pub disk_error_pm: u32,
+    /// Kill one RAID data member for the whole measured phase:
+    /// `(io_node index, member index)`. Reads survive only if the
+    /// calibration carries a parity member (`raid_parity`).
+    pub dead_member: Option<(usize, usize)>,
+    /// Per-mille mesh message drop rate.
+    pub mesh_drop_pm: u32,
+    /// Per-mille mesh message duplication rate.
+    pub mesh_dup_pm: u32,
+    /// Per-mille mesh message delay rate.
+    pub mesh_delay_pm: u32,
+    /// Extra latency a delayed message pays.
+    pub mesh_delay: SimDuration,
+    /// Crash one I/O node for a window of the measured phase:
+    /// `(io_node index, from, until)`, offsets relative to the measured
+    /// phase's start.
+    pub ion_crash: Option<(usize, SimDuration, SimDuration)>,
+}
+
+impl FaultSpec {
+    /// True when this spec injects nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == FaultSpec::default()
+    }
+}
+
 /// One experiment run, fully specified.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -83,6 +116,8 @@ pub struct ExperimentConfig {
     pub verify_data: bool,
     /// Record up to this many trace events (0 = tracing off).
     pub trace_cap: usize,
+    /// Faults to inject during the measured phase.
+    pub faults: FaultSpec,
 }
 
 impl ExperimentConfig {
@@ -108,6 +143,7 @@ impl ExperimentConfig {
             separate_files: false,
             verify_data: false,
             trace_cap: 0,
+            faults: FaultSpec::default(),
         }
     }
 

@@ -16,9 +16,9 @@ use paragon_machine::{Machine, MachineConfig};
 use paragon_pfs::{
     pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, PfsFile, PfsFileId,
 };
-use paragon_sim::{Sim, SimDuration, SimTime};
+use paragon_sim::{ev, EventKind, Sim, SimDuration, SimTime, Track};
 
-use crate::config::{AccessPattern, ExperimentConfig};
+use crate::config::{AccessPattern, ExperimentConfig, FaultSpec};
 use crate::result::{NodeResult, RunResult};
 
 /// Where the driver task deposits its measurements for the host caller.
@@ -45,8 +45,12 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
     let out2 = out.clone();
     let cfg2 = cfg.clone();
     let sim2 = sim.clone();
+    let machine2 = machine.clone();
     sim.spawn_named("experiment-driver", async move {
         let files = setup_files(&pfs, &cfg2).await;
+        // Setup never draws a fault: the plan is configured and armed
+        // only once the files exist, right at the measured phase's start.
+        arm_faults(&sim2, &machine2, &cfg2.faults);
         let t0 = sim2.now();
         let mut handles = Vec::with_capacity(cfg2.compute_nodes);
         for rank in 0..cfg2.compute_nodes {
@@ -100,6 +104,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         }
     }
     let mut disk = paragon_disk::DiskStats::default();
+    let mut raid = paragon_disk::RaidStats::default();
     for i in 0..cfg.io_nodes {
         let s = machine.raid(i).stats();
         disk.requests += s.requests;
@@ -110,8 +115,13 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         disk.near_seeks += s.near_seeks;
         disk.far_seeks += s.far_seeks;
         disk.max_queue_depth = disk.max_queue_depth.max(s.max_queue_depth);
+        let r = machine.raid(i).raid_stats();
+        raid.reconstructed_reads += r.reconstructed_reads;
+        raid.reconstructed_bytes += r.reconstructed_bytes;
+        raid.parity_rmws += r.parity_rmws;
     }
     RunResult {
+        read_errors: per_node.iter().map(|n| n.read_errors).sum(),
         per_node,
         elapsed,
         total_bytes,
@@ -119,6 +129,8 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         prefetch_enabled: cfg.prefetch.is_some(),
         trace_hash: report.trace_hash,
         verify_failures,
+        fault: sim.faults().stats(),
+        raid,
         disk,
         trace,
     }
@@ -129,6 +141,50 @@ thread_local! {
     /// currently executing on this thread. Runs are single-threaded and
     /// sequential, so a thread-local counter is race-free.
     static VERIFY_FAILURES: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Configure and arm the simulation's fault plan from `spec`. The service
+/// node is always exempted: shared-pointer operations are not idempotent,
+/// so the client never retries them and a lost one would wedge the run.
+fn arm_faults(sim: &Sim, machine: &Machine, spec: &FaultSpec) {
+    if spec.is_noop() {
+        return;
+    }
+    let faults = sim.faults();
+    faults.protect_node(machine.service_node().0 as u16);
+    if spec.disk_error_pm > 0 {
+        faults.set_disk_error_rate(spec.disk_error_pm);
+    }
+    if let Some((ion, member)) = spec.dead_member {
+        let track = machine
+            .raid(ion)
+            .member_track_index(member)
+            .unwrap_or_else(|| panic!("I/O node {ion} has no flight-recorder tracks"));
+        faults.kill_disk(track);
+    }
+    if spec.mesh_drop_pm + spec.mesh_dup_pm + spec.mesh_delay_pm > 0 {
+        faults.set_mesh_faults(
+            spec.mesh_drop_pm,
+            spec.mesh_dup_pm,
+            spec.mesh_delay_pm,
+            spec.mesh_delay,
+        );
+    }
+    if let Some((ion, from, until)) = spec.ion_crash {
+        assert!(from < until, "empty I/O-node crash window");
+        let node = machine.io_node(ion).0 as u16;
+        let now = sim.now();
+        faults.crash_node(node, now + from, now + until);
+        // Timeline markers so trace analysis can see the window edges.
+        let marker_sim = sim.clone();
+        sim.spawn_named("fault-window-marker", async move {
+            marker_sim.sleep(from).await;
+            marker_sim.emit(|| ev(Track::Sys, EventKind::FaultNodeDown, 0, node as u64, 0));
+            marker_sim.sleep(until - from).await;
+            marker_sim.emit(|| ev(Track::Sys, EventKind::FaultNodeUp, 0, node as u64, 0));
+        });
+    }
+    faults.arm();
 }
 
 /// Create and populate the run's file(s); returns one id per node for
@@ -182,20 +238,20 @@ enum Reader {
 }
 
 impl Reader {
-    async fn read(&self, len: u32) -> bytes::Bytes {
+    async fn read(&self, len: u32) -> Result<bytes::Bytes, paragon_pfs::PfsError> {
         match self {
-            Reader::Plain(f) => f.read(len).await.expect("read failed"),
-            Reader::Prefetching(pf) => pf.read(len).await.expect("read failed"),
+            Reader::Plain(f) => f.read(len).await,
+            Reader::Prefetching(pf) => pf.read(len).await,
         }
     }
 
-    async fn read_at(&self, offset: u64, len: u32) -> bytes::Bytes {
+    async fn read_at(&self, offset: u64, len: u32) -> Result<bytes::Bytes, paragon_pfs::PfsError> {
         match self {
             Reader::Plain(f) => {
                 f.syscall().await;
-                f.transfer_read(offset, len).await.expect("read failed")
+                f.transfer_read(offset, len).await
             }
-            Reader::Prefetching(pf) => pf.read_at(offset, len).await.expect("read failed"),
+            Reader::Prefetching(pf) => pf.read_at(offset, len).await,
         }
     }
 
@@ -246,6 +302,7 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
 
     let mut rng = ctx.sim.rng(&format!("workload.rank{}", ctx.rank));
     let mut reads = 0u64;
+    let mut read_errors = 0u64;
     let mut bytes = 0u64;
     let mut total = SimDuration::ZERO;
     let mut tmax = SimDuration::ZERO;
@@ -279,11 +336,28 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
             AccessPattern::Reread { .. } => Some(base + (k % rounds) * sz as u64),
         };
         let before = ctx.sim.now();
-        let data = match planned {
+        let result = match planned {
             None => reader.read(sz).await,
             Some(off) => reader.read_at(off, sz).await,
         };
         let dt = ctx.sim.now().since(before);
+        let data = match result {
+            Ok(data) => data,
+            Err(e) => {
+                // Under an injected fault a read can fail even after the
+                // client's retries (e.g. a dead member without parity
+                // cover). A real program would see EIO; the run records
+                // the error and keeps going — never panics.
+                if ctx.cfg.faults.is_noop() {
+                    panic!("read failed with no faults injected: {e}");
+                }
+                read_errors += 1;
+                if !cfg.delay.is_zero() && k + 1 < total_reads {
+                    ctx.sim.sleep(cfg.delay).await;
+                }
+                continue;
+            }
+        };
         reads += 1;
         bytes += data.len() as u64;
         total += dt;
@@ -320,6 +394,7 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
     NodeResult {
         rank: ctx.rank,
         reads,
+        read_errors,
         bytes,
         elapsed: ctx.sim.now().since(ctx.t0),
         read_time_total: total,
@@ -355,6 +430,7 @@ mod tests {
             separate_files: false,
             verify_data: true,
             trace_cap: 0,
+            faults: FaultSpec::default(),
         }
     }
 
@@ -435,6 +511,100 @@ mod tests {
         let r = run(&cfg);
         assert_eq!(r.total_bytes, 3 << 20);
         assert_eq!(r.verify_failures, 0);
+    }
+
+    #[test]
+    fn dead_member_with_parity_and_mesh_drops_stays_correct() {
+        // The acceptance scenario: one dead RAID member (parity covers
+        // it) plus 1% mesh message drops. Every read must still return
+        // pattern-correct data — reconstruction serves the dead member,
+        // the retry policy rides out the drops — with zero panics.
+        let mut cfg = tiny(IoMode::MRecord);
+        cfg.calib.raid_parity = true;
+        cfg.faults.dead_member = Some((0, 0));
+        cfg.faults.mesh_drop_pm = 10;
+        cfg.trace_cap = 200_000;
+        let r = run(&cfg);
+        assert_eq!(r.verify_failures, 0, "corrupt data under faults");
+        assert_eq!(r.read_errors, 0, "parity + retries must cover these faults");
+        assert_eq!(r.total_bytes, 1 << 20);
+        assert!(
+            r.raid.reconstructed_reads > 0,
+            "the dead member was never reconstructed: {:?}",
+            r.raid
+        );
+        assert!(r.fault.disk_dead_hits > 0);
+        assert!(r.fault.mesh_dropped > 0, "1% of many messages must drop");
+        assert!(
+            !crate::spans::fault_events(&r.trace).is_empty(),
+            "fault events must reach the flight recorder"
+        );
+    }
+
+    #[test]
+    fn same_seed_fault_runs_are_byte_identical() {
+        let mut cfg = tiny(IoMode::MRecord);
+        cfg.calib.raid_parity = true;
+        cfg.faults.dead_member = Some((1, 0));
+        cfg.faults.mesh_drop_pm = 10;
+        cfg.faults.mesh_dup_pm = 10;
+        cfg.faults.disk_error_pm = 20;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "fault runs must be deterministic"
+        );
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.fault.mesh_dropped, b.fault.mesh_dropped);
+        assert_eq!(a.fault.disk_transients, b.fault.disk_transients);
+    }
+
+    #[test]
+    fn prefetch_degrades_but_completes_under_disk_errors() {
+        let clean = run(&tiny(IoMode::MRecord).with_prefetch());
+        let mut cfg = tiny(IoMode::MRecord).with_prefetch();
+        cfg.faults.disk_error_pm = 100; // 10% of disk reads fail
+        let faulty = run(&cfg);
+        // The run completes and surviving reads are pattern-correct.
+        assert_eq!(faulty.verify_failures, 0);
+        assert!(faulty.prefetch.faults > 0, "no prefetch ever hit a fault");
+        assert!(
+            faulty.prefetch.hit_ratio() < clean.prefetch.hit_ratio(),
+            "hit ratio must degrade: clean {:.2} vs faulty {:.2}",
+            clean.prefetch.hit_ratio(),
+            faulty.prefetch.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn ion_crash_window_recovers_via_retries() {
+        // Crash one I/O node for a slice of the measured phase. The
+        // instant calibration's 60 s attempt timeout outlasts the window,
+        // so every read eventually lands: the first attempt's request or
+        // reply is dropped, a retry after the window succeeds.
+        let mut cfg = tiny(IoMode::MRecord);
+        cfg.faults.ion_crash = Some((0, SimDuration::ZERO, SimDuration::from_secs(30)));
+        cfg.trace_cap = 200_000;
+        let r = run(&cfg);
+        assert_eq!(r.verify_failures, 0);
+        assert_eq!(r.read_errors, 0, "retries must ride out the window");
+        assert_eq!(r.total_bytes, 1 << 20);
+        assert!(
+            r.fault.node_down_drops > 0,
+            "the window never dropped anything"
+        );
+        let evs = crate::spans::fault_events(&r.trace);
+        assert!(
+            evs.iter()
+                .any(|e| e.kind == paragon_sim::EventKind::FaultNodeDown),
+            "missing node-down marker"
+        );
+        assert!(
+            evs.iter()
+                .any(|e| e.kind == paragon_sim::EventKind::RpcRetry),
+            "missing rpc-retry event"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ mod driver;
 mod result;
 pub mod spans;
 
-pub use config::{AccessPattern, ExperimentConfig, StripeLayout};
+pub use config::{AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
 pub use driver::run;
 pub use result::{NodeResult, RunResult};
-pub use spans::{read_spans, ReadSpan, SpanBreakdown, SpanKind};
+pub use spans::{fault_events, read_spans, ReadSpan, SpanBreakdown, SpanKind};

@@ -8,16 +8,19 @@
 //! distributed" check) are tracked alongside.
 
 use paragon_core::PrefetchStats;
-use paragon_disk::DiskStats;
-use paragon_sim::{SimDuration, TraceEvent};
+use paragon_disk::{DiskStats, RaidStats};
+use paragon_sim::{FaultStats, SimDuration, TraceEvent};
 
 /// What one compute node measured.
 #[derive(Debug, Clone)]
 pub struct NodeResult {
     /// Node rank.
     pub rank: usize,
-    /// Reads performed.
+    /// Reads performed successfully.
     pub reads: u64,
+    /// Reads that failed even after the client's retry policy (possible
+    /// only under injected faults; a fault-free run never errors).
+    pub read_errors: u64,
     /// Bytes delivered to the application.
     pub bytes: u64,
     /// Wall time from the measured phase's start to this node's last
@@ -73,6 +76,13 @@ pub struct RunResult {
     /// Number of data-verification mismatches (0 unless `verify_data`
     /// caught corruption — always a bug).
     pub verify_failures: u64,
+    /// Reads that failed across all nodes (under injected faults only).
+    pub read_errors: u64,
+    /// Fault-plan counters: what the plan actually injected.
+    pub fault: FaultStats,
+    /// Aggregate RAID counters across every I/O node's array; nonzero
+    /// `reconstructed_reads` means degraded-mode reads happened.
+    pub raid: RaidStats,
     /// Aggregate disk counters across every I/O node's array (includes
     /// the setup phase's populate writes).
     pub disk: DiskStats,
@@ -141,6 +151,7 @@ mod tests {
         NodeResult {
             rank,
             reads: 4,
+            read_errors: 0,
             bytes,
             elapsed: SimDuration::from_millis(ms),
             read_time_total: SimDuration::from_millis(ms),
@@ -161,6 +172,9 @@ mod tests {
             prefetch_enabled: false,
             trace_hash: 0,
             verify_failures: 0,
+            read_errors: 0,
+            fault: FaultStats::default(),
+            raid: RaidStats::default(),
             disk: DiskStats::default(),
             trace: Vec::new(),
         };
@@ -179,6 +193,9 @@ mod tests {
             prefetch_enabled: false,
             trace_hash: 0,
             verify_failures: 0,
+            read_errors: 0,
+            fault: FaultStats::default(),
+            raid: RaidStats::default(),
             disk: DiskStats::default(),
             trace: Vec::new(),
         };

@@ -72,6 +72,34 @@ impl ReadSpan {
     }
 }
 
+/// Fault-related events of a recording, in time order: plan injections
+/// (disk errors, mesh drop/dup/delay, crash-window edges) and the
+/// recovery actions they triggered (RPC retries/give-ups, RAID
+/// reconstructions, prefetch quarantine transitions).
+pub fn fault_events(events: &[TraceEvent]) -> Vec<&TraceEvent> {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::FaultDiskError
+                    | EventKind::FaultDiskDown
+                    | EventKind::MeshDrop
+                    | EventKind::MeshDup
+                    | EventKind::MeshDelay
+                    | EventKind::FaultNodeDown
+                    | EventKind::FaultNodeUp
+                    | EventKind::RpcRetry
+                    | EventKind::RpcGiveUp
+                    | EventKind::RaidReconstruct
+                    | EventKind::PrefetchFault
+                    | EventKind::PrefetchThrottle
+                    | EventKind::PrefetchResume
+            )
+        })
+        .collect()
+}
+
 /// Reconstruct every completed read span in `events`.
 ///
 /// A span needs a `read-start` and a matching `read-done` under the same

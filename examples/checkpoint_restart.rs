@@ -60,7 +60,7 @@ fn main() {
                     // Checkpoint dump, overlapped via write-behind. Each
                     // epoch overwrites the previous checkpoint (M_RECORD
                     // layout), so we rewind the record pointer first.
-                    f.rewind().await;
+                    f.rewind().await.unwrap();
                     let wb = WriteBehindFile::new(f.clone(), WriteBehindConfig::prototype());
                     for b in 0..blocks {
                         let data: Vec<u8> = (0..BLOCK as u64)

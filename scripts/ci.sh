@@ -11,10 +11,18 @@ cargo build --release
 echo "=== cargo test -q"
 cargo test -q
 
+echo "=== fault-injection suite"
+cargo test -q --test failure_injection
+cargo test -q -p paragon-workload
+cargo test -q -p paragon-sim fault
+
 echo "=== cargo fmt --check"
 cargo fmt --check
 
 echo "=== cargo clippy -D warnings"
+# crates/disk, crates/os, and crates/pfs additionally carry a crate-level
+# deny(clippy::unwrap_used, clippy::expect_used) for non-test code — the
+# I/O path must propagate errors, not panic — which this lint run enforces.
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: all green"

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/paragon_sim-62f74dc33ed7a3ff.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/paragon_sim-62f74dc33ed7a3ff.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/fault.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/paragon_sim-62f74dc33ed7a3ff: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/paragon_sim-62f74dc33ed7a3ff: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/fault.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/executor.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/kernel.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/sync/mod.rs:

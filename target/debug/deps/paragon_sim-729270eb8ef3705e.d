@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/paragon_sim-729270eb8ef3705e.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/paragon_sim-729270eb8ef3705e.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/fault.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libparagon_sim-729270eb8ef3705e.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libparagon_sim-729270eb8ef3705e.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/fault.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/executor.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/kernel.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/sync/mod.rs:

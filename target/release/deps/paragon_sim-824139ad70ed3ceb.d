@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/paragon_sim-824139ad70ed3ceb.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/paragon_sim-824139ad70ed3ceb.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/fault.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libparagon_sim-824139ad70ed3ceb.rlib: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libparagon_sim-824139ad70ed3ceb.rlib: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/fault.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libparagon_sim-824139ad70ed3ceb.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libparagon_sim-824139ad70ed3ceb.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/fault.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/sync/mod.rs crates/sim/src/sync/barrier.rs crates/sim/src/sync/channel.rs crates/sim/src/sync/oneshot.rs crates/sim/src/sync/semaphore.rs crates/sim/src/sync/signal.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/executor.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/kernel.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/sync/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpoint_restart-f1e82c4d2c70e564.d: examples/checkpoint_restart.rs
+
+/root/repo/target/release/examples/checkpoint_restart-f1e82c4d2c70e564: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

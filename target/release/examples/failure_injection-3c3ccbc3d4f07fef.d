@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_injection-3c3ccbc3d4f07fef.d: examples/failure_injection.rs
+
+/root/repo/target/release/examples/failure_injection-3c3ccbc3d4f07fef: examples/failure_injection.rs
+
+examples/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7bc8dd128afc203d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7bc8dd128afc203d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -5,7 +5,7 @@
 use paragon::machine::Calibration;
 use paragon::pfs::IoMode;
 use paragon::sim::SimDuration;
-use paragon::workload::{run, AccessPattern, ExperimentConfig, StripeLayout};
+use paragon::workload::{run, AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
 
 fn base(mode: IoMode) -> ExperimentConfig {
     ExperimentConfig {
@@ -25,6 +25,7 @@ fn base(mode: IoMode) -> ExperimentConfig {
         separate_files: false,
         verify_data: true,
         trace_cap: 0,
+        faults: FaultSpec::default(),
     }
 }
 
