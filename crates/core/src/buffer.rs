@@ -95,7 +95,11 @@ impl PrefetchList {
         while self.entries.len() > self.max_entries
             || (self.pinned_bytes() > self.max_bytes && self.entries.len() > 1)
         {
-            evicted.push(self.entries.pop_front().expect("over cap implies nonempty"));
+            // The loop condition implies the list is nonempty.
+            let Some(old) = self.entries.pop_front() else {
+                break;
+            };
+            evicted.push(old);
         }
         evicted
     }

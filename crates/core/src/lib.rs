@@ -41,6 +41,10 @@
 //! assert!(stats.hits() >= 6); // the stride locks on after two reads
 //! ```
 
+// Robustness: a failed prefetch must quarantine and fall back to demand
+// reads (the engine's whole fault story), never panic the client.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod buffer;
 mod engine;
 mod predictor;

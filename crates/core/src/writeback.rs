@@ -137,7 +137,11 @@ impl WriteBehindFile {
                 if w.len() < self.cfg.max_outstanding {
                     break;
                 }
-                w.front().cloned().expect("window full implies nonempty")
+                // A full window is necessarily nonempty.
+                match w.front().cloned() {
+                    Some(h) => h,
+                    None => break,
+                }
             };
             let stall_from = self.sim.now();
             self.stats.borrow_mut().stalls += 1;
@@ -166,7 +170,8 @@ impl WriteBehindFile {
             // Whatever ran before we had to wait was hidden latency.
             let wait_from = self.sim.now();
             let result = h.join().await;
-            let finished = h.completed_at().expect("joined implies complete");
+            // Joined implies complete; fall back to "now" defensively.
+            let finished = h.completed_at().unwrap_or_else(|| self.sim.now());
             let hidden = if done_at_call {
                 finished.saturating_since(h.submitted_at())
             } else {

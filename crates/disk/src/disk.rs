@@ -210,6 +210,10 @@ async fn server_loop(
     let mut store = BlockStore::new();
     // Head position: byte offset just past the last serviced request.
     let mut head: u64 = 0;
+    // Tracks the dead/alive edge so FaultDiskDown is emitted once per death,
+    // letting trace consumers distinguish a dead member's errors from
+    // transient media errors (see EventKind::FaultDiskError).
+    let mut was_dead = false;
     // Segmented read cache: the streams the drive is tracking.
     let mut segments = Segments::new(params.cache_segments.max(1));
     // Elevator state: pending requests keyed by (offset, arrival seq).
@@ -282,11 +286,16 @@ async fn server_loop(
             _ => None,
         };
         if fault == Some(DiskFault::Dead) {
+            if !was_dead {
+                was_dead = true;
+                sim.emit(|| ev(track.get(), EventKind::FaultDiskDown, req.req, 0, 0));
+            }
             sim.emit(|| ev(track.get(), EventKind::FaultDiskError, req.req, offset, len));
             stats.borrow_mut().faulted += 1;
             req.reply.send(Err(DiskError::Dead));
             continue;
         }
+        was_dead = false;
 
         let service = service_time(&params, &mut segments, head, offset, len, &mut rng, &stats);
         let service = scale(service, slowdown.get());

@@ -4,7 +4,7 @@
 //! can assert byte-for-byte integrity through striping, caching, and
 //! prefetching. Unwritten regions read back as zeros, like a fresh disk.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -15,7 +15,7 @@ pub const STORE_PAGE: u64 = 8 * 1024;
 /// A sparse, page-granular byte store addressed by absolute disk offset.
 #[derive(Default)]
 pub struct BlockStore {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: BTreeMap<u64, Box<[u8]>>,
     /// Total bytes ever written (for capacity accounting in tests).
     bytes_written: u64,
 }

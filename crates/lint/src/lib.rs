@@ -1,0 +1,180 @@
+//! `paragon-lint` — workspace invariant checker.
+//!
+//! The paper's tables (IPPS'96 Tables 2–4) are reproduced from flight-
+//! recorder traces of same-seed simulation runs. That only works while
+//! three families of invariants hold, and this crate enforces them as
+//! named, machine-checkable rules:
+//!
+//! * **D1** — no `HashMap`/`HashSet` in sim-visible code: their seeded
+//!   iteration order would make same-seed runs diverge.
+//! * **D2** — no wall-clock or ambient nondeterminism (`Instant`,
+//!   `SystemTime`, `thread_rng`, `thread::spawn`) outside the
+//!   `paragon-sim` kernel.
+//! * **P1** — no `panic!`/`unwrap`/`expect`/`unreachable!`/unchecked
+//!   indexing in non-test code of the I/O-path crates (disk, os, pfs,
+//!   mesh, ufs): injected faults must surface as protocol errors.
+//! * **X1** — cross-file exhaustiveness: every protocol request variant
+//!   has a handler arm, a trace mapping, and a `PfsError` channel; every
+//!   `EventKind` is in `ALL`, emitted somewhere, and named in
+//!   `workload/spans.rs`.
+//! * **W1** — waiver hygiene: `// paragon-lint: allow(<rule>) — <why>`
+//!   must carry a justification.
+//!
+//! Test code (`#[cfg(test)]` regions, `tests/`, `benches/`) is exempt
+//! from D1/D2/P1.
+
+pub mod rules;
+pub mod strip;
+pub mod x1;
+
+pub use rules::{lint_file, FileCfg, Finding};
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code falls under P1 (the I/O path).
+pub const P1_CRATES: &[&str] = &["disk", "os", "pfs", "mesh", "ufs"];
+
+/// Files allowed to keep `HashMap`/`HashSet` (none today; additions
+/// need a rationale in DESIGN.md).
+pub const D1_ALLOW: &[&str] = &[];
+
+/// Derive which rules apply to a workspace-relative path.
+pub fn cfg_for(rel: &str) -> FileCfg {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let exempt = rel
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples");
+    FileCfg {
+        d1: !exempt && !D1_ALLOW.contains(&rel),
+        d2: !exempt && crate_name != "sim",
+        p1: !exempt && P1_CRATES.contains(&crate_name),
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan `crates/*/src/**/*.rs` under `root` and run every rule.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    for c in &crate_dirs {
+        collect_rs(&c.join("src"), &mut files)?;
+    }
+
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    for p in &files {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.insert(rel, std::fs::read_to_string(p)?);
+    }
+
+    let mut findings = Vec::new();
+    for (rel, src) in &sources {
+        findings.extend(lint_file(rel, src, cfg_for(rel)));
+    }
+    findings.extend(x1_workspace(&sources));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+const PROTO: &str = "crates/pfs/src/proto.rs";
+const SERVER: &str = "crates/pfs/src/server.rs";
+const PFS_FS: &str = "crates/pfs/src/fs.rs";
+const POINTER: &str = "crates/pfs/src/pointer.rs";
+const TRACE: &str = "crates/sim/src/trace.rs";
+const SPANS: &str = "crates/workload/src/spans.rs";
+
+/// Run X1 against the real workspace file set.
+fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
+    let mut anchors = Vec::new();
+    for path in [PROTO, SERVER, PFS_FS, POINTER, TRACE, SPANS] {
+        match sources.get(path) {
+            Some(src) => anchors.push(x1::prep(path, src)),
+            None => {
+                return vec![Finding {
+                    rule: "X1",
+                    file: path.to_string(),
+                    line: 1,
+                    msg: "anchor file missing from workspace scan".into(),
+                }]
+            }
+        }
+    }
+    let emitters: Vec<x1::Src> = sources
+        .iter()
+        .filter(|(rel, _)| {
+            // trace.rs declares kinds and spans.rs consumes them; the
+            // bench CLI and this crate also only consume. None of them
+            // count as emission evidence.
+            *rel != TRACE
+                && *rel != SPANS
+                && *rel != PROTO
+                && !rel.starts_with("crates/bench/")
+                && !rel.starts_with("crates/lint/")
+        })
+        .map(|(rel, src)| x1::prep(rel, src))
+        .collect();
+    let [proto, server, pfs_fs, pointer, trace, spans] = &anchors[..] else {
+        unreachable!("anchors holds exactly six entries");
+    };
+    x1::check_x1(proto, &[server, pfs_fs], pointer, trace, spans, &emitters)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize findings as a JSON array (stable field order).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"msg\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.msg)
+        ));
+    }
+    out.push(']');
+    out
+}

@@ -1,0 +1,39 @@
+//! `paragon-lint` binary: scan the workspace, print findings, exit
+//! nonzero when any rule fires. `--json` emits machine-readable output.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    // The binary lives at crates/lint; the workspace root is two up.
+    let root = match Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
+        Some(r) => r,
+        None => {
+            eprintln!("paragon-lint: cannot locate workspace root");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = match paragon_lint::lint_workspace(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("paragon-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", paragon_lint::findings_to_json(&findings));
+    } else if findings.is_empty() {
+        println!("paragon-lint: clean (rules D1, D2, P1, X1, W1)");
+    } else {
+        for f in &findings {
+            println!("{} {}:{} — {}", f.rule, f.file, f.line, f.msg);
+        }
+        println!("paragon-lint: {} finding(s)", findings.len());
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,416 @@
+//! Per-file rules: D1 (deterministic containers), D2 (no ambient
+//! nondeterminism), P1 (panic-freedom on the I/O path), W1 (waiver
+//! hygiene), plus the waiver parser that can silence any of them.
+
+use crate::strip::{view, FileView};
+
+/// One lint finding. `line` is 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub msg: String,
+}
+
+impl Finding {
+    fn new(rule: &'static str, file: &str, line: usize, msg: String) -> Self {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+/// Rule ids a waiver may name.
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "P1", "X1"];
+
+/// Which rule families apply to a file. The caller derives this from the
+/// path; fixture tests construct it directly.
+#[derive(Debug, Clone, Copy)]
+pub struct FileCfg {
+    /// D1: ban `HashMap`/`HashSet` (sim-visible iteration order).
+    pub d1: bool,
+    /// D2: ban wall-clock / ambient nondeterminism.
+    pub d2: bool,
+    /// P1: ban panicking constructs (I/O-path crates only).
+    pub p1: bool,
+}
+
+impl FileCfg {
+    pub fn all() -> Self {
+        FileCfg {
+            d1: true,
+            d2: true,
+            p1: true,
+        }
+    }
+}
+
+/// A parsed `// paragon-lint: allow(<rules>) — <reason>` waiver.
+///
+/// A waiver on a line that also carries code covers that line only; a
+/// waiver on a line of its own covers the rest of its enclosing brace
+/// block. The justification after the dash is mandatory (W1).
+struct Waiver {
+    rules: Vec<String>,
+    first: usize,
+    last: usize,
+}
+
+const WAIVER_TAG: &str = "paragon-lint:";
+
+/// Extract the waiver directive from `raw`, if the line carries one.
+///
+/// A directive must *open* the line's comment (`// paragon-lint: ...`),
+/// so prose or string literals that merely mention the syntax do not
+/// parse as waivers. `comment_col` is where the stripper saw this
+/// line's `//` comment begin.
+fn directive(raw: &str, comment_col: Option<usize>) -> Option<String> {
+    let col = comment_col?;
+    let text: String = raw
+        .chars()
+        .skip(col)
+        .skip_while(|c| *c == '/')
+        .collect::<String>()
+        .trim_start_matches('!')
+        .trim_start()
+        .to_string();
+    text.strip_prefix(WAIVER_TAG)
+        .map(|rest| rest.trim_start().to_string())
+}
+
+fn parse_waivers(file: &str, src: &str, v: &FileView) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    let n_lines = v.test.len();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let Some(body) = directive(raw, v.comment_col_at(line)) else {
+            continue;
+        };
+        let Some(after) = body.strip_prefix("allow(") else {
+            findings.push(Finding::new(
+                "W1",
+                file,
+                line,
+                "malformed waiver: expected `paragon-lint: allow(<rules>) — <reason>`".into(),
+            ));
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            findings.push(Finding::new(
+                "W1",
+                file,
+                line,
+                "malformed waiver: missing ')' after allow(".into(),
+            ));
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            findings.push(Finding::new(
+                "W1",
+                file,
+                line,
+                "waiver names no rules".into(),
+            ));
+            continue;
+        }
+        for r in &rules {
+            if !KNOWN_RULES.contains(&r.as_str()) {
+                findings.push(Finding::new(
+                    "W1",
+                    file,
+                    line,
+                    format!(
+                        "waiver names unknown rule `{r}` (known: {})",
+                        KNOWN_RULES.join(", ")
+                    ),
+                ));
+            }
+        }
+        // Mandatory justification: a dash separator followed by prose.
+        let rest = after[close + 1..].trim();
+        let reason = ["—", "--", "-"]
+            .iter()
+            .find_map(|sep| rest.strip_prefix(sep))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.len() < 8 {
+            findings.push(Finding::new(
+                "W1",
+                file,
+                line,
+                "waiver lacks a justification (`// paragon-lint: allow(RULE) — why this is sound`)"
+                    .into(),
+            ));
+            continue;
+        }
+        // Scope: own-line waivers cover the rest of the enclosing block.
+        let code_line = v.line(line);
+        let own_line = code_line.trim().is_empty();
+        let last = if own_line {
+            // Advance while the next line still starts inside the block;
+            // the closing-brace line starts at depth `d0`, so it is the
+            // last line covered.
+            let d0 = v.depth_at(line);
+            let mut l = line;
+            while l < n_lines && v.depth_at(l + 1) >= d0 {
+                l += 1;
+            }
+            l
+        } else {
+            line
+        };
+        waivers.push(Waiver {
+            rules,
+            first: line,
+            last,
+        });
+    }
+    (waivers, findings)
+}
+
+fn waived(waivers: &[Waiver], rule: &str, line: usize) -> bool {
+    waivers
+        .iter()
+        .any(|w| line >= w.first && line <= w.last && w.rules.iter().any(|r| r == rule))
+}
+
+/// Does `hay` contain `word` bounded by non-identifier chars?
+fn has_word(hay: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = hay[from..].find(word) {
+        let s = from + at;
+        let e = s + word.len();
+        let pre = hay[..s].chars().next_back();
+        let post = hay[e..].chars().next();
+        let pre_ok = pre.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let post_ok = post.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = e;
+    }
+    false
+}
+
+/// P1 slice-index heuristic: flag `expr[index]` where `index` is a plain
+/// identifier or field path (`slot`, `p.member`, `src.0`). Those indexes
+/// are typically request- or wire-derived, exactly where an out-of-range
+/// value must become a protocol error, not a crash. Ranges (`buf[a..b]`),
+/// integer literals (`v[0]`), and compound expressions (`v[i + 1]`,
+/// `v[i as usize]`) are loop/invariant-shaped and are not flagged.
+fn index_findings(code_line: &str) -> Vec<String> {
+    let chars: Vec<char> = code_line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '[' {
+            i += 1;
+            continue;
+        }
+        // Preceding significant char must end an indexable expression.
+        let mut p = i;
+        while p > 0 && chars[p - 1] == ' ' {
+            p -= 1;
+        }
+        let prev = if p > 0 { Some(chars[p - 1]) } else { None };
+        let indexable =
+            matches!(prev, Some(c) if c.is_alphanumeric() || c == '_' || c == ')' || c == ']');
+        // Find the matching `]` on this line.
+        let mut depth = 1;
+        let mut j = i + 1;
+        while j < chars.len() && depth > 0 {
+            match chars[j] {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            break; // index spans lines; out of scope for the heuristic
+        }
+        let inner: String = chars[i + 1..j - 1].iter().collect();
+        i = j;
+        if !indexable {
+            continue;
+        }
+        let inner = inner.trim();
+        if inner.is_empty() || inner.contains("..") {
+            continue;
+        }
+        if inner.chars().all(|c| c.is_ascii_digit() || c == '_') {
+            continue;
+        }
+        let is_path = inner.split('.').all(|seg| {
+            !seg.is_empty()
+                && (seg.chars().all(|c| c.is_ascii_digit())
+                    || (seg
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphabetic() || c == '_')
+                        && seg.chars().all(|c| c.is_alphanumeric() || c == '_')))
+        });
+        if is_path {
+            out.push(inner.to_string());
+        }
+    }
+    out
+}
+
+const D2_WORDS: &[&str] = &["Instant", "SystemTime", "thread_rng"];
+const P1_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Run D1/D2/P1/W1 over one file. `src` is the raw source text.
+pub fn lint_file(file: &str, src: &str, cfg: FileCfg) -> Vec<Finding> {
+    let v = view(src);
+    let (waivers, mut findings) = parse_waivers(file, src, &v);
+
+    for (idx, code_line) in v.code.lines().enumerate() {
+        let line = idx + 1;
+        if v.is_test(line) {
+            continue;
+        }
+        if cfg.d1 {
+            for word in ["HashMap", "HashSet"] {
+                if has_word(code_line, word) && !waived(&waivers, "D1", line) {
+                    findings.push(Finding::new(
+                        "D1",
+                        file,
+                        line,
+                        format!(
+                            "`{word}` in sim-visible code: iteration order is randomly seeded; \
+                             use `BTreeMap`/`BTreeSet` so same-seed runs stay byte-identical"
+                        ),
+                    ));
+                }
+            }
+        }
+        if cfg.d2 {
+            for word in D2_WORDS {
+                if has_word(code_line, word) && !waived(&waivers, "D2", line) {
+                    findings.push(Finding::new(
+                        "D2",
+                        file,
+                        line,
+                        format!(
+                            "`{word}` outside the sim kernel: wall-clock/ambient entropy breaks \
+                             same-seed reproducibility; use SimTime / seeded rng streams"
+                        ),
+                    ));
+                }
+            }
+            if code_line.contains("thread::spawn") && !waived(&waivers, "D2", line) {
+                findings.push(Finding::new(
+                    "D2",
+                    file,
+                    line,
+                    "`thread::spawn` outside the sim kernel: OS scheduling order is \
+                     nondeterministic; spawn sim tasks on the single-threaded executor"
+                        .into(),
+                ));
+            }
+        }
+        if cfg.p1 {
+            for mac in P1_MACROS {
+                if code_line.contains(mac) && !waived(&waivers, "P1", line) {
+                    findings.push(Finding::new(
+                        "P1",
+                        file,
+                        line,
+                        format!(
+                            "`{mac}` on the I/O path: faults must surface as protocol errors \
+                             (PfsError/DiskError/RpcError), not process aborts"
+                        ),
+                    ));
+                }
+            }
+            for call in [".unwrap()", ".expect("] {
+                if code_line.contains(call) && !waived(&waivers, "P1", line) {
+                    findings.push(Finding::new(
+                        "P1",
+                        file,
+                        line,
+                        format!("`{call}` on the I/O path: propagate the error instead"),
+                    ));
+                }
+            }
+            if !waived(&waivers, "P1", line) {
+                for idx_expr in index_findings(code_line) {
+                    findings.push(Finding::new(
+                        "P1",
+                        file,
+                        line,
+                        format!(
+                            "unchecked slice index `[{idx_expr}]`: use `.get({idx_expr})` and \
+                             map None to an error (or waive with the bounds invariant)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("struct MyHashMapLike;", "HashMap"));
+        assert!(!has_word("InstantReplay", "Instant"));
+    }
+
+    #[test]
+    fn index_heuristic_shapes() {
+        assert_eq!(index_findings("let d = self.ids[ion];"), vec!["ion"]);
+        assert_eq!(index_findings("per[p.member].push(x)"), vec!["p.member"]);
+        assert_eq!(index_findings("t[src.0]"), vec!["src.0"]);
+        assert!(index_findings("buf[a..b].copy_from_slice(&x[c..d])").is_empty());
+        assert!(index_findings("v[0] + v[i + 1] + v[i as usize]").is_empty());
+        assert!(index_findings("#[derive(Clone)]").is_empty());
+        assert!(index_findings("vec![0u8; 4]").is_empty());
+        assert!(index_findings("let x: [u8; 4] = y;").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(lint_file("x.rs", src, FileCfg::all()).is_empty());
+    }
+
+    #[test]
+    fn waiver_silences_and_w1_fires() {
+        let ok = "use std::collections::HashMap; // paragon-lint: allow(D1) — host-only tool state, never sim-visible\n";
+        assert!(lint_file("x.rs", ok, FileCfg::all()).is_empty());
+        let bare = "use std::collections::HashMap; // paragon-lint: allow(D1)\n";
+        let f = lint_file("x.rs", bare, FileCfg::all());
+        assert!(f.iter().any(|f| f.rule == "W1"));
+        assert!(
+            f.iter().any(|f| f.rule == "D1"),
+            "unjustified waiver must not silence"
+        );
+    }
+
+    #[test]
+    fn block_scope_waiver() {
+        let src = "fn f(v: &[u32], pos: usize) -> u32 {\n    \
+                   // paragon-lint: allow(P1) — pos comes from binary_search, in bounds\n    \
+                   v[pos]\n}\nfn g(v: &[u32], pos: usize) -> u32 {\n    v[pos]\n}\n";
+        let f = lint_file("x.rs", src, FileCfg::all());
+        assert_eq!(f.iter().filter(|f| f.rule == "P1").count(), 1);
+        assert_eq!(f.iter().find(|f| f.rule == "P1").map(|f| f.line), Some(6));
+    }
+}

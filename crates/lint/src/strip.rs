@@ -1,0 +1,384 @@
+//! A minimal Rust source scanner.
+//!
+//! `paragon-lint` deliberately avoids a full parser: the workspace is
+//! hermetic (no registry deps), so instead of `syn` we strip everything
+//! that is not code — comments, string/char literals — while preserving
+//! the exact byte-per-line layout, and then run token-level rules over
+//! the result. The stripper also tracks brace depth per line and marks
+//! the regions covered by `#[cfg(test)]` so rules can exempt test code.
+
+/// A scanned source file: stripped text plus per-line classification.
+pub struct FileView {
+    /// Source with comments and literals blanked to spaces. Same number
+    /// of lines as the input; every line has the same char length.
+    pub code: String,
+    /// `test[i]` is true when 1-based line `i + 1` lies inside a
+    /// `#[cfg(test)]` item (attribute line included).
+    pub test: Vec<bool>,
+    /// Brace depth at the *start* of each 1-based line `i + 1`.
+    pub depth: Vec<usize>,
+    /// Char column of the first `//` line-comment opener on each line
+    /// (None when the line has no line comment). Strings or comment
+    /// *bodies* that merely contain `//` are not openers.
+    pub comment_col: Vec<Option<usize>>,
+}
+
+impl FileView {
+    /// Stripped text of 1-based line `line` (empty if out of range).
+    pub fn line(&self, line: usize) -> &str {
+        self.code.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+
+    /// Is 1-based `line` inside a `#[cfg(test)]` region?
+    pub fn is_test(&self, line: usize) -> bool {
+        self.test
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Brace depth at the start of 1-based `line`.
+    pub fn depth_at(&self, line: usize) -> usize {
+        self.depth.get(line.saturating_sub(1)).copied().unwrap_or(0)
+    }
+
+    /// Char column where 1-based `line`'s `//` comment opens, if any.
+    pub fn comment_col_at(&self, line: usize) -> Option<usize> {
+        self.comment_col
+            .get(line.saturating_sub(1))
+            .copied()
+            .flatten()
+    }
+}
+
+/// Blank comments, string literals, raw strings, and char literals to
+/// spaces, keeping newlines so line/column arithmetic stays valid.
+pub fn strip(src: &str) -> String {
+    scan(src).0
+}
+
+/// [`strip`], also returning the char offsets (into the whole text) at
+/// which each `//` line comment opens.
+fn scan(src: &str) -> (String, Vec<usize>) {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comment_opens = Vec::new();
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    comment_opens.push(i);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                    i += 1;
+                }
+                'r' | 'b' if !prev_is_ident(&chars, i) && raw_str_hashes(&chars, i).is_some() => {
+                    let (hashes, skip) = raw_str_hashes(&chars, i).unwrap_or((0, 1));
+                    st = St::RawStr(hashes);
+                    for _ in 0..skip {
+                        out.push(' ');
+                    }
+                    i += skip as usize;
+                }
+                'b' if next == Some('"') => {
+                    st = St::Str;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '\'' => {
+                    // Char literal vs. lifetime: a literal is 'x' or an
+                    // escape; a lifetime is ' followed by an identifier
+                    // with no closing quote right after it.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(chars.len() - 1) {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.push_str("   ");
+                        i += 3;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    st = St::Code;
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    (out, comment_opens)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// At `chars[i]` sitting on `r` or `b`: if this starts a raw string
+/// (`r"`, `r#"`, `br#"`, ...), return (hash count, chars consumed up to
+/// and including the opening quote).
+fn raw_str_hashes(chars: &[char], i: usize) -> Option<(u32, u32)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, (j - i + 1) as u32))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Scan a file into stripped text plus test-region and depth metadata.
+pub fn view(src: &str) -> FileView {
+    let (code, comment_opens) = scan(src);
+    let n_lines = code.lines().count().max(1);
+    let mut depth = vec![0usize; n_lines];
+    let mut test = vec![false; n_lines];
+
+    // Map comment-opener char offsets to (line, column).
+    let mut comment_col = vec![None; n_lines];
+    {
+        let mut line = 0usize;
+        let mut line_start = 0usize; // char offset of current line start
+        let mut opens = comment_opens.iter().peekable();
+        for (off, c) in src.chars().enumerate() {
+            while let Some(&&o) = opens.peek() {
+                if o <= off {
+                    if o == off && line < n_lines && comment_col[line].is_none() {
+                        comment_col[line] = Some(o - line_start);
+                    }
+                    opens.next();
+                } else {
+                    break;
+                }
+            }
+            if c == '\n' {
+                line += 1;
+                line_start = off + 1;
+            }
+        }
+    }
+
+    // Brace depth at the start of each line.
+    let mut d: usize = 0;
+    let mut line = 0;
+    depth[0] = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d = d.saturating_sub(1),
+            '\n' => {
+                line += 1;
+                if line < n_lines {
+                    depth[line] = d;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // `#[cfg(test)]` regions: from the attribute to the close of the
+    // item's brace block (or to the terminating `;` for `mod x;`).
+    let bytes: Vec<char> = code.chars().collect();
+    let mut starts: Vec<usize> = Vec::new();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test", "#[cfg(any(test"] {
+        let mut from = 0;
+        while let Some(off) = code[from..].find(pat) {
+            starts.push(from + off);
+            from += off + pat.len();
+        }
+    }
+    starts.sort_unstable();
+    for &s in &starts {
+        // Char index of byte offset `s` (code is ASCII after stripping
+        // except for pre-existing unicode idents; walk to be safe).
+        let cs = code[..s].chars().count();
+        let mut j = cs;
+        // Skip to end of this attribute, then find the item's block.
+        let mut end = bytes.len().saturating_sub(1);
+        let mut bdepth = 0usize;
+        let mut seen_open = false;
+        while j < bytes.len() {
+            match bytes[j] {
+                '{' => {
+                    bdepth += 1;
+                    seen_open = true;
+                }
+                '}' => {
+                    bdepth = bdepth.saturating_sub(1);
+                    if seen_open && bdepth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                ';' if !seen_open => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Mark every line intersecting [cs, end].
+        let first_line = code[..s].matches('\n').count();
+        let last_byte: usize = code
+            .char_indices()
+            .nth(end)
+            .map(|(b, _)| b)
+            .unwrap_or_else(|| code.len().saturating_sub(1));
+        let last_line = code[..last_byte].matches('\n').count();
+        for t in test.iter_mut().take(last_line + 1).skip(first_line) {
+            *t = true;
+        }
+    }
+
+    FileView {
+        code,
+        test,
+        depth,
+        comment_col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap\nlet y = 1; /* HashMap */\n";
+        let out = strip(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let x ="));
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let c = '\\n'; let l: &'static str = f::<'a>();\n";
+        let out = strip(src);
+        assert!(!out.contains("panic!"));
+        assert!(out.contains("'static"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let v = view(src);
+        assert!(!v.is_test(1));
+        assert!(v.is_test(2));
+        assert!(v.is_test(3));
+        assert!(v.is_test(4));
+        assert!(v.is_test(5));
+        assert!(!v.is_test(6));
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let src = "fn a() {\n    if x {\n        y();\n    }\n}\n";
+        let v = view(src);
+        assert_eq!(v.depth_at(1), 0);
+        assert_eq!(v.depth_at(2), 1);
+        assert_eq!(v.depth_at(3), 2);
+        assert_eq!(v.depth_at(5), 1);
+    }
+}

@@ -1,0 +1,505 @@
+//! X1: cross-file exhaustiveness between the PFS protocol
+//! (`pfs/proto.rs`), the node dispatch loops (`pfs/server.rs`,
+//! `pfs/fs.rs`, `pfs/pointer.rs`), the flight recorder
+//! (`sim/trace.rs`), and the span analyzer (`workload/spans.rs`).
+//!
+//! The paper's tables are cut from traces: a request variant that is
+//! handled but never traced, or a trace kind that is declared but never
+//! emitted, silently falls out of every table. X1 makes those lapses a
+//! lint failure instead of a reviewer's job.
+
+use crate::rules::Finding;
+use crate::strip::view;
+
+/// A source file prepared for cross-file checks: stripped of comments
+/// and literals, with `#[cfg(test)]` lines blanked.
+pub struct Src {
+    pub file: String,
+    pub code: String,
+}
+
+/// Strip `raw` and blank every `#[cfg(test)]` line.
+pub fn prep(file: &str, raw: &str) -> Src {
+    let v = view(raw);
+    let mut code = String::with_capacity(v.code.len());
+    for (idx, line) in v.code.lines().enumerate() {
+        if v.is_test(idx + 1) {
+            for _ in line.chars() {
+                code.push(' ');
+            }
+        } else {
+            code.push_str(line);
+        }
+        code.push('\n');
+    }
+    Src {
+        file: file.to_string(),
+        code,
+    }
+}
+
+/// One parsed enum variant: name, 1-based line, payload text (between
+/// the name and the variant-terminating comma, braces included).
+pub struct Variant {
+    pub name: String,
+    pub line: usize,
+    pub payload: String,
+}
+
+pub struct EnumInfo {
+    pub decl_line: usize,
+    /// Byte span of the whole declaration (for blanking).
+    pub span: (usize, usize),
+    pub variants: Vec<Variant>,
+}
+
+/// Parse `enum <name> { ... }` out of stripped source.
+pub fn parse_enum(code: &str, name: &str) -> Option<EnumInfo> {
+    let pat = format!("enum {name}");
+    let mut from = 0;
+    let start = loop {
+        let at = from + code[from..].find(&pat)?;
+        let end = at + pat.len();
+        let boundary = code[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            break at;
+        }
+        from = end;
+    };
+    let bytes = code.as_bytes();
+    let open = start + code[start..].find('{')?;
+    let mut depth = 0usize;
+    let mut close = open;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = k;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Walk the body at depth 1 collecting variant names and payloads.
+    let mut variants = Vec::new();
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    let mut at_item_start = true;
+    while k < close {
+        let b = bytes[k];
+        match b {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => depth = depth.saturating_sub(1),
+            b',' if depth == 1 => at_item_start = true,
+            b'#' if depth == 1 && at_item_start => {
+                // Skip an attribute `#[...]`.
+                let mut d = 0usize;
+                while k < close {
+                    match bytes[k] {
+                        b'[' => d += 1,
+                        b']' => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            _ if depth == 1 && at_item_start && (b.is_ascii_alphabetic() || b == b'_') => {
+                let vs = k;
+                while k < close && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'_') {
+                    k += 1;
+                }
+                let vname = &code[vs..k];
+                // Variant payload: up to the next depth-1 comma (or `}`).
+                let mut d = 1usize;
+                let mut pe = k;
+                while pe < close {
+                    match bytes[pe] {
+                        b'{' | b'(' | b'[' => d += 1,
+                        b'}' | b')' | b']' => d -= 1,
+                        b',' if d == 1 => break,
+                        _ => {}
+                    }
+                    pe += 1;
+                }
+                variants.push(Variant {
+                    name: vname.to_string(),
+                    line: code[..vs].matches('\n').count() + 1,
+                    payload: code[k..pe].to_string(),
+                });
+                at_item_start = false;
+                k = pe;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some(EnumInfo {
+        decl_line: code[..start].matches('\n').count() + 1,
+        span: (start, close + 1),
+        variants,
+    })
+}
+
+fn has_word(hay: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = hay[from..].find(word) {
+        let s = from + at;
+        let e = s + word.len();
+        let pre = hay[..s].chars().next_back();
+        let post = hay[e..].chars().next();
+        // A path prefix (`trace::EventKind::X`) still counts as a use,
+        // so `:` is an acceptable predecessor.
+        if pre.is_none_or(|c| !c.is_alphanumeric() && c != '_')
+            && post.is_none_or(|c| !c.is_alphanumeric() && c != '_')
+        {
+            return true;
+        }
+        from = e;
+    }
+    false
+}
+
+/// Declared protocol knowledge: which trace kinds must exist and be
+/// emitted for each request variant, and which `PfsResponse` variant
+/// must carry its `PfsError` channel. Adding a request variant without
+/// extending this table is itself an X1 finding — exhaustiveness is
+/// opt-out, never silent.
+const REQUEST_TRACE: &[(&str, &str, &[&str])] = &[
+    ("PfsRequest", "Read", &["ServeStart", "ServeDone"]),
+    ("PfsRequest", "Write", &["ServeStart", "ServeDone"]),
+    ("PfsRequest", "Ptr", &["PtrOp"]),
+    ("PtrRequest", "UnixAcquire", &["PtrOp"]),
+    ("PtrRequest", "UnixRelease", &["PtrOp"]),
+    ("PtrRequest", "LogFetchAdd", &["PtrOp"]),
+    ("PtrRequest", "SyncArrive", &["PtrOp"]),
+    ("PtrRequest", "Rewind", &["PtrOp"]),
+];
+const REQUEST_ERR: &[(&str, &str, &str)] = &[
+    ("PfsRequest", "Read", "Data"),
+    ("PfsRequest", "Write", "WriteAck"),
+    ("PfsRequest", "Ptr", "Ptr"),
+    ("PtrRequest", "UnixAcquire", "Ptr"),
+    ("PtrRequest", "UnixRelease", "Ptr"),
+    ("PtrRequest", "LogFetchAdd", "Ptr"),
+    ("PtrRequest", "SyncArrive", "Ptr"),
+    ("PtrRequest", "Rewind", "Ptr"),
+];
+
+fn x1(file: &str, line: usize, msg: String) -> Finding {
+    Finding {
+        rule: "X1",
+        file: file.to_string(),
+        line,
+        msg,
+    }
+}
+
+/// Run every X1 sub-check.
+///
+/// * `proto` — `crates/pfs/src/proto.rs`
+/// * `handlers` — dispatch sources searched for `PfsRequest::<V>` arms
+///   (server.rs + fs.rs)
+/// * `pointer` — `crates/pfs/src/pointer.rs` (`PtrRequest::<V>` arms)
+/// * `trace` — `crates/sim/src/trace.rs` (`EventKind` + `ALL`)
+/// * `spans` — `crates/workload/src/spans.rs` (must name every kind)
+/// * `emitters` — every other non-test source that may emit events or
+///   construct `PfsError`s (bench/lint excluded: they only consume)
+pub fn check_x1(
+    proto: &Src,
+    handlers: &[&Src],
+    pointer: &Src,
+    trace: &Src,
+    spans: &Src,
+    emitters: &[Src],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    let Some(kinds) = parse_enum(&trace.code, "EventKind") else {
+        return vec![x1(&trace.file, 1, "cannot find `enum EventKind`".into())];
+    };
+    let kind_names: Vec<&str> = kinds.variants.iter().map(|v| v.name.as_str()).collect();
+
+    // --- Request variants: handler arm + trace mapping + error mapping.
+    for (enum_name, arm_sources, arm_label) in [
+        (
+            "PfsRequest",
+            handlers,
+            "I/O-node dispatch (pfs/server.rs, pfs/fs.rs)",
+        ),
+        (
+            "PtrRequest",
+            &[pointer][..],
+            "pointer-server dispatch (pfs/pointer.rs)",
+        ),
+    ] {
+        let Some(info) = parse_enum(&proto.code, enum_name) else {
+            out.push(x1(
+                &proto.file,
+                1,
+                format!("cannot find `enum {enum_name}`"),
+            ));
+            continue;
+        };
+        for v in &info.variants {
+            let qualified = format!("{enum_name}::{}", v.name);
+            if !arm_sources.iter().any(|s| has_word(&s.code, &qualified)) {
+                out.push(x1(
+                    &proto.file,
+                    v.line,
+                    format!("`{qualified}` has no handler arm in {arm_label}"),
+                ));
+            }
+            match REQUEST_TRACE
+                .iter()
+                .find(|(e, n, _)| *e == enum_name && *n == v.name)
+            {
+                None => out.push(x1(
+                    &proto.file,
+                    v.line,
+                    format!(
+                        "`{qualified}` has no trace mapping; extend REQUEST_TRACE in \
+                         paragon-lint so the variant is visible to the flight recorder"
+                    ),
+                )),
+                Some((_, _, required)) => {
+                    for kind in *required {
+                        if !kind_names.contains(kind) {
+                            out.push(x1(
+                                &proto.file,
+                                v.line,
+                                format!(
+                                    "`{qualified}` maps to trace kind `{kind}`, which is not \
+                                     an `EventKind` variant"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            match REQUEST_ERR
+                .iter()
+                .find(|(e, n, _)| *e == enum_name && *n == v.name)
+            {
+                None => out.push(x1(
+                    &proto.file,
+                    v.line,
+                    format!(
+                        "`{qualified}` has no error mapping; extend REQUEST_ERR in \
+                         paragon-lint with the PfsResponse variant that carries its PfsError"
+                    ),
+                )),
+                Some((_, _, resp)) => {
+                    let ok = parse_enum(&proto.code, "PfsResponse")
+                        .and_then(|r| r.variants.into_iter().find(|rv| rv.name == *resp))
+                        .is_some_and(|rv| {
+                            rv.payload.contains("Result") && rv.payload.contains("PfsError")
+                        });
+                    if !ok {
+                        out.push(x1(
+                            &proto.file,
+                            v.line,
+                            format!(
+                                "`{qualified}` maps to `PfsResponse::{resp}`, which does not \
+                                 carry a `Result<_, PfsError>` — the request has no way to \
+                                 fail over the wire"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- EventKind: ALL completeness, emission, and span naming.
+    let all_entries: Vec<String> = {
+        let mut entries = Vec::new();
+        if let Some(at) = trace.code.find("const ALL") {
+            if let Some(open_rel) = trace.code[at..].find('[') {
+                // Skip the type `[EventKind; N]`: take the bracket after `=`.
+                let eq = trace.code[at..]
+                    .find('=')
+                    .map(|e| at + e)
+                    .unwrap_or(at + open_rel);
+                if let Some(arr_rel) = trace.code[eq..].find('[') {
+                    let arr = eq + arr_rel;
+                    let bytes = trace.code.as_bytes();
+                    let mut depth = 0usize;
+                    let mut k = arr;
+                    let mut end = arr;
+                    while k < bytes.len() {
+                        match bytes[k] {
+                            b'[' => depth += 1,
+                            b']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = k;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    for part in trace.code[arr + 1..end].split(',') {
+                        let part = part.trim();
+                        if let Some(name) = part
+                            .strip_prefix("EventKind::")
+                            .or_else(|| part.strip_prefix("Self::"))
+                        {
+                            entries.push(name.trim().to_string());
+                        }
+                    }
+                }
+            }
+        }
+        entries
+    };
+    let all_line = trace
+        .code
+        .find("const ALL")
+        .map(|at| trace.code[..at].matches('\n').count() + 1)
+        .unwrap_or(1);
+    if all_entries.is_empty() {
+        out.push(x1(
+            &trace.file,
+            all_line,
+            "cannot find `const ALL` entry list".into(),
+        ));
+    }
+    for v in &kinds.variants {
+        let n = all_entries.iter().filter(|e| **e == v.name).count();
+        if n == 0 && !all_entries.is_empty() {
+            out.push(x1(
+                &trace.file,
+                all_line,
+                format!("`EventKind::{}` is missing from `EventKind::ALL`", v.name),
+            ));
+        } else if n > 1 {
+            out.push(x1(
+                &trace.file,
+                all_line,
+                format!(
+                    "`EventKind::{}` appears {n} times in `EventKind::ALL`",
+                    v.name
+                ),
+            ));
+        }
+        let qualified = format!("EventKind::{}", v.name);
+        if !emitters.iter().any(|s| has_word(&s.code, &qualified)) {
+            out.push(x1(
+                &trace.file,
+                v.line,
+                format!(
+                    "`{qualified}` is declared but never emitted — a dead trace kind \
+                     silently drops its row from the paper tables"
+                ),
+            ));
+        }
+        if !has_word(&spans.code, &qualified) {
+            out.push(x1(
+                &trace.file,
+                v.line,
+                format!(
+                    "`{qualified}` is not named in workload/spans.rs — the span analyzer \
+                     cannot classify it"
+                ),
+            ));
+        }
+    }
+    for e in &all_entries {
+        if !kinds.variants.iter().any(|v| v.name == *e) {
+            out.push(x1(
+                &trace.file,
+                all_line,
+                format!("`EventKind::ALL` names unknown variant `{e}`"),
+            ));
+        }
+    }
+
+    // --- PfsError: every variant is live protocol vocabulary, i.e.
+    // referenced somewhere outside its own declaration and Display impl.
+    if let Some(errs) = parse_enum(&proto.code, "PfsError") {
+        let mut blanked = proto.code.clone();
+        let mut blank = |s: usize, e: usize| {
+            // Safety: stripped code is ASCII outside literals.
+            let repl: String = blanked[s..e]
+                .chars()
+                .map(|c| if c == '\n' { '\n' } else { ' ' })
+                .collect();
+            blanked.replace_range(s..e, &repl);
+        };
+        blank(errs.span.0, errs.span.1);
+        if let Some(at) = proto.code.find("Display for PfsError") {
+            let bytes = proto.code.as_bytes();
+            if let Some(open_rel) = proto.code[at..].find('{') {
+                let open = at + open_rel;
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < bytes.len() {
+                    match bytes[k] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                blank(at, (k + 1).min(proto.code.len()));
+            }
+        }
+        for v in &errs.variants {
+            let qualified = format!("PfsError::{}", v.name);
+            let live = has_word(&blanked, &qualified)
+                || emitters.iter().any(|s| has_word(&s.code, &qualified));
+            if !live {
+                out.push(x1(
+                    &proto.file,
+                    v.line,
+                    format!(
+                        "`{qualified}` is never constructed or matched outside its \
+                         declaration/Display — dead error vocabulary"
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_variants_with_payloads() {
+        let code = "pub enum E {\n    A { x: u64, y: u32 },\n    B(Result<u64, Err>),\n    C,\n}\n";
+        let info = parse_enum(code, "E").unwrap();
+        let names: Vec<_> = info.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+        assert_eq!(info.variants[0].line, 2);
+        assert!(info.variants[1].payload.contains("Result"));
+    }
+
+    #[test]
+    fn word_match_rejects_prefixed_paths() {
+        assert!(has_word("m::EventKind::ReadStart,", "EventKind::ReadStart"));
+        assert!(!has_word("EventKind::ReadStartX", "EventKind::ReadStart"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Fixture suite: every rule fires on a seeded violation at an exact
+//! line, justified waivers silence their rule, clean files stay clean,
+//! and the real workspace lints clean end to end.
+//!
+//! The fixture sources under `tests/fixtures/` are data, not code: they
+//! are never compiled, only fed to the linter as text.
+
+use paragon_lint::x1::{check_x1, prep, Src};
+use paragon_lint::{findings_to_json, lint_file, lint_workspace, FileCfg, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `(rule, line)` pairs in the order the linter reported them.
+fn pairs(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn d1_flags_every_hash_container_line() {
+    let f = lint_file("d1_hashmap.rs", &fixture("d1_hashmap.rs"), FileCfg::all());
+    assert_eq!(pairs(&f), [("D1", 3), ("D1", 4), ("D1", 7), ("D1", 8)]);
+    assert!(f[0].msg.contains("HashMap"), "{}", f[0].msg);
+    assert!(f[1].msg.contains("HashSet"), "{}", f[1].msg);
+    assert!(
+        f[0].msg.contains("BTreeMap"),
+        "the finding must name the fix: {}",
+        f[0].msg
+    );
+}
+
+#[test]
+fn d2_flags_clocks_entropy_and_threads() {
+    let f = lint_file("d2.rs", &fixture("d2_nondeterminism.rs"), FileCfg::all());
+    assert_eq!(
+        pairs(&f),
+        [("D2", 3), ("D2", 6), ("D2", 11), ("D2", 13), ("D2", 18)]
+    );
+    assert!(f[2].msg.contains("SystemTime"));
+    assert!(f[3].msg.contains("thread_rng"));
+    assert!(f[4].msg.contains("thread::spawn"));
+}
+
+#[test]
+fn p1_flags_macros_unwraps_and_indexing() {
+    let f = lint_file("p1.rs", &fixture("p1_panic_path.rs"), FileCfg::all());
+    assert_eq!(
+        pairs(&f),
+        [("P1", 6), ("P1", 7), ("P1", 12), ("P1", 17), ("P1", 21)]
+    );
+    assert!(f[0].msg.contains("unreachable!"));
+    assert!(f[1].msg.contains("panic!"));
+    assert!(f[2].msg.contains(".unwrap()"));
+    assert!(f[3].msg.contains(".expect("));
+    assert!(
+        f[4].msg.contains("[slot]"),
+        "index finding names the expression: {}",
+        f[4].msg
+    );
+}
+
+#[test]
+fn p1_off_means_panics_pass() {
+    // The same source under a non-I/O-path config: D1/D2 still apply,
+    // P1 does not — the fixture has no D1/D2 seeds, so it comes back
+    // clean.
+    let cfg = FileCfg {
+        d1: true,
+        d2: true,
+        p1: false,
+    };
+    let f = lint_file("p1.rs", &fixture("p1_panic_path.rs"), cfg);
+    assert!(f.is_empty(), "unexpected: {f:?}");
+}
+
+#[test]
+fn w1_rejects_each_malformation_and_bare_waivers_do_not_silence() {
+    let f = lint_file("w1.rs", &fixture("w1_waivers.rs"), FileCfg::all());
+    assert_eq!(
+        pairs(&f),
+        [
+            ("W1", 4),  // `allowed(` is not the waiver verb
+            ("W1", 7),  // missing `)`
+            ("W1", 10), // names no rules
+            ("W1", 13), // unknown rule id
+            ("W1", 16), // no justification
+            ("D1", 16), // ... and the reason-less waiver must not silence
+            ("D1", 18),
+        ]
+    );
+    assert!(f[3].msg.contains("Q9"), "{}", f[3].msg);
+    assert!(f[4].msg.contains("justification"), "{}", f[4].msg);
+}
+
+#[test]
+fn justified_waivers_silence_line_and_block_scope() {
+    let f = lint_file("ok.rs", &fixture("waiver_ok.rs"), FileCfg::all());
+    assert!(f.is_empty(), "waived + test-only code must be clean: {f:?}");
+}
+
+#[test]
+fn clean_file_is_clean() {
+    let f = lint_file("clean.rs", &fixture("clean.rs"), FileCfg::all());
+    assert!(f.is_empty(), "unexpected: {f:?}");
+}
+
+#[test]
+fn json_output_carries_exact_rule_file_and_line() {
+    let f = lint_file("d1_hashmap.rs", &fixture("d1_hashmap.rs"), FileCfg::all());
+    let json = findings_to_json(&f);
+    for line in [3usize, 4, 7, 8] {
+        let needle = format!("\"file\":\"d1_hashmap.rs\",\"line\":{line},");
+        assert!(json.contains(&needle), "missing {needle} in {json}");
+    }
+    assert_eq!(json.matches("\"rule\":\"D1\"").count(), 4, "{json}");
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert_eq!(findings_to_json(&[]), "[]");
+}
+
+fn x1_src(name: &str) -> Src {
+    prep(&format!("x1/{name}"), &fixture(&format!("x1/{name}")))
+}
+
+#[test]
+fn x1_cross_file_exhaustiveness_fires_at_declaration_lines() {
+    let proto = x1_src("proto.rs");
+    let server = x1_src("server.rs");
+    let pointer = x1_src("pointer.rs");
+    let trace = x1_src("trace.rs");
+    let spans = x1_src("spans.rs");
+    let emitters = vec![x1_src("emitter.rs")];
+
+    let mut f = check_x1(&proto, &[&server], &pointer, &trace, &spans, &emitters);
+    f.sort_by(|a, b| (&a.file, a.line, &a.msg).cmp(&(&b.file, b.line, &b.msg)));
+
+    let got: Vec<(String, usize)> = f.iter().map(|x| (x.file.clone(), x.line)).collect();
+    let want = [
+        ("x1/proto.rs", 7),  // Write maps to WriteAck, which cannot fail
+        ("x1/proto.rs", 9),  // Snoop: no handler arm
+        ("x1/proto.rs", 9),  // Snoop: no REQUEST_TRACE entry
+        ("x1/proto.rs", 9),  // Snoop: no REQUEST_ERR entry
+        ("x1/proto.rs", 17), // Rewind: no pointer-dispatch arm
+        ("x1/proto.rs", 28), // Ghost: dead error vocabulary
+        ("x1/trace.rs", 8),  // Phantom: never emitted
+        ("x1/trace.rs", 8),  // Phantom: unknown to the span analyzer
+        ("x1/trace.rs", 12), // Phantom: missing from ALL
+    ];
+    let want: Vec<(String, usize)> = want.iter().map(|(p, l)| (p.to_string(), *l)).collect();
+    assert_eq!(got, want, "findings: {f:#?}");
+
+    let msg_at = |line: usize, needle: &str| {
+        assert!(
+            f.iter().any(|x| x.line == line && x.msg.contains(needle)),
+            "no finding at line {line} containing {needle:?}: {f:#?}"
+        );
+    };
+    assert!(f.iter().all(|x| x.rule == "X1"));
+    msg_at(7, "does not carry a `Result<_, PfsError>`");
+    msg_at(9, "no handler arm");
+    msg_at(9, "no trace mapping");
+    msg_at(9, "no error mapping");
+    msg_at(17, "no handler arm");
+    msg_at(28, "dead error vocabulary");
+    msg_at(8, "never emitted");
+    msg_at(8, "not named in workload/spans.rs");
+    msg_at(12, "missing from `EventKind::ALL`");
+}
+
+#[test]
+fn x1_is_quiet_once_the_seeded_gaps_are_closed() {
+    // Close every gap the bad fixture seeds: handle Snoop nowhere —
+    // instead drop it from the protocol; give Rewind an arm; let
+    // WriteAck carry its error; emit Phantom, classify it, and list it
+    // in ALL; use Ghost.
+    let proto_fixed = fixture("x1/proto.rs")
+        .replace("    Snoop,\n", "")
+        .replace("WriteAck(u32)", "WriteAck(Result<u32, PfsError>)");
+    let trace_fixed = fixture("x1/trace.rs")
+        .replace("[EventKind; 3]", "[EventKind; 4]")
+        .replace(
+            "        EventKind::PtrOp,\n",
+            "        EventKind::PtrOp,\n        EventKind::Phantom,\n",
+        );
+    let pointer_fixed = fixture("x1/pointer.rs").replace(
+        "        PtrRequest::SyncArrive => Ok(0),\n",
+        "        PtrRequest::SyncArrive => Ok(0),\n        PtrRequest::Rewind => Ok(0),\n",
+    );
+    let spans_fixed = fixture("x1/spans.rs").replace(
+        "        EventKind::PtrOp => 2,\n",
+        "        EventKind::PtrOp => 2,\n        EventKind::Phantom => 3,\n",
+    );
+    let emitter_fixed = fixture("x1/emitter.rs").replace(
+        "    let _ = PfsError::BadReply;\n",
+        "    sim.emit(EventKind::Phantom);\n    let _ = PfsError::BadReply;\n    let _ = PfsError::Ghost;\n",
+    );
+
+    let proto = prep("proto.rs", &proto_fixed);
+    let server = x1_src("server.rs");
+    let pointer = prep("pointer.rs", &pointer_fixed);
+    let trace = prep("trace.rs", &trace_fixed);
+    let spans = prep("spans.rs", &spans_fixed);
+    let emitters = vec![prep("emitter.rs", &emitter_fixed)];
+
+    let f = check_x1(&proto, &[&server], &pointer, &trace, &spans, &emitters);
+    assert!(f.is_empty(), "fixed fixture must be quiet: {f:#?}");
+}
+
+#[test]
+fn the_real_workspace_lints_clean() {
+    // The binary's CI gate, as a test: the shipped tree must carry zero
+    // findings, so every fixture above demonstrates a rule that is
+    // actually enforced at its zero state.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = lint_workspace(&root).expect("walk workspace sources");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings_to_json(&findings)
+    );
+}

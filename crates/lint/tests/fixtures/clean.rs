@@ -1,0 +1,13 @@
+//! Fixture: clean — deterministic containers, no panics, no clocks.
+
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn get(m: &BTreeMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,10 @@
+//! Fixture: D1 — randomly-seeded containers in sim-visible code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}

@@ -1,0 +1,19 @@
+//! Fixture: D2 — ambient nondeterminism outside the sim kernel.
+
+use std::time::Instant;
+
+pub fn wall_clock_elapsed() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn entropy() -> u64 {
+    let now = std::time::SystemTime::now();
+    let _ = now;
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn racer() {
+    std::thread::spawn(|| {});
+}

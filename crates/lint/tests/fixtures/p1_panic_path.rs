@@ -1,0 +1,22 @@
+//! Fixture: P1 — panicking constructs on the I/O path.
+
+pub fn dispatch(kind: u8) -> u32 {
+    match kind {
+        0 => 0,
+        1 => unreachable!("no such frame"),
+        _ => panic!("bad frame kind"),
+    }
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    let head = v.first().unwrap();
+    *head
+}
+
+pub fn named(v: &[u32]) -> u32 {
+    v.first().copied().expect("nonempty")
+}
+
+pub fn route(table: &[u32], slot: usize) -> u32 {
+    table[slot]
+}

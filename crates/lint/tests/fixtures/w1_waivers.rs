@@ -1,0 +1,18 @@
+//! Fixture: W1 — waiver hygiene. Every directive below is defective in
+//! a different way, and a reason-less waiver must not silence its rule.
+
+// paragon-lint: allowed(D1) — the verb is wrong, not a waiver grammar
+pub mod a {}
+
+// paragon-lint: allow(D1
+pub mod b {}
+
+// paragon-lint: allow() — names no rules at all
+pub mod c {}
+
+// paragon-lint: allow(Q9) — Q9 is not a rule this linter knows about
+pub mod d {}
+
+use std::collections::HashMap; // paragon-lint: allow(D1)
+
+pub type Table = HashMap<u32, u32>;

@@ -1,0 +1,26 @@
+//! Fixture: a justified waiver silences its rule over its scope, and
+//! `#[cfg(test)]` code is exempt wholesale.
+
+use std::collections::HashMap; // paragon-lint: allow(D1) — host-side fixture index, never sim-visible
+
+pub fn pick(v: &[u32], pos: usize) -> u32 {
+    // paragon-lint: allow(P1) — pos comes from binary_search over v, so it is in bounds
+    v[pos]
+}
+
+pub struct Host {
+    pub map: HashMap<u32, u32>, // paragon-lint: allow(D1) — iterated only for host-side display
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn unwrap_is_fine_here() {
+        let s: HashSet<u32> = HashSet::new();
+        assert_eq!(s.iter().next(), None);
+        let v = vec![1u32];
+        v.first().unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+//! X1 fixture emitter: emits the three live kinds and constructs the
+//! one live error.
+
+pub fn run(sim: &Sim) {
+    sim.emit(EventKind::ServeStart);
+    sim.emit(EventKind::ServeDone);
+    sim.emit(EventKind::PtrOp);
+    let _ = PfsError::BadReply;
+}

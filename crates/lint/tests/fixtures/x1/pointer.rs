@@ -1,0 +1,10 @@
+//! X1 fixture pointer dispatch: handles every `PtrRequest` but Rewind.
+
+pub fn route(req: PtrRequest) -> Result<u64, PfsError> {
+    match req {
+        PtrRequest::UnixAcquire { .. } => Ok(0),
+        PtrRequest::UnixRelease => Ok(0),
+        PtrRequest::LogFetchAdd { .. } => Ok(0),
+        PtrRequest::SyncArrive => Ok(0),
+    }
+}

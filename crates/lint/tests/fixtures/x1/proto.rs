@@ -1,0 +1,38 @@
+//! X1 fixture protocol: `Snoop` has no handler arm and no table entry,
+//! `Rewind` has no pointer-dispatch arm, `WriteAck` cannot carry an
+//! error, and `PfsError::Ghost` is dead vocabulary.
+
+pub enum PfsRequest {
+    Read { offset: u64, len: u32 },
+    Write { offset: u64 },
+    Ptr(PtrRequest),
+    Snoop,
+}
+
+pub enum PtrRequest {
+    UnixAcquire { len: u32 },
+    UnixRelease,
+    LogFetchAdd { len: u32 },
+    SyncArrive,
+    Rewind,
+}
+
+pub enum PfsResponse {
+    Data(Result<u64, PfsError>),
+    WriteAck(u32),
+    Ptr(Result<u64, PfsError>),
+}
+
+pub enum PfsError {
+    BadReply,
+    Ghost,
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::BadReply => write!(f, "bad reply"),
+            PfsError::Ghost => write!(f, "ghost"),
+        }
+    }
+}

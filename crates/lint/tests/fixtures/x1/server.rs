@@ -1,0 +1,9 @@
+//! X1 fixture dispatch: handles Read/Write/Ptr but not Snoop.
+
+pub fn dispatch(req: PfsRequest) -> PfsResponse {
+    match req {
+        PfsRequest::Read { .. } => PfsResponse::Data(Err(PfsError::BadReply)),
+        PfsRequest::Write { .. } => PfsResponse::WriteAck(0),
+        PfsRequest::Ptr(p) => PfsResponse::Ptr(route(p)),
+    }
+}

@@ -1,0 +1,9 @@
+//! X1 fixture span analyzer: classifies the three live kinds only.
+
+pub fn class(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::ServeStart => 0,
+        EventKind::ServeDone => 1,
+        EventKind::PtrOp => 2,
+    }
+}

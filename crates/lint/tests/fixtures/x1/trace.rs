@@ -1,0 +1,17 @@
+//! X1 fixture flight recorder: `Phantom` is declared but missing from
+//! `ALL`, never emitted, and unknown to the span analyzer.
+
+pub enum EventKind {
+    ServeStart,
+    ServeDone,
+    PtrOp,
+    Phantom,
+}
+
+impl EventKind {
+    pub const ALL: [EventKind; 3] = [
+        EventKind::ServeStart,
+        EventKind::ServeDone,
+        EventKind::PtrOp,
+    ];
+}

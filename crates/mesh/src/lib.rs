@@ -6,6 +6,10 @@
 //! send/receive overheads, per-hop router latency, wire time at link
 //! bandwidth, and NIC serialization under fan-in.
 
+// Robustness: a lost or misrouted frame must surface as an observable
+// drop (or an `Err`), never a panic on the transport path.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod net;
 mod topology;
 

@@ -10,7 +10,7 @@
 //! 3 MB/s disks on a >150 MB/s mesh, is folded into the NIC term.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use paragon_sim::sync::{channel, Receiver, Semaphore, Sender};
@@ -90,7 +90,7 @@ pub struct MeshStats {
 }
 
 struct MeshInner<M> {
-    mailboxes: HashMap<NodeId, Sender<Envelope<M>>>,
+    mailboxes: BTreeMap<NodeId, Sender<Envelope<M>>>,
     stats: MeshStats,
 }
 
@@ -129,7 +129,7 @@ impl<M: Clone + 'static> Mesh<M> {
             nic_tx: Rc::new(nic_tx),
             faults: sim.faults(),
             inner: Rc::new(RefCell::new(MeshInner {
-                mailboxes: HashMap::new(),
+                mailboxes: BTreeMap::new(),
                 stats: MeshStats::default(),
             })),
         }
@@ -175,7 +175,21 @@ impl<M: Clone + 'static> Mesh<M> {
             self.params.send_overhead + self.params.wire_time(wire_bytes)
         };
         {
-            let sem = &self.nic_tx[src.0];
+            let Some(sem) = self.nic_tx.get(src.0) else {
+                // A source outside the topology has no NIC; the frame is
+                // lost observably, like a send from a decommissioned node.
+                self.sim.emit(|| {
+                    ev(
+                        Track::Node(src.0 as u16),
+                        EventKind::MeshDrop,
+                        req,
+                        wire_bytes,
+                        dst.0 as u64,
+                    )
+                });
+                self.inner.borrow_mut().stats.drops += 1;
+                return;
+            };
             let guard = sem.acquire().await;
             {
                 let mut inner = self.inner.borrow_mut();
@@ -268,21 +282,19 @@ impl<M: Clone + 'static> Mesh<M> {
                         src.0 as u64,
                     )
                 });
-                let mailbox = inner
-                    .borrow()
-                    .mailboxes
-                    .get(&dst)
-                    .unwrap_or_else(|| panic!("send to unbound node {}", dst.0))
-                    .clone();
-                // A dropped receiver means the node shut down; the frame is
+                let mailbox = inner.borrow().mailboxes.get(&dst).cloned();
+                // An unbound destination or a dropped receiver means the
+                // node never existed or shut down; either way the frame is
                 // lost like on a real NIC — but observably so.
                 if mailbox
-                    .send(Envelope {
-                        src,
-                        wire_bytes,
-                        payload,
+                    .map(|mb| {
+                        mb.send(Envelope {
+                            src,
+                            wire_bytes,
+                            payload,
+                        })
                     })
-                    .is_err()
+                    .is_none_or(|r| r.is_err())
                 {
                     sim2.emit(|| {
                         ev(

@@ -12,7 +12,7 @@
 //! server handler with [`RpcNet::serve`] (I/O and service nodes).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -131,6 +131,9 @@ pub struct RpcStats {
     pub retries: u64,
     /// Calls that exhausted their retry policy.
     pub give_ups: u64,
+    /// Frames of the wrong kind for their endpoint (a Call delivered to
+    /// a client, a Reply delivered to a server); dropped on the floor.
+    pub misrouted: u64,
 }
 
 /// The machine-wide RPC fabric. Clone freely.
@@ -173,8 +176,9 @@ where
     /// receive loop, which routes replies to their waiting callers.
     pub fn client(&self, node: NodeId) -> RpcClient<Req, Resp> {
         let mut rx = self.mesh.bind(node);
-        let pending: Pending<Resp> = Rc::new(RefCell::new(HashMap::new()));
+        let pending: Pending<Resp> = Rc::new(RefCell::new(BTreeMap::new()));
         let pending2 = pending.clone();
+        let stats = self.stats.clone();
         self.sim.spawn_named("rpc-client-rx", async move {
             while let Some(env) = rx.recv().await {
                 match env.payload {
@@ -186,7 +190,9 @@ where
                         // dropped its receiver; the reply is discarded.
                     }
                     RpcWire::Call { .. } => {
-                        panic!("client node {} received a Call", node.0)
+                        // A client endpoint cannot serve calls; the frame
+                        // is dropped and counted, never answered.
+                        stats.borrow_mut().misrouted += 1;
                     }
                 }
             }
@@ -234,7 +240,9 @@ where
                         });
                     }
                     RpcWire::Reply { .. } => {
-                        panic!("server node {} received a Reply", node.0)
+                        // A server endpoint never issued a call; the stray
+                        // reply is dropped and counted.
+                        net.stats.borrow_mut().misrouted += 1;
                     }
                 }
             }
@@ -242,7 +250,7 @@ where
     }
 }
 
-type Pending<Resp> = Rc<RefCell<HashMap<u64, OneshotSender<Resp>>>>;
+type Pending<Resp> = Rc<RefCell<BTreeMap<u64, OneshotSender<Resp>>>>;
 
 /// A node's client endpoint; issue calls with [`RpcClient::call`].
 pub struct RpcClient<Req, Resp> {

@@ -177,7 +177,7 @@ impl PfsFile {
     /// the service node from injected faults.
     async fn ptr(&self, req: PtrRequest) -> Result<u64, PfsError> {
         match self.rpc.call(self.service_node, PfsRequest::Ptr(req)).await {
-            Ok(PfsResponse::Ptr(at)) => Ok(at),
+            Ok(PfsResponse::Ptr(res)) => res,
             Ok(_) => Err(PfsError::BadReply),
             Err(e) => Err(e.into()),
         }
@@ -209,6 +209,8 @@ impl PfsFile {
                 st.local_offset += len as u64;
                 at
             }
+            // paragon-lint: allow(P1) — documented caller contract: the
+            // prefetch engine only drives individual-pointer modes
             m => panic!("advance_pointer on shared-pointer mode {m}"),
         }
     }
@@ -222,6 +224,8 @@ impl PfsFile {
             IoMode::MRecord => (st.round * self.nprocs as u64 + self.rank as u64) * len as u64,
             IoMode::MGlobal => st.round * len as u64,
             IoMode::MAsync => st.local_offset,
+            // paragon-lint: allow(P1) — documented caller contract: the
+            // sequential predictors only drive individual-pointer modes
             m => panic!("peek_pointer on shared-pointer mode {m}"),
         }
     }
@@ -404,7 +408,10 @@ impl PfsFile {
         let mut handles = Vec::with_capacity(plan.len());
         for sreq in plan {
             let (ion, _) = self.meta.slot(sreq.slot as u16)?;
-            let dst = self.io_node_ids[ion];
+            let dst = *self.io_node_ids.get(ion).ok_or(PfsError::BadSlot {
+                slot: sreq.slot as u16,
+                factor: self.io_node_ids.len(),
+            })?;
             let rpc = self.rpc.clone();
             let msg = PfsRequest::Read {
                 req,
@@ -541,7 +548,10 @@ impl PfsFile {
         let mut handles = Vec::with_capacity(plan.len());
         for sreq in plan {
             let (ion, _) = self.meta.slot(sreq.slot as u16)?;
-            let dst = self.io_node_ids[ion];
+            let dst = *self.io_node_ids.get(ion).ok_or(PfsError::BadSlot {
+                slot: sreq.slot as u16,
+                factor: self.io_node_ids.len(),
+            })?;
             // Gather the logical pieces into one contiguous slot buffer.
             let mut buf = BytesMut::zeroed(sreq.len as usize);
             for p in &sreq.pieces {

@@ -8,7 +8,7 @@
 //! opened per node with [`ParallelFs::open`].
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
@@ -39,7 +39,7 @@ pub struct ParallelFs {
     io_node_ids: Rc<Vec<NodeId>>,
     /// Lazily-created per-rank client endpoints and ART pools (one mailbox
     /// and one active list per compute node).
-    clients: RefCell<HashMap<usize, NodeEndpoint>>,
+    clients: RefCell<BTreeMap<usize, NodeEndpoint>>,
 }
 
 impl ParallelFs {
@@ -82,7 +82,10 @@ impl ParallelFs {
             Box::pin(async move {
                 match req {
                     PfsRequest::Ptr(p) => PfsResponse::Ptr(ptr.handle(p).await),
-                    other => panic!("service node received a data request: {other:?}"),
+                    // Data requests belong on an I/O node; a misrouted one
+                    // gets a matching-kind error reply, not a crash.
+                    PfsRequest::Read { .. } => PfsResponse::Data(Err(PfsError::BadRequest)),
+                    PfsRequest::Write { .. } => PfsResponse::WriteAck(Err(PfsError::BadRequest)),
                 }
             })
         });
@@ -100,7 +103,7 @@ impl ParallelFs {
             pointer,
             servers,
             io_node_ids,
-            clients: RefCell::new(HashMap::new()),
+            clients: RefCell::new(BTreeMap::new()),
         })
     }
 
@@ -176,6 +179,8 @@ impl ParallelFs {
             let row = unit / g;
             let ustart = unit * su;
             let ulen = su.min(size - ustart);
+            // paragon-lint: allow(P1) — slot = unit % g < g = slot_bufs.len(),
+            // and each buffer was sized above to hold exactly its rows
             let buf = &mut slot_bufs[slot][(row * su) as usize..(row * su + ulen) as usize];
             for (i, b) in buf.iter_mut().enumerate() {
                 *b = fill(ustart + i as u64);
@@ -186,6 +191,8 @@ impl ParallelFs {
             if buf.is_empty() {
                 continue;
             }
+            // paragon-lint: allow(P1) — slot enumerates slot_bufs, built
+            // with exactly meta.attrs.factor() == meta.slots.len() entries
             let (ion, inode) = meta.slots[slot];
             let ufs = self.machine.ufs(ion).clone();
             handles.push(
@@ -314,9 +321,13 @@ impl ParallelFs {
             .clone()
     }
 
-    /// Counters of I/O node `index`'s server.
+    /// Counters of I/O node `index`'s server. Returns empty counters for
+    /// an index outside the machine's I/O-node range.
     pub fn server_stats(&self, index: usize) -> ServerStats {
-        self.servers[index].stats()
+        self.servers
+            .get(index)
+            .map(|s| s.stats())
+            .unwrap_or_default()
     }
 
     /// Counters of the pointer server.

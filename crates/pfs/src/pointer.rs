@@ -11,13 +11,13 @@
 //!   ranges are released at once.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use paragon_sim::sync::{oneshot, OneshotSender, Semaphore};
-use paragon_sim::{Sim, SimDuration};
+use paragon_sim::{ev, EventKind, Sim, SimDuration, Track};
 
-use crate::proto::{PfsFileId, PtrRequest};
+use crate::proto::{PfsError, PfsFileId, PtrRequest};
 
 #[derive(Default)]
 struct FilePtr {
@@ -43,7 +43,7 @@ pub struct PointerServer {
     op_cost: SimDuration,
     /// The pointer server is one OS process: operations serialize on it.
     gate: Semaphore,
-    files: Rc<RefCell<HashMap<PfsFileId, FilePtr>>>,
+    files: Rc<RefCell<BTreeMap<PfsFileId, FilePtr>>>,
     stats: Rc<RefCell<PointerStats>>,
 }
 
@@ -55,7 +55,7 @@ impl PointerServer {
             sim: sim.clone(),
             op_cost,
             gate: Semaphore::new(1),
-            files: Rc::new(RefCell::new(HashMap::new())),
+            files: Rc::new(RefCell::new(BTreeMap::new())),
             stats: Rc::new(RefCell::new(PointerStats::default())),
         }
     }
@@ -74,16 +74,18 @@ impl PointerServer {
             .unwrap_or(0)
     }
 
-    /// Service one pointer operation; resolves to the relevant offset.
-    /// The op-cost section is serialized (one server process); waiting on
-    /// a token or a collective happens *outside* the serialized section,
-    /// so a held M_UNIX token never blocks unrelated operations.
-    pub async fn handle(&self, req: PtrRequest) -> u64 {
+    /// Service one pointer operation; resolves to the relevant offset,
+    /// or [`PfsError::ServiceLost`] if the server abandoned the caller
+    /// mid-operation. The op-cost section is serialized (one server
+    /// process); waiting on a token or a collective happens *outside*
+    /// the serialized section, so a held M_UNIX token never blocks
+    /// unrelated operations.
+    pub async fn handle(&self, req: PtrRequest) -> Result<u64, PfsError> {
         let gate = self.gate.acquire().await;
         self.sim.sleep(self.op_cost).await;
         self.stats.borrow_mut().ops += 1;
         drop(gate);
-        match req {
+        let res: Result<u64, PfsError> = match req {
             PtrRequest::UnixAcquire { file } => {
                 let waiter = {
                     let mut files = self.files.borrow_mut();
@@ -101,11 +103,8 @@ impl PointerServer {
                     }
                 };
                 match waiter {
-                    None => self.pointer(file),
-                    Some(rx) => match rx.await {
-                        Ok(at) => at,
-                        Err(_) => panic!("pointer server dropped a token"),
-                    },
+                    None => Ok(self.pointer(file)),
+                    Some(rx) => rx.await.map_err(|_| PfsError::ServiceLost),
                 }
             }
             PtrRequest::UnixRelease { file, advance } => {
@@ -120,14 +119,14 @@ impl PointerServer {
                 } else {
                     f.token_held = false;
                 }
-                new_offset
+                Ok(new_offset)
             }
             PtrRequest::LogFetchAdd { file, len } => {
                 let mut files = self.files.borrow_mut();
                 let f = files.entry(file).or_default();
                 let at = f.offset;
                 f.offset += len;
-                at
+                Ok(at)
             }
             PtrRequest::SyncArrive {
                 file,
@@ -157,10 +156,7 @@ impl PointerServer {
                     }
                     rx
                 };
-                match rx.await {
-                    Ok(at) => at,
-                    Err(_) => panic!("pointer server dropped a sync arrival"),
-                }
+                rx.await.map_err(|_| PfsError::ServiceLost)
             }
             PtrRequest::Rewind { file } => {
                 let mut files = self.files.borrow_mut();
@@ -170,9 +166,15 @@ impl PointerServer {
                     "rewind while pointer operations are outstanding"
                 );
                 f.offset = 0;
-                0
+                Ok(0)
             }
+        };
+        if let Ok(at) = res {
+            // Flight-recorder record of the completed pointer operation:
+            // `a` carries the offset the caller was handed.
+            self.sim.emit(|| ev(Track::Svc, EventKind::PtrOp, 0, at, 0));
         }
+        res
     }
 }
 
@@ -198,13 +200,17 @@ mod tests {
             sim.spawn(async move {
                 // Stagger arrivals so queue order is 0,1,2.
                 s.sleep(SimDuration::from_micros(rank as u64)).await;
-                let at = ps2.handle(PtrRequest::UnixAcquire { file: F }).await;
+                let at = ps2
+                    .handle(PtrRequest::UnixAcquire { file: F })
+                    .await
+                    .unwrap();
                 s.sleep(SimDuration::from_millis(10)).await; // "the I/O"
                 ps2.handle(PtrRequest::UnixRelease {
                     file: F,
                     advance: 100,
                 })
-                .await;
+                .await
+                .unwrap();
                 log2.borrow_mut().push((rank, at));
             });
         }
@@ -224,7 +230,8 @@ mod tests {
             sim.spawn(async move {
                 let at = ps2
                     .handle(PtrRequest::LogFetchAdd { file: F, len: 64 })
-                    .await;
+                    .await
+                    .unwrap();
                 o.borrow_mut().push(at);
             });
         }
@@ -255,7 +262,8 @@ mod tests {
                         nprocs: 3,
                         len,
                     })
-                    .await;
+                    .await
+                    .unwrap();
                 r2.borrow_mut().push((rank, at, s.now().as_millis_round()));
             });
         }
@@ -277,10 +285,12 @@ mod tests {
         let h = sim.spawn(async move {
             let a = ps2
                 .handle(PtrRequest::LogFetchAdd { file: F, len: 10 })
-                .await;
+                .await
+                .unwrap();
             let b = ps2
                 .handle(PtrRequest::LogFetchAdd { file: g, len: 20 })
-                .await;
+                .await
+                .unwrap();
             (a, b)
         });
         sim.run();
@@ -296,8 +306,9 @@ mod tests {
         let ps2 = ps.clone();
         sim.spawn(async move {
             ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 512 })
-                .await;
-            ps2.handle(PtrRequest::Rewind { file: F }).await;
+                .await
+                .unwrap();
+            ps2.handle(PtrRequest::Rewind { file: F }).await.unwrap();
         });
         sim.run();
         assert_eq!(ps.pointer(F), 0);
@@ -311,7 +322,8 @@ mod tests {
         let ps2 = ps.clone();
         let h = sim.spawn(async move {
             ps2.handle(PtrRequest::LogFetchAdd { file: F, len: 1 })
-                .await;
+                .await
+                .unwrap();
             s.now().as_nanos()
         });
         sim.run();

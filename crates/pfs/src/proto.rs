@@ -80,8 +80,9 @@ pub enum PfsResponse {
     Data(Result<Bytes, PfsError>),
     /// Write acknowledgement.
     WriteAck(Result<u32, PfsError>),
-    /// Pointer-operation reply: the relevant file offset.
-    Ptr(u64),
+    /// Pointer-operation reply: the relevant file offset, or why the
+    /// service node could not produce one.
+    Ptr(Result<u64, PfsError>),
 }
 
 /// PFS-level failure.
@@ -107,6 +108,12 @@ pub enum PfsError {
     },
     /// Protocol violation: a peer answered with the wrong reply kind.
     BadReply,
+    /// The request was routed to a node type that cannot serve it (e.g.
+    /// a data read sent to the service node).
+    BadRequest,
+    /// The service node abandoned the operation mid-call (its process
+    /// went away while the caller was queued on it).
+    ServiceLost,
 }
 
 impl std::fmt::Display for PfsError {
@@ -124,6 +131,10 @@ impl std::fmt::Display for PfsError {
                 write!(f, "gave up after {attempts} attempts")
             }
             PfsError::BadReply => write!(f, "protocol violation: wrong reply kind"),
+            PfsError::BadRequest => {
+                write!(f, "request routed to a node that cannot serve it")
+            }
+            PfsError::ServiceLost => write!(f, "service node abandoned the operation"),
         }
     }
 }
@@ -217,6 +228,8 @@ mod tests {
             PfsError::IoNodeDown,
             PfsError::TooManyRetries { attempts: 4 },
             PfsError::BadReply,
+            PfsError::BadRequest,
+            PfsError::ServiceLost,
         ]
     }
 
@@ -241,10 +254,17 @@ mod tests {
                 panic!("reply kind changed in flight")
             };
             assert_eq!(back, e);
-            // …and a write acknowledgement carrying the same error.
+            // …a write acknowledgement carrying the same error…
             let ack = PfsResponse::WriteAck(Err(e.clone()));
             let PfsResponse::WriteAck(Err(back)) = ack else {
                 panic!("ack kind changed in flight")
+            };
+            assert_eq!(back, e);
+            // …and a pointer reply carrying it.
+            let ptr = PfsResponse::Ptr(Err(e.clone()));
+            assert_eq!(ptr.wire_bytes(), 16, "pointer replies are headers only");
+            let PfsResponse::Ptr(Err(back)) = ptr else {
+                panic!("pointer reply kind changed in flight")
             };
             assert_eq!(back, e);
         }

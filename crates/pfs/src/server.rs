@@ -8,7 +8,7 @@
 //! so one physical I/O feeds every node of a collective call.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -71,7 +71,7 @@ pub struct IonServer {
     ion_index: usize,
     params: Rc<ServerParams>,
     registry: Rc<RefCell<Registry>>,
-    global: Rc<RefCell<HashMap<GlobalKey, GlobalEntry>>>,
+    global: Rc<RefCell<BTreeMap<GlobalKey, GlobalEntry>>>,
     stats: Rc<RefCell<ServerStats>>,
     rng: Rc<RefCell<Rng>>,
     /// FIFO server thread pool.
@@ -95,7 +95,7 @@ impl IonServer {
             ion_index,
             params: Rc::new(params),
             registry,
-            global: Rc::new(RefCell::new(HashMap::new())),
+            global: Rc::new(RefCell::new(BTreeMap::new())),
             stats: Rc::new(RefCell::new(ServerStats::default())),
             rng: Rc::new(RefCell::new(rng)),
             threads,
@@ -159,7 +159,9 @@ impl IonServer {
                 PfsResponse::WriteAck(result)
             }
             PfsRequest::Ptr(_) => {
-                panic!("I/O node {} received a pointer operation", self.ion_index)
+                // Pointer operations belong on the service node; answer a
+                // misrouted one with an error instead of crashing the node.
+                PfsResponse::Ptr(Err(PfsError::BadRequest))
             }
         }
     }
@@ -261,10 +263,9 @@ impl IonServer {
         match existing {
             Some((done, data, remaining)) => {
                 done.wait().await;
-                let result = match data.borrow().clone() {
-                    Some(r) => r,
-                    None => panic!("global read signalled without data"),
-                };
+                // The initiator stores the result before setting the
+                // signal; a missing result means the reply path broke.
+                let result = data.borrow().clone().unwrap_or(Err(PfsError::BadReply));
                 self.consume_global(key, &remaining);
                 self.stats.borrow_mut().global_shares += 1;
                 if result.is_ok() {

@@ -74,6 +74,8 @@ impl StripeAttrs {
     pub fn coalesce(&self, pieces: &[StripePiece]) -> Vec<SlotRequest> {
         let mut per_slot: Vec<Vec<StripePiece>> = vec![Vec::new(); self.factor()];
         for p in pieces {
+            // paragon-lint: allow(P1) — plan() computes slot = unit % factor,
+            // so every piece's slot is < factor == per_slot.len()
             per_slot[p.slot].push(*p);
         }
         let mut out = Vec::new();

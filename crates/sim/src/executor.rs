@@ -12,7 +12,7 @@
 //! the identical event trace — the property tests in this crate assert it.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -45,7 +45,7 @@ pub struct RunReport {
 #[derive(Clone)]
 pub struct Sim {
     kernel: Rc<RefCell<Kernel>>,
-    tasks: Rc<RefCell<HashMap<TaskId, TaskSlot>>>,
+    tasks: Rc<RefCell<BTreeMap<TaskId, TaskSlot>>>,
     ready: ReadyQueue,
     seed: u64,
     trace: Trace,
@@ -58,7 +58,7 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             kernel: Rc::new(RefCell::new(Kernel::new())),
-            tasks: Rc::new(RefCell::new(HashMap::new())),
+            tasks: Rc::new(RefCell::new(BTreeMap::new())),
             ready: ReadyQueue::default(),
             seed,
             trace: Trace::default(),

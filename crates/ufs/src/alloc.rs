@@ -97,6 +97,7 @@ impl ExtentAllocator {
         }
         // Prefer one contiguous run: first fit.
         if let Some(idx) = self.free.iter().position(|e| e.len >= n) {
+            // paragon-lint: allow(P1) — idx comes from position() on this same vec
             let run = &mut self.free[idx];
             let got = Extent {
                 start: run.start,
@@ -139,6 +140,9 @@ impl ExtentAllocator {
     pub fn free(&mut self, ext: Extent) {
         assert!(ext.len > 0 && ext.end() <= self.capacity, "bad free {ext}");
         let pos = self.free.partition_point(|e| e.start < ext.start);
+        // paragon-lint: allow(P1) — pos comes from partition_point on this
+        // same vec and every neighbour access is guarded by the explicit
+        // pos bounds checks above it
         if pos > 0 {
             assert!(
                 self.free[pos - 1].end() <= ext.start,

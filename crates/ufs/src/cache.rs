@@ -5,14 +5,14 @@
 //! `insert` reports the evicted victim so the file system can write dirty
 //! data back before reuse. Keys are `(inode, file block)`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
 use crate::inode::InodeId;
 
 /// Key of one cached block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockKey {
     pub inode: InodeId,
     pub block: u64,
@@ -60,7 +60,7 @@ impl CacheStats {
 pub struct BlockCache {
     capacity: usize,
     clock: u64,
-    map: HashMap<BlockKey, Entry>,
+    map: BTreeMap<BlockKey, Entry>,
     stats: CacheStats,
 }
 
@@ -72,7 +72,7 @@ impl BlockCache {
         BlockCache {
             capacity,
             clock: 0,
-            map: HashMap::with_capacity(capacity.min(4096)),
+            map: BTreeMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -144,21 +144,23 @@ impl BlockCache {
             return None;
         }
         let victim = if self.map.len() >= self.capacity {
-            let (&vkey, _) = self
+            let vkey = self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
-                .expect("cache full implies nonempty");
-            let ventry = self.map.remove(&vkey).expect("victim present");
-            self.stats.evictions += 1;
-            if ventry.dirty {
-                self.stats.writebacks += 1;
-            }
-            Some(Evicted {
-                key: vkey,
-                data: ventry.data,
-                dirty: ventry.dirty,
-            })
+                .map(|(&k, _)| k);
+            vkey.and_then(|k| self.map.remove(&k).map(|e| (k, e)))
+                .map(|(vkey, ventry)| {
+                    self.stats.evictions += 1;
+                    if ventry.dirty {
+                        self.stats.writebacks += 1;
+                    }
+                    Evicted {
+                        key: vkey,
+                        data: ventry.data,
+                        dirty: ventry.dirty,
+                    }
+                })
         } else {
             None
         };

@@ -5,7 +5,7 @@
 //! run of file blocks into as few disk runs as the layout allows — the
 //! lookup that both the Fast Path and the buffer cache share.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::alloc::Extent;
 
@@ -66,15 +66,14 @@ impl Inode {
     }
 
     /// Map file blocks `[first, first+len)` to disk runs, coalescing
-    /// whenever consecutive file blocks are consecutive on disk. Panics if
-    /// any block is unmapped (callers check size first).
-    pub fn map_blocks(&self, first: u64, len: u64) -> Vec<DiskRun> {
+    /// whenever consecutive file blocks are consecutive on disk. Returns
+    /// `None` if any block is unmapped (callers check size first, so a
+    /// `None` means the inode's block map is inconsistent with its size).
+    pub fn map_blocks(&self, first: u64, len: u64) -> Option<Vec<DiskRun>> {
         assert!(len > 0);
         let mut runs: Vec<DiskRun> = Vec::new();
         for fb in first..first + len {
-            let db = self
-                .map_block(fb)
-                .unwrap_or_else(|| panic!("file block {fb} unmapped (inode {:?})", self.id));
+            let db = self.map_block(fb)?;
             match runs.last_mut() {
                 Some(run) if run.disk_block + run.len == db => run.len += 1,
                 _ => runs.push(DiskRun {
@@ -84,7 +83,7 @@ impl Inode {
                 }),
             }
         }
-        runs
+        Some(runs)
     }
 }
 
@@ -92,8 +91,8 @@ impl Inode {
 #[derive(Debug, Default)]
 pub struct InodeTable {
     next: u64,
-    inodes: HashMap<InodeId, Inode>,
-    names: HashMap<String, InodeId>,
+    inodes: BTreeMap<InodeId, Inode>,
+    names: BTreeMap<String, InodeId>,
 }
 
 impl InodeTable {
@@ -192,7 +191,7 @@ mod tests {
     fn map_blocks_coalesces_contiguous_disk_runs() {
         // File blocks 0..5 on disk 100..105 even though built as two extents.
         let ino = inode_with(&[(100, 3), (103, 2)]);
-        let runs = ino.map_blocks(0, 5);
+        let runs = ino.map_blocks(0, 5).unwrap();
         assert_eq!(
             runs,
             vec![DiskRun {
@@ -206,7 +205,7 @@ mod tests {
     #[test]
     fn map_blocks_splits_at_discontinuity() {
         let ino = inode_with(&[(100, 2), (500, 2)]);
-        let runs = ino.map_blocks(1, 3);
+        let runs = ino.map_blocks(1, 3).unwrap();
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[0].disk_block, 101);
         assert_eq!(runs[0].len, 1);

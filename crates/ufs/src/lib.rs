@@ -29,6 +29,10 @@
 //! assert_eq!(h.try_take(), Some(64 * 1024));
 //! ```
 
+// Robustness: the I/O path under the PFS servers must surface failures
+// as `UfsError` values, never a panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod alloc;
 mod cache;
 mod fs;

@@ -52,6 +52,17 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         // only once the files exist, right at the measured phase's start.
         arm_faults(&sim2, &machine2, &cfg2.faults);
         let t0 = sim2.now();
+        // Timeline marker: the measured phase starts here; everything
+        // before it is testbed setup the paper's clock never sees.
+        sim2.emit(|| {
+            ev(
+                Track::Sys,
+                EventKind::Mark,
+                0,
+                cfg2.compute_nodes as u64,
+                cfg2.io_nodes as u64,
+            )
+        });
         let mut handles = Vec::with_capacity(cfg2.compute_nodes);
         for rank in 0..cfg2.compute_nodes {
             let file = files[rank.min(files.len() - 1)];

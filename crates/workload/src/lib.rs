@@ -17,4 +17,6 @@ pub mod spans;
 pub use config::{AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
 pub use driver::run;
 pub use result::{NodeResult, RunResult};
-pub use spans::{fault_events, read_spans, ReadSpan, SpanBreakdown, SpanKind};
+pub use spans::{
+    fault_events, kind_class, read_spans, KindClass, ReadSpan, SpanBreakdown, SpanKind,
+};

@@ -72,6 +72,71 @@ impl ReadSpan {
     }
 }
 
+/// Coarse layer classification of a flight-recorder event kind; the
+/// analyzer-side inventory of the trace vocabulary.
+///
+/// [`kind_class`] matches every [`EventKind`] by name and without a
+/// wildcard arm, so adding a kind to the recorder without deciding where
+/// the span analyzer files it is a compile error here (and a
+/// `paragon-lint` X1 finding until the name appears).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindClass {
+    /// Client-side transfer lifecycle and buffer copies.
+    Client,
+    /// Asynchronous-request-thread (ART) lifecycle.
+    Art,
+    /// Mesh/NIC transit.
+    Transport,
+    /// I/O-node server handling.
+    Server,
+    /// Disk device commands.
+    Disk,
+    /// Prefetch-engine decisions on the demand path.
+    Prefetch,
+    /// Shared-pointer service-node operations.
+    Pointer,
+    /// Harness markers and free-form annotations.
+    Meta,
+    /// Fault injections and the recovery actions they triggered.
+    Fault,
+}
+
+/// Classify `kind` into the layer the span analyzer files it under.
+pub fn kind_class(kind: EventKind) -> KindClass {
+    match kind {
+        EventKind::ReadStart
+        | EventKind::ReadDone
+        | EventKind::WriteStart
+        | EventKind::WriteDone
+        | EventKind::Copy => KindClass::Client,
+        EventKind::ArtSubmit | EventKind::ArtStart | EventKind::ArtDone => KindClass::Art,
+        EventKind::NetTx | EventKind::NetRx => KindClass::Transport,
+        EventKind::ServeStart | EventKind::ServeDone => KindClass::Server,
+        EventKind::DiskStart | EventKind::DiskDone => KindClass::Disk,
+        EventKind::PrefetchIssue
+        | EventKind::PrefetchHitReady
+        | EventKind::PrefetchHitInflight
+        | EventKind::PrefetchMiss
+        | EventKind::PrefetchCancel
+        | EventKind::PrefetchEvict => KindClass::Prefetch,
+        EventKind::PtrOp => KindClass::Pointer,
+        EventKind::Mark => KindClass::Meta,
+        EventKind::FaultDiskError
+        | EventKind::FaultDiskDown
+        | EventKind::MeshDrop
+        | EventKind::MeshDup
+        | EventKind::MeshDelay
+        | EventKind::FaultNodeDown
+        | EventKind::FaultNodeUp
+        | EventKind::RpcRetry
+        | EventKind::RpcGiveUp
+        | EventKind::RaidReconstruct
+        | EventKind::PrefetchFault
+        | EventKind::PrefetchThrottle
+        | EventKind::PrefetchResume => KindClass::Fault,
+    }
+}
+
 /// Fault-related events of a recording, in time order: plan injections
 /// (disk errors, mesh drop/dup/delay, crash-window edges) and the
 /// recovery actions they triggered (RPC retries/give-ups, RAID
@@ -79,24 +144,7 @@ impl ReadSpan {
 pub fn fault_events(events: &[TraceEvent]) -> Vec<&TraceEvent> {
     events
         .iter()
-        .filter(|e| {
-            matches!(
-                e.kind,
-                EventKind::FaultDiskError
-                    | EventKind::FaultDiskDown
-                    | EventKind::MeshDrop
-                    | EventKind::MeshDup
-                    | EventKind::MeshDelay
-                    | EventKind::FaultNodeDown
-                    | EventKind::FaultNodeUp
-                    | EventKind::RpcRetry
-                    | EventKind::RpcGiveUp
-                    | EventKind::RaidReconstruct
-                    | EventKind::PrefetchFault
-                    | EventKind::PrefetchThrottle
-                    | EventKind::PrefetchResume
-            )
-        })
+        .filter(|e| kind_class(e.kind) == KindClass::Fault)
         .collect()
 }
 
@@ -356,6 +404,35 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].kind, SpanKind::DemandMiss);
         assert_eq!(spans[1].kind, SpanKind::Prefetch);
+    }
+
+    #[test]
+    fn every_kind_is_classified_and_fault_filter_matches_its_class() {
+        use std::collections::BTreeMap;
+        let mut per_class: BTreeMap<&str, usize> = BTreeMap::new();
+        for &k in &EventKind::ALL {
+            *per_class
+                .entry(match kind_class(k) {
+                    KindClass::Client => "client",
+                    KindClass::Art => "art",
+                    KindClass::Transport => "transport",
+                    KindClass::Server => "server",
+                    KindClass::Disk => "disk",
+                    KindClass::Prefetch => "prefetch",
+                    KindClass::Pointer => "pointer",
+                    KindClass::Meta => "meta",
+                    KindClass::Fault => "fault",
+                })
+                .or_default() += 1;
+        }
+        assert_eq!(per_class.values().sum::<usize>(), EventKind::ALL.len());
+        assert_eq!(per_class["fault"], 13);
+        // fault_events agrees with the classifier.
+        let events: Vec<TraceEvent> = EventKind::ALL
+            .iter()
+            .map(|&k| mk(0, ev(Track::Sys, k, 0, 0, 0)))
+            .collect();
+        assert_eq!(fault_events(&events).len(), 13);
     }
 
     #[test]

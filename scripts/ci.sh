@@ -16,13 +16,21 @@ cargo test -q --test failure_injection
 cargo test -q -p paragon-workload
 cargo test -q -p paragon-sim fault
 
+echo "=== paragon-lint"
+# Workspace invariant checker (crates/lint): D1 deterministic containers,
+# D2 no ambient nondeterminism, P1 panic-freedom on the I/O path, X1
+# protocol/trace exhaustiveness, W1 waiver hygiene. Exits nonzero on any
+# finding; waivers need `// paragon-lint: allow(RULE) — <reason>`.
+cargo run -q -p paragon-lint --release
+
 echo "=== cargo fmt --check"
 cargo fmt --check
 
 echo "=== cargo clippy -D warnings"
-# crates/disk, crates/os, and crates/pfs additionally carry a crate-level
-# deny(clippy::unwrap_used, clippy::expect_used) for non-test code — the
-# I/O path must propagate errors, not panic — which this lint run enforces.
+# The I/O-path crates (disk, os, pfs, mesh, ufs) and paragon-core
+# additionally carry a crate-level deny(clippy::unwrap_used,
+# clippy::expect_used) for non-test code — the I/O path must propagate
+# errors, not panic — which this lint run enforces.
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: all green"

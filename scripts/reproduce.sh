@@ -22,7 +22,9 @@ BINARIES=(
     ext_scsi16
 )
 
-# Preflight: don't regenerate tables from a tree that fails the gate.
+# Preflight: don't regenerate tables from a tree that fails the gate
+# (build, tests, the paragon-lint invariant checker, fmt, clippy) —
+# numbers from a nondeterministic or panicky tree are not reproductions.
 ./scripts/ci.sh
 
 cargo build --release -p paragon-bench

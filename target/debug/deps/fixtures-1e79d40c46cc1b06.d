@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixtures-1e79d40c46cc1b06.d: crates/lint/tests/fixtures.rs
+
+/root/repo/target/debug/deps/fixtures-1e79d40c46cc1b06: crates/lint/tests/fixtures.rs
+
+crates/lint/tests/fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

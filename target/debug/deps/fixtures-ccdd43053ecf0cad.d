@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fixtures-ccdd43053ecf0cad.d: crates/lint/tests/fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures-ccdd43053ecf0cad.rmeta: crates/lint/tests/fixtures.rs Cargo.toml
+
+crates/lint/tests/fixtures.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

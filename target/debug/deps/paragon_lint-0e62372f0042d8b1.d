@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paragon_lint-0e62372f0042d8b1.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/paragon_lint-0e62372f0042d8b1: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paragon_lint-2659aa4cee9257af.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_lint-2659aa4cee9257af.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paragon_lint-4bad05de2f2b92dd.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/paragon_lint-4bad05de2f2b92dd: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

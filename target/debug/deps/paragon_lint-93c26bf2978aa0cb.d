@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/paragon_lint-93c26bf2978aa0cb.d: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+/root/repo/target/debug/deps/paragon_lint-93c26bf2978aa0cb: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/strip.rs:
+crates/lint/src/x1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paragon_lint-a98d7a2adf0371f2.d: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+/root/repo/target/debug/deps/libparagon_lint-a98d7a2adf0371f2.rlib: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+/root/repo/target/debug/deps/libparagon_lint-a98d7a2adf0371f2.rmeta: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/strip.rs:
+crates/lint/src/x1.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/paragon_lint-b12d1771c66f829a.d: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_lint-b12d1771c66f829a.rmeta: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/strip.rs:
+crates/lint/src/x1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paragon_lint-b135b54a6cd72b41.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparagon_lint-b135b54a6cd72b41.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/paragon_lint-21537c7ba0984310.d: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+/root/repo/target/release/deps/libparagon_lint-21537c7ba0984310.rlib: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+/root/repo/target/release/deps/libparagon_lint-21537c7ba0984310.rmeta: crates/lint/src/lib.rs crates/lint/src/rules.rs crates/lint/src/strip.rs crates/lint/src/x1.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/strip.rs:
+crates/lint/src/x1.rs:

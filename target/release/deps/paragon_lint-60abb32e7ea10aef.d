@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/paragon_lint-60abb32e7ea10aef.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/paragon_lint-60abb32e7ea10aef: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

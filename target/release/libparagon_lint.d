@@ -1,0 +1,1 @@
+/root/repo/target/release/libparagon_lint.rlib: /root/repo/crates/lint/src/lib.rs /root/repo/crates/lint/src/rules.rs /root/repo/crates/lint/src/strip.rs /root/repo/crates/lint/src/x1.rs

@@ -54,6 +54,41 @@ fn prefetch_counters_reproduce_exactly() {
 }
 
 #[test]
+fn faulted_runs_reproduce_exactly() {
+    // The fault plan draws from the same master seed as everything else,
+    // so a run with disk errors, mesh chaos, and retries is just as
+    // reproducible as a clean one — including every recovery action.
+    let faulted = |seed| {
+        let mut c = cfg(seed, IoMode::MRecord).with_prefetch();
+        c.faults = FaultSpec {
+            disk_error_pm: 20,
+            mesh_drop_pm: 5,
+            mesh_dup_pm: 5,
+            mesh_delay_pm: 10,
+            mesh_delay: SimDuration::from_micros(300),
+            ..FaultSpec::default()
+        };
+        c.trace_cap = 200_000;
+        c
+    };
+    let a = run(&faulted(1234));
+    let b = run(&faulted(1234));
+    assert!(
+        a.fault.disk_transients
+            + a.fault.mesh_dropped
+            + a.fault.mesh_duplicated
+            + a.fault.mesh_delayed
+            > 0,
+        "fault plan never fired; the test is vacuous"
+    );
+    assert_eq!(a.trace_hash, b.trace_hash, "faulted trace diverged");
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.fault.disk_transients, b.fault.disk_transients);
+    assert_eq!(a.fault.mesh_dropped, b.fault.mesh_dropped);
+    assert_eq!(a.prefetch.faults, b.prefetch.faults);
+}
+
+#[test]
 fn different_seeds_diverge_under_realistic_calibration() {
     // Seek jitter and server-time jitter draw from the seed, so two seeds
     // must produce different (but internally consistent) traces.
