@@ -113,6 +113,7 @@ fn end_to_end_cfg() -> paragon_workload::ExperimentConfig {
         verify_data: false,
         trace_cap: 0,
         faults: FaultSpec::default(),
+        metrics_cadence: None,
     }
 }
 

@@ -3,14 +3,14 @@
 
 use paragon_core::{PredictorKind, PrefetchConfig};
 use paragon_machine::Calibration;
-use paragon_metrics::ExperimentRecord;
+use paragon_metrics::{ExperimentRecord, Json};
 use paragon_pfs::IoMode;
 use paragon_sim::{
     export_json, hash_events, parse_json, render_track_summary, FaultStats, SimDuration, TraceEvent,
 };
 use paragon_workload::{
-    read_spans, run, AccessPattern, ExperimentConfig, FaultSpec, RunResult, SpanBreakdown,
-    SpanKind, StripeLayout,
+    metrics_check, metrics_report, read_spans, render_report, run, AccessPattern, ExperimentConfig,
+    FaultSpec, RunResult, SpanBreakdown, SpanKind, StripeLayout,
 };
 
 use std::process::ExitCode;
@@ -25,6 +25,24 @@ USAGE:
     paragonctl trace capture [OPTIONS] --out FILE
     paragonctl trace summarize FILE
     paragonctl trace diff FILE1 FILE2
+    paragonctl metrics run [OPTIONS] [--cadence-ms N] [--out FILE]
+    paragonctl metrics report [FILE | OPTIONS]
+    paragonctl metrics check [OPTIONS] [--baseline FILE] [--tolerance X]
+
+METRICS:
+    run        run the OPTIONS-selected experiment with the telemetry
+               sampler armed and write the bottleneck-attribution report
+               as deterministic JSON (same seed → identical bytes)
+    --cadence-ms <N>  gauge sampling cadence, simulated ms    [100]
+    --out <FILE|->    report destination       [BENCH_metrics.json]
+    report     render a report (from FILE, or a fresh run) as tables
+               and ASCII queue-depth charts
+    check      re-run and compare the report's scalars against a
+               committed baseline within per-metric tolerance bands;
+               exits nonzero on regression (the CI perf gate)
+    --baseline <FILE> committed baseline       [BENCH_metrics.json]
+    --current <FILE>  compare FILE instead of re-running
+    --tolerance <X>   override every band width
 
 FAULTS:
     run the OPTIONS-selected experiment once per fault class (none,
@@ -170,6 +188,7 @@ pub(crate) fn build_config(args: &mut Args) -> Result<ExperimentConfig, String> 
         verify_data: args.flag("--verify"),
         trace_cap: args.parsed("--trace", 0)?,
         faults: FaultSpec::default(),
+        metrics_cadence: None,
     };
     if prefetch_on {
         let mut pc = PrefetchConfig::with_depth(depth.max(1));
@@ -366,6 +385,147 @@ fn trace_cmd(argv: Vec<String>) -> ExitCode {
     }
 }
 
+/// Parse OPTIONS into an instrumented config: telemetry sampler armed at
+/// `--cadence-ms` and the flight recorder forced on (the report's
+/// span-consistency cross-check needs a trace).
+fn instrumented_config(args: &mut Args) -> Result<ExperimentConfig, String> {
+    let cadence_ms: u64 = args.parsed("--cadence-ms", 100)?;
+    if cadence_ms == 0 {
+        return Err("--cadence-ms must be positive".into());
+    }
+    let mut cfg = build_config(args)?;
+    cfg.metrics_cadence = Some(SimDuration::from_millis(cadence_ms));
+    if cfg.trace_cap == 0 {
+        cfg.trace_cap = 1 << 20;
+    }
+    Ok(cfg)
+}
+
+fn load_report(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `paragonctl metrics …`: the telemetry runner, renderer, and perf gate.
+fn metrics_cmd(argv: Vec<String>) -> ExitCode {
+    let fail = |e: String| {
+        eprintln!("error: {e}\n\n{USAGE}");
+        ExitCode::FAILURE
+    };
+    match argv.first().map(String::as_str) {
+        Some("run") => {
+            let mut args = Args(argv[1..].to_vec());
+            let out_path = match args.value("--out") {
+                Ok(v) => v.unwrap_or_else(|| "BENCH_metrics.json".into()),
+                Err(e) => return fail(e),
+            };
+            let cfg = match instrumented_config(&mut args) {
+                Ok(c) => c,
+                Err(e) => return fail(e),
+            };
+            if !args.0.is_empty() {
+                return fail(format!("unrecognized arguments {:?}", args.0));
+            }
+            let r = run(&cfg);
+            let report = metrics_report(&cfg, &r);
+            let json = report.pretty();
+            if out_path == "-" {
+                print!("{json}");
+            } else {
+                if let Err(e) = std::fs::write(&out_path, &json) {
+                    return fail(format!("writing {out_path}: {e}"));
+                }
+                let scalars = report
+                    .get("scalars")
+                    .and_then(Json::as_obj)
+                    .map_or(0, |m| m.len());
+                println!("wrote metrics report to {out_path} ({scalars} scalars)");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("report") => {
+            // A lone non-flag argument is a report file to render;
+            // otherwise run the OPTIONS-selected experiment fresh.
+            let rest = &argv[1..];
+            let report = if rest.len() == 1 && !rest[0].starts_with("--") {
+                match load_report(&rest[0]) {
+                    Ok(j) => j,
+                    Err(e) => return fail(e),
+                }
+            } else {
+                let mut args = Args(rest.to_vec());
+                let cfg = match instrumented_config(&mut args) {
+                    Ok(c) => c,
+                    Err(e) => return fail(e),
+                };
+                if !args.0.is_empty() {
+                    return fail(format!("unrecognized arguments {:?}", args.0));
+                }
+                let r = run(&cfg);
+                metrics_report(&cfg, &r)
+            };
+            print!("{}", render_report(&report));
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut args = Args(argv[1..].to_vec());
+            let baseline_path = match args.value("--baseline") {
+                Ok(v) => v.unwrap_or_else(|| "BENCH_metrics.json".into()),
+                Err(e) => return fail(e),
+            };
+            let tolerance = match args.value("--tolerance") {
+                Ok(Some(v)) => match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => Some(t),
+                    _ => return fail(format!("bad value for --tolerance: {v}")),
+                },
+                Ok(None) => None,
+                Err(e) => return fail(e),
+            };
+            let current_path = match args.value("--current") {
+                Ok(v) => v,
+                Err(e) => return fail(e),
+            };
+            let current = match current_path {
+                Some(p) => match load_report(&p) {
+                    Ok(j) => j,
+                    Err(e) => return fail(e),
+                },
+                None => {
+                    let cfg = match instrumented_config(&mut args) {
+                        Ok(c) => c,
+                        Err(e) => return fail(e),
+                    };
+                    if !args.0.is_empty() {
+                        return fail(format!("unrecognized arguments {:?}", args.0));
+                    }
+                    let r = run(&cfg);
+                    metrics_report(&cfg, &r)
+                }
+            };
+            let baseline = match load_report(&baseline_path) {
+                Ok(j) => j,
+                Err(e) => return fail(e),
+            };
+            let violations = metrics_check(&current, &baseline, tolerance);
+            if violations.is_empty() {
+                let n = baseline
+                    .get("scalars")
+                    .and_then(Json::as_obj)
+                    .map_or(0, |m| m.len());
+                println!("metrics gate passed: {n} scalars within tolerance of {baseline_path}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("metrics gate FAILED against {baseline_path}:");
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        _ => fail("metrics needs a subcommand: run | report | check".into()),
+    }
+}
+
 /// The fault classes `paragonctl faults` sweeps, in report order.
 fn fault_classes(error_pm: u32, drop_pm: u32) -> Vec<(&'static str, FaultSpec)> {
     vec![
@@ -528,6 +688,7 @@ pub fn main_impl(argv: Vec<String>) -> ExitCode {
         Some("run") => {}
         Some("trace") => return trace_cmd(argv[1..].to_vec()),
         Some("faults") => return faults_cmd(argv[1..].to_vec()),
+        Some("metrics") => return metrics_cmd(argv[1..].to_vec()),
         other => {
             eprint!("{USAGE}");
             return if other == Some("--help") {
@@ -734,6 +895,86 @@ mod tests {
             ..FaultStats::default()
         };
         assert_eq!(injected_summary(&f), "disk-err 1, drop 3");
+    }
+
+    const TINY: &str = "--cn 2 --ion 2 --request-kb 16 --file-mb 2 --su-kb 16 --cadence-ms 20";
+
+    fn metrics_argv(sub: &str, extra: &str) -> Vec<String> {
+        format!("metrics {sub} {TINY} {extra}")
+            .split_whitespace()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn metrics_run_is_deterministic_and_check_gates() {
+        let dir = std::env::temp_dir();
+        let p1 = dir.join("paragonctl-test-metrics-1.json");
+        let p2 = dir.join("paragonctl-test-metrics-2.json");
+        let s = |p: &std::path::Path| p.to_str().unwrap().to_string();
+
+        // Two runs with the same seed must produce byte-identical reports.
+        for p in [&p1, &p2] {
+            let argv = metrics_argv("run", &format!("--out {}", s(p)));
+            assert_eq!(main_impl(argv), ExitCode::SUCCESS);
+        }
+        let t1 = std::fs::read_to_string(&p1).unwrap();
+        let t2 = std::fs::read_to_string(&p2).unwrap();
+        assert_eq!(t1, t2, "same-seed metrics reports differ");
+
+        // The report is well-formed JSON with the gate's scalars.
+        let report = Json::parse(&t1).unwrap();
+        let scalars = report.get("scalars").and_then(Json::as_obj).unwrap();
+        assert!(scalars.contains_key("util.disk"));
+        assert!(scalars.contains_key("littles_law.ratio"));
+
+        // Gate: a re-run against its own output passes…
+        let argv = metrics_argv("check", &format!("--baseline {}", s(&p1)));
+        assert_eq!(main_impl(argv), ExitCode::SUCCESS);
+
+        // …and a tampered baseline fails, even under a wide tolerance.
+        let tampered = t1.replace("\"bandwidth_mb_s\"", "\"bandwidth_mb_s_renamed\"");
+        assert_ne!(tampered, t1, "tamper had no effect");
+        std::fs::write(&p2, &tampered).unwrap();
+        let argv = metrics_argv(
+            "check",
+            &format!("--baseline {} --current {} --tolerance 0.5", s(&p2), s(&p1)),
+        );
+        assert_eq!(main_impl(argv), ExitCode::FAILURE);
+
+        // `report FILE` renders without re-running.
+        assert_eq!(
+            main_impl(vec!["metrics".into(), "report".into(), s(&p1)]),
+            ExitCode::SUCCESS
+        );
+
+        for p in [p1, p2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn metrics_rejects_bad_flags() {
+        assert_eq!(
+            main_impl(vec!["metrics".into()]),
+            ExitCode::FAILURE,
+            "missing subcommand"
+        );
+        assert_eq!(
+            main_impl(metrics_argv("run", "--cadence-ms 0 --out -")),
+            ExitCode::FAILURE,
+            "zero cadence"
+        );
+        assert_eq!(
+            main_impl(metrics_argv("check", "--tolerance nope")),
+            ExitCode::FAILURE,
+            "unparseable tolerance"
+        );
+        assert_eq!(
+            main_impl(metrics_argv("run", "--bogus-flag 1 --out -")),
+            ExitCode::FAILURE,
+            "unrecognized argument"
+        );
     }
 
     #[test]

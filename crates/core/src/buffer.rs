@@ -7,12 +7,34 @@
 //! its asynchronous read, so a demand read that arrives early can wait on
 //! the in-flight request instead of reissuing it.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use bytes::Bytes;
 use paragon_os::AsyncHandle;
 use paragon_pfs::PfsError;
 use paragon_sim::ReqId;
+
+/// Live occupancy cells shared between prefetch lists and the telemetry
+/// registry: every insert/hit/eviction/drain updates them, so at any
+/// simulated instant they read the buffers held and the compute-node
+/// bytes they pin. Cloning shares the cells; wire one instance to every
+/// list whose occupancy should aggregate.
+#[derive(Clone, Default)]
+pub struct PrefetchGauges {
+    /// Buffers currently held across all wired lists.
+    pub entries: Rc<Cell<i64>>,
+    /// Compute-node bytes those buffers pin.
+    pub bytes: Rc<Cell<i64>>,
+}
+
+impl PrefetchGauges {
+    fn add(&self, entries: i64, bytes: i64) {
+        self.entries.set(self.entries.get() + entries);
+        self.bytes.set(self.bytes.get() + bytes);
+    }
+}
 
 /// One prefetch buffer: the anticipated request and its asynchronous read.
 pub struct PrefetchEntry {
@@ -40,6 +62,11 @@ pub struct PrefetchList {
     /// Byte budget for pinned compute-node memory (the paper's buffers
     /// live in the compute node's 16–32 MB).
     max_bytes: u64,
+    /// Occupancy gauges; private unshared cells until [`set_gauges`]
+    /// wires the list to the telemetry registry's.
+    ///
+    /// [`set_gauges`]: PrefetchList::set_gauges
+    gauges: PrefetchGauges,
 }
 
 impl PrefetchList {
@@ -58,7 +85,17 @@ impl PrefetchList {
             entries: VecDeque::with_capacity(max_entries.min(64)),
             max_entries,
             max_bytes,
+            gauges: PrefetchGauges::default(),
         }
+    }
+
+    /// Wire this list to shared occupancy `gauges`; its current
+    /// occupancy moves from the old cells onto the new ones.
+    pub fn set_gauges(&mut self, gauges: PrefetchGauges) {
+        let (n, b) = (self.len() as i64, self.pinned_bytes() as i64);
+        self.gauges.add(-n, -b);
+        gauges.add(n, b);
+        self.gauges = gauges;
     }
 
     /// Live buffers.
@@ -91,6 +128,7 @@ impl PrefetchList {
     /// prefetching.
     pub fn insert(&mut self, entry: PrefetchEntry) -> Vec<PrefetchEntry> {
         let mut evicted = Vec::new();
+        self.gauges.add(1, entry.len as i64);
         self.entries.push_back(entry);
         while self.entries.len() > self.max_entries
             || (self.pinned_bytes() > self.max_bytes && self.entries.len() > 1)
@@ -99,6 +137,7 @@ impl PrefetchList {
             let Some(old) = self.entries.pop_front() else {
                 break;
             };
+            self.gauges.add(-1, -(old.len as i64));
             evicted.push(old);
         }
         evicted
@@ -111,12 +150,18 @@ impl PrefetchList {
             .entries
             .iter()
             .position(|e| e.offset == offset && e.len >= len)?;
-        self.entries.remove(idx)
+        let e = self.entries.remove(idx)?;
+        self.gauges.add(-1, -(e.len as i64));
+        Some(e)
     }
 
     /// Drain every remaining buffer (file close frees the list).
     pub fn drain(&mut self) -> Vec<PrefetchEntry> {
-        self.entries.drain(..).collect()
+        let drained: Vec<PrefetchEntry> = self.entries.drain(..).collect();
+        for e in &drained {
+            self.gauges.add(-1, -(e.len as i64));
+        }
+        drained
     }
 }
 

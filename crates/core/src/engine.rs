@@ -139,6 +139,12 @@ impl PrefetchingFile {
         &self.file
     }
 
+    /// Wire the buffer list to shared occupancy `gauges` (telemetry);
+    /// any current occupancy transfers onto them.
+    pub fn set_gauges(&self, gauges: crate::buffer::PrefetchGauges) {
+        self.list.borrow_mut().set_gauges(gauges);
+    }
+
     /// Engine counters.
     pub fn stats(&self) -> PrefetchStats {
         self.stats.borrow().clone()
@@ -564,6 +570,42 @@ mod tests {
             stats.cancelled <= stats.wasted,
             "cancelled is the in-flight subset of wasted"
         );
+    }
+
+    #[test]
+    fn close_frees_every_gauged_buffer_byte() {
+        // Satellite check on the occupancy gauges: buffers pin bytes
+        // while the pipeline runs, and close must return both gauges to
+        // exactly zero — a leak here means some removal path skipped
+        // its gauge update.
+        let gauges = crate::PrefetchGauges::default();
+        let g = gauges.clone();
+        let peak = with_file(
+            IoMode::MAsync,
+            1,
+            0,
+            PrefetchConfig::with_depth(4),
+            move |pf| {
+                Box::pin(async move {
+                    pf.set_gauges(g.clone());
+                    let mut peak_bytes = 0i64;
+                    for _ in 0..4 {
+                        pf.read(64 * 1024).await.unwrap();
+                        peak_bytes = peak_bytes.max(g.bytes.get());
+                        assert_eq!(
+                            g.bytes.get() % (64 * 1024),
+                            0,
+                            "gauge moves in whole buffers"
+                        );
+                    }
+                    pf.close().await;
+                    peak_bytes
+                })
+            },
+        );
+        assert!(peak > 0, "prefetch buffers pinned bytes mid-run");
+        assert_eq!(gauges.entries.get(), 0, "every buffer freed at close");
+        assert_eq!(gauges.bytes.get(), 0, "every pinned byte freed at close");
     }
 
     #[test]

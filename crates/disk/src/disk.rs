@@ -100,6 +100,9 @@ pub struct Disk {
     slowdown: Rc<Cell<f64>>,
     /// Flight-recorder lane for this spindle's DiskStart/DiskDone events.
     track: Rc<Cell<Track>>,
+    /// Live queue depth (requests waiting, not counting the one in
+    /// service), maintained by the server loop for telemetry gauges.
+    queue: Rc<Cell<usize>>,
 }
 
 impl Disk {
@@ -112,11 +115,13 @@ impl Disk {
         let stats = Rc::new(RefCell::new(DiskStats::default()));
         let slowdown = Rc::new(Cell::new(1.0));
         let track = Rc::new(Cell::new(Track::Sys));
+        let queue = Rc::new(Cell::new(0usize));
         let disk = Disk {
             tx,
             stats: stats.clone(),
             slowdown: slowdown.clone(),
             track: track.clone(),
+            queue: queue.clone(),
         };
         let rng = sim.rng(&format!("disk.{label}"));
         let sim2 = sim.clone();
@@ -124,7 +129,7 @@ impl Disk {
         sim.spawn_named(
             "disk-server",
             server_loop(
-                sim2, rx, params, policy, stats, slowdown, rng, track, faults,
+                sim2, rx, params, policy, stats, slowdown, rng, track, faults, queue,
             ),
         );
         disk
@@ -187,6 +192,12 @@ impl Disk {
         self.stats.borrow().clone()
     }
 
+    /// The live queue-depth cell this spindle's server loop maintains;
+    /// telemetry gauges read it while the simulation runs.
+    pub fn queue_cell(&self) -> Rc<Cell<usize>> {
+        self.queue.clone()
+    }
+
     /// Multiply all future service times by `factor` (1.0 = nominal).
     /// Used by failure-injection experiments to create a hot spot.
     pub fn set_slowdown(&self, factor: f64) {
@@ -206,6 +217,7 @@ async fn server_loop(
     mut rng: Rng,
     track: Rc<Cell<Track>>,
     faults: FaultPlan,
+    queue: Rc<Cell<usize>>,
 ) {
     let mut store = BlockStore::new();
     // Head position: byte offset just past the last serviced request.
@@ -231,6 +243,7 @@ async fn server_loop(
             arrival_seq += 1;
         }
         if pending.is_empty() {
+            queue.set(0);
             match rx.recv().await {
                 Some(req) => {
                     pending.insert((req.op.offset(), arrival_seq), req);
@@ -245,6 +258,7 @@ async fn server_loop(
             let depth = pending.len() + rx.len();
             st.max_queue_depth = st.max_queue_depth.max(depth);
         }
+        queue.set(pending.len().saturating_sub(1) + rx.len());
 
         let key = match policy {
             SchedPolicy::Fifo => {

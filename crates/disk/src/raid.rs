@@ -488,6 +488,27 @@ impl RaidArray {
         self.rstats.borrow().clone()
     }
 
+    /// Per-spindle counter snapshots, data members first and the parity
+    /// member (when present) last — the per-RAID-member busy-time view
+    /// the telemetry layer reports.
+    pub fn member_stats(&self) -> Vec<DiskStats> {
+        self.members
+            .iter()
+            .chain(self.parity.iter())
+            .map(|d| d.stats())
+            .collect()
+    }
+
+    /// Live queue-depth cells, one per spindle in [`RaidArray::member_stats`]
+    /// order; telemetry gauges sum or sample them while the simulation runs.
+    pub fn member_queue_cells(&self) -> Vec<Rc<Cell<usize>>> {
+        self.members
+            .iter()
+            .chain(self.parity.iter())
+            .map(|d| d.queue_cell())
+            .collect()
+    }
+
     /// Slow down one member (failure injection); out-of-range members are
     /// ignored (the plan may target a wider array than this one).
     pub fn set_member_slowdown(&self, member: usize, factor: f64) {

@@ -108,11 +108,12 @@ const PFS_FS: &str = "crates/pfs/src/fs.rs";
 const POINTER: &str = "crates/pfs/src/pointer.rs";
 const TRACE: &str = "crates/sim/src/trace.rs";
 const SPANS: &str = "crates/workload/src/spans.rs";
+const TELEMETRY: &str = "crates/workload/src/telemetry.rs";
 
 /// Run X1 against the real workspace file set.
 fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
     let mut anchors = Vec::new();
-    for path in [PROTO, SERVER, PFS_FS, POINTER, TRACE, SPANS] {
+    for path in [PROTO, SERVER, PFS_FS, POINTER, TRACE, SPANS, TELEMETRY] {
         match sources.get(path) {
             Some(src) => anchors.push(x1::prep(path, src)),
             None => {
@@ -139,10 +140,22 @@ fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
         })
         .map(|(rel, src)| x1::prep(rel, src))
         .collect();
-    let [proto, server, pfs_fs, pointer, trace, spans] = &anchors[..] else {
-        unreachable!("anchors holds exactly six entries");
+    let [proto, server, pfs_fs, pointer, trace, spans, telemetry] = &anchors[..] else {
+        unreachable!("anchors holds exactly seven entries");
     };
-    x1::check_x1(proto, &[server, pfs_fs], pointer, trace, spans, &emitters)
+    let mut findings = x1::check_x1(proto, &[server, pfs_fs], pointer, trace, spans, &emitters);
+    // Metric-name vocabulary: users are every scanned source except the
+    // declaring file itself (its non-module code is searched separately
+    // inside the check) and this crate — notably the workload driver and
+    // the bench CLI are legitimate places to record a metric.
+    let metric_users: Vec<x1::Src> = sources
+        .iter()
+        .filter(|(rel, _)| *rel != TELEMETRY && !rel.starts_with("crates/lint/"))
+        .map(|(rel, src)| x1::prep(rel, src))
+        .collect();
+    let metric_users: Vec<&x1::Src> = metric_users.iter().collect();
+    findings.extend(x1::check_x1_metric_names(telemetry, &metric_users));
+    findings
 }
 
 fn json_escape(s: &str) -> String {

@@ -197,6 +197,99 @@ const REQUEST_ERR: &[(&str, &str, &str)] = &[
     ("PtrRequest", "Rewind", "Ptr"),
 ];
 
+/// Brace-match from `open` (which must index a `{`) to its closing `}`.
+fn close_brace(code: &str, open: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Metric-name vocabulary: every constant declared in telemetry's
+/// `mod names` must be referenced outside the module — registered,
+/// recorded, or aggregated. The registry only samples what was
+/// registered, so a declared-but-unused name is a column that silently
+/// never appears in `BENCH_metrics.json`; this makes the drift a lint
+/// failure, symmetric with the `EventKind` emission check.
+///
+/// `prep` strips string literals, so the check is identifier-based by
+/// construction: callers must go through `names::IDENT`, never repeat
+/// the literal — which is exactly the discipline the module exists for.
+pub fn check_x1_metric_names(telemetry: &Src, users: &[&Src]) -> Vec<Finding> {
+    let Some(mod_at) = telemetry.code.find("mod names") else {
+        return vec![x1(
+            &telemetry.file,
+            1,
+            "cannot find `mod names` (the metric-name vocabulary)".into(),
+        )];
+    };
+    let Some(open) = telemetry.code[mod_at..].find('{').map(|r| mod_at + r) else {
+        return vec![x1(&telemetry.file, 1, "`mod names` has no body".into())];
+    };
+    let close = close_brace(&telemetry.code, open);
+
+    // Collect `const IDENT` declarations inside the module body. The
+    // stripped view blanks the string values; only identifiers remain.
+    let body = &telemetry.code[open + 1..close];
+    let mut consts: Vec<(String, usize)> = Vec::new();
+    let mut from = 0;
+    while let Some(at) = body[from..].find("const ") {
+        let s = from + at + "const ".len();
+        let ident: String = body[s..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            let line = telemetry.code[..open + 1 + from + at].matches('\n').count() + 1;
+            consts.push((ident, line));
+        }
+        from = s;
+    }
+    if consts.is_empty() {
+        return vec![x1(
+            &telemetry.file,
+            telemetry.code[..mod_at].matches('\n').count() + 1,
+            "`mod names` declares no metric-name constants".into(),
+        )];
+    }
+
+    // Blank the module so a constant's own declaration is not evidence
+    // of use; references elsewhere in telemetry.rs still count.
+    let mut outside = telemetry.code.clone();
+    let repl: String = outside[mod_at..=close]
+        .chars()
+        .map(|c| if c == '\n' { '\n' } else { ' ' })
+        .collect();
+    outside.replace_range(mod_at..=close, &repl);
+
+    let mut out = Vec::new();
+    for (ident, line) in &consts {
+        let used = has_word(&outside, ident) || users.iter().any(|s| has_word(&s.code, ident));
+        if !used {
+            out.push(x1(
+                &telemetry.file,
+                *line,
+                format!(
+                    "metric name `names::{ident}` is declared but never registered or \
+                     recorded — its column silently never appears in BENCH_metrics.json"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 fn x1(file: &str, line: usize, msg: String) -> Finding {
     Finding {
         rule: "X1",

@@ -5,7 +5,7 @@
 //! The fixture sources under `tests/fixtures/` are data, not code: they
 //! are never compiled, only fed to the linter as text.
 
-use paragon_lint::x1::{check_x1, prep, Src};
+use paragon_lint::x1::{check_x1, check_x1_metric_names, prep, Src};
 use paragon_lint::{findings_to_json, lint_file, lint_workspace, FileCfg, Finding};
 
 fn fixture(name: &str) -> String {
@@ -206,6 +206,33 @@ fn x1_is_quiet_once_the_seeded_gaps_are_closed() {
     let emitters = vec![prep("emitter.rs", &emitter_fixed)];
 
     let f = check_x1(&proto, &[&server], &pointer, &trace, &spans, &emitters);
+    assert!(f.is_empty(), "fixed fixture must be quiet: {f:#?}");
+}
+
+#[test]
+fn x1_metric_names_flag_unregistered_constants() {
+    let telemetry = x1_src("telemetry.rs");
+    let user = x1_src("metric_user.rs");
+
+    // READ_TIME_S is used only by the external user file, so its
+    // presence there must count; DEAD_GAUGE is used by nobody.
+    let f = check_x1_metric_names(&telemetry, &[&user]);
+    assert_eq!(pairs(&f), [("X1", 6)]);
+    assert!(f[0].msg.contains("DEAD_GAUGE"), "{}", f[0].msg);
+    assert!(
+        f[0].msg.contains("BENCH_metrics.json"),
+        "the finding must name the consequence: {}",
+        f[0].msg
+    );
+
+    // Registering the name closes the finding.
+    let fixed = fixture("x1/telemetry.rs").replace(
+        "    reg.register_gauge(names::DISK_QUEUE, 0);\n",
+        "    reg.register_gauge(names::DISK_QUEUE, 0);\n    \
+         reg.register_gauge(names::DEAD_GAUGE, 0);\n",
+    );
+    let telemetry = prep("telemetry.rs", &fixed);
+    let f = check_x1_metric_names(&telemetry, &[&user]);
     assert!(f.is_empty(), "fixed fixture must be quiet: {f:#?}");
 }
 

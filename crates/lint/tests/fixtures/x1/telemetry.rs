@@ -1,0 +1,11 @@
+//! Metric-name vocabulary fixture: `DEAD_GAUGE` is never registered.
+
+pub mod names {
+    pub const DISK_QUEUE: &str = "disk.queue";
+    pub const READ_TIME_S: &str = "read.time_s";
+    pub const DEAD_GAUGE: &str = "dead.gauge";
+}
+
+pub fn register(reg: &mut Registry) {
+    reg.register_gauge(names::DISK_QUEUE, 0);
+}

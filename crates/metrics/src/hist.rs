@@ -142,4 +142,43 @@ mod tests {
     fn rejects_nan() {
         Histogram::new().record(f64::NAN);
     }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7.5), "q={q}");
+        }
+        assert_eq!(h.min(), Some(7.5));
+        assert_eq!(h.max(), Some(7.5));
+        assert_eq!(h.mean(), Some(7.5));
+        assert_eq!(h.percentiles(), Some((7.5, 7.5, 7.5)));
+    }
+
+    #[test]
+    fn saturated_counts_of_one_value_stay_exact() {
+        // A gauge stuck at one level produces thousands of identical
+        // samples; nearest-rank must return that level at every
+        // quantile with no drift from summation order.
+        let mut h = Histogram::new();
+        for _ in 0..10_000 {
+            h.record(3.0);
+        }
+        assert_eq!(h.len(), 10_000);
+        assert_eq!(h.percentiles(), Some((3.0, 3.0, 3.0)));
+        assert_eq!(h.mean(), Some(3.0));
+        assert_eq!(h.quantile(1.0 / 10_001.0), Some(3.0));
+    }
+
+    #[test]
+    fn extreme_magnitudes_do_not_lose_rank_order() {
+        let mut h = Histogram::new();
+        for v in [f64::MAX, f64::MIN_POSITIVE, 0.0, -f64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(-f64::MAX));
+        assert_eq!(h.max(), Some(f64::MAX));
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
 }

@@ -17,7 +17,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 
-use paragon_mesh::{Mesh, MeshParams, NodeId, Topology};
+use paragon_mesh::{Mesh, MeshParams, MeshStats, NodeId, Topology};
 use paragon_sim::sync::{oneshot, OneshotSender};
 use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, Track};
 
@@ -170,6 +170,22 @@ where
     /// Counters so far.
     pub fn stats(&self) -> RpcStats {
         self.stats.borrow().clone()
+    }
+
+    /// Transport-layer traffic counters from the underlying mesh.
+    pub fn mesh_stats(&self) -> MeshStats {
+        self.mesh.stats()
+    }
+
+    /// Live bytes-in-transit cell from the underlying mesh, for
+    /// telemetry gauges.
+    pub fn inflight_bytes_cell(&self) -> Rc<Cell<i64>> {
+        self.mesh.inflight_bytes_cell()
+    }
+
+    /// Cumulative NIC-occupancy nanoseconds, indexed by node.
+    pub fn nic_busy_ns(&self) -> Vec<u64> {
+        self.mesh.nic_busy_ns()
     }
 
     /// Claim `node`'s mailbox as a client endpoint. Spawns the node's

@@ -7,14 +7,14 @@
 //! directly on the UFS instances without charging client time), and
 //! opened per node with [`ParallelFs::open`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
 use paragon_machine::Machine;
 use paragon_mesh::NodeId;
-use paragon_os::{ArtConfig, ArtPool, RpcClient, RpcNet, RpcPolicy};
+use paragon_os::{ArtConfig, ArtPool, ArtStats, RpcClient, RpcNet, RpcPolicy};
 use paragon_sim::Sim;
 
 use crate::client::{ClientParams, OpenOptions, PfsFile};
@@ -338,6 +338,47 @@ impl ParallelFs {
     /// Aggregate bytes read across all I/O-node servers.
     pub fn total_bytes_served(&self) -> u64 {
         self.servers.iter().map(|s| s.stats().bytes_read).sum()
+    }
+
+    /// Live request-queue-depth cells of every I/O-node server, in
+    /// I/O-node order, for telemetry gauges.
+    pub fn server_inflight_cells(&self) -> Vec<Rc<Cell<usize>>> {
+        self.servers.iter().map(|s| s.inflight_cell()).collect()
+    }
+
+    /// Cumulative server-thread-held nanoseconds per I/O node.
+    pub fn server_busy_ns(&self) -> Vec<u64> {
+        self.servers.iter().map(|s| s.busy_ns()).collect()
+    }
+
+    /// Requests currently on any compute node's ART active list (the
+    /// paper's active FIFO), summed over nodes. Counts only endpoints
+    /// created so far — which is all of them once the workload opened
+    /// its files.
+    pub fn art_active(&self) -> usize {
+        self.clients
+            .borrow()
+            .values()
+            .map(|(_, arts)| arts.active())
+            .sum()
+    }
+
+    /// ART counters aggregated over all compute-node pools: summed
+    /// submissions/completions, per-node max of the active-list peak.
+    pub fn art_stats(&self) -> ArtStats {
+        let mut total = ArtStats::default();
+        for (_, arts) in self.clients.borrow().values() {
+            let st = arts.stats();
+            total.submitted += st.submitted;
+            total.completed += st.completed;
+            total.max_active = total.max_active.max(st.max_active);
+        }
+        total
+    }
+
+    /// The RPC fabric, for transport-layer telemetry.
+    pub fn rpc_net(&self) -> &RpcNet<PfsRequest, PfsResponse> {
+        &self.rpc
     }
 }
 

@@ -7,13 +7,13 @@
 //! over the Fast Path or the buffer cache. M_GLOBAL reads are deduplicated
 //! so one physical I/O feeds every node of a collective call.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
 use paragon_sim::sync::{Semaphore, Signal};
-use paragon_sim::{ev, EventKind, ReqId, Rng, Sim, SimDuration, Track};
+use paragon_sim::{ev, EventKind, ReqId, Rng, Sim, SimDuration, SimTime, Track};
 use paragon_ufs::Ufs;
 
 use crate::meta::Registry;
@@ -76,6 +76,11 @@ pub struct IonServer {
     rng: Rc<RefCell<Rng>>,
     /// FIFO server thread pool.
     threads: Semaphore,
+    /// Requests currently inside [`IonServer::handle`] (queued for a
+    /// thread or being serviced); polled live by telemetry gauges.
+    inflight: Rc<Cell<usize>>,
+    /// Cumulative nanoseconds any server thread was held.
+    busy_ns: Rc<Cell<u64>>,
 }
 
 impl IonServer {
@@ -99,6 +104,8 @@ impl IonServer {
             stats: Rc::new(RefCell::new(ServerStats::default())),
             rng: Rc::new(RefCell::new(rng)),
             threads,
+            inflight: Rc::new(Cell::new(0)),
+            busy_ns: Rc::new(Cell::new(0)),
         }
     }
 
@@ -107,8 +114,31 @@ impl IonServer {
         self.stats.borrow().clone()
     }
 
+    /// Live request-queue-depth cell (requests inside `handle`), for
+    /// telemetry gauges.
+    pub fn inflight_cell(&self) -> Rc<Cell<usize>> {
+        self.inflight.clone()
+    }
+
+    /// Cumulative nanoseconds server threads were held so far.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.get()
+    }
+
+    fn note_busy(&self, since: SimTime) {
+        self.busy_ns
+            .set(self.busy_ns.get() + (self.sim.now() - since).as_nanos());
+    }
+
     /// Service one request. Installed as this node's RPC handler.
     pub async fn handle(&self, request: PfsRequest) -> PfsResponse {
+        self.inflight.set(self.inflight.get() + 1);
+        let resp = self.handle_inner(request).await;
+        self.inflight.set(self.inflight.get() - 1);
+        resp
+    }
+
+    async fn handle_inner(&self, request: PfsRequest) -> PfsResponse {
         let ion = Track::Ion(self.ion_index as u16);
         match request {
             PfsRequest::Read {
@@ -225,10 +255,13 @@ impl IonServer {
         }
         // Occupy a server thread for the request's processing + transfer.
         let _thread = self.threads.acquire().await;
+        let held = self.sim.now();
         self.charge_overheads(offset, len as u64, shared).await;
-        let data = self
+        let result = self
             .physical_read(file, slot, offset, len, fast_path, req)
-            .await?;
+            .await;
+        self.note_busy(held);
+        let data = result?;
         self.stats.borrow_mut().bytes_read += len as u64;
         Ok(data)
     }
@@ -252,7 +285,9 @@ impl IonServer {
         // pool of waiters would deadlock the initiator).
         {
             let _thread = self.threads.acquire().await;
+            let held = self.sim.now();
             self.charge_overheads(offset, len as u64, shared).await;
+            self.note_busy(held);
         }
         let key = (file, slot, offset, len);
         let existing = {
@@ -284,9 +319,11 @@ impl IonServer {
                 let remaining = entry.remaining.clone();
                 self.global.borrow_mut().insert(key, entry);
                 let _thread = self.threads.acquire().await;
+                let held = self.sim.now();
                 let result = self
                     .physical_read(file, slot, offset, len, fast_path, req)
                     .await;
+                self.note_busy(held);
                 *data.borrow_mut() = Some(result.clone());
                 done.set();
                 self.consume_global(key, &remaining);
@@ -338,15 +375,23 @@ impl IonServer {
         _req: ReqId,
     ) -> Result<u32, PfsError> {
         let _thread = self.threads.acquire().await;
+        let held = self.sim.now();
         self.charge_overheads(offset, data.len() as u64, shared)
             .await;
         let len = data.len() as u32;
-        let inode = self.resolve(file, slot)?;
-        if fast_path {
-            self.ufs.write(inode, offset, data).await?;
-        } else {
-            self.ufs.write_cached(inode, offset, data).await?;
-        }
+        let result: Result<(), PfsError> = match self.resolve(file, slot) {
+            Ok(inode) => {
+                let w = if fast_path {
+                    self.ufs.write(inode, offset, data).await
+                } else {
+                    self.ufs.write_cached(inode, offset, data).await
+                };
+                w.map(|_| ()).map_err(PfsError::from)
+            }
+            Err(e) => Err(e),
+        };
+        self.note_busy(held);
+        result?;
         let mut st = self.stats.borrow_mut();
         st.writes += 1;
         st.bytes_written += len as u64;

@@ -118,6 +118,10 @@ pub struct ExperimentConfig {
     pub trace_cap: usize,
     /// Faults to inject during the measured phase.
     pub faults: FaultSpec,
+    /// Sample telemetry gauges every this much simulated time during the
+    /// measured phase; `None` = telemetry off (zero overhead, unchanged
+    /// event stream).
+    pub metrics_cadence: Option<SimDuration>,
 }
 
 impl ExperimentConfig {
@@ -144,6 +148,7 @@ impl ExperimentConfig {
             verify_data: false,
             trace_cap: 0,
             faults: FaultSpec::default(),
+            metrics_cadence: None,
         }
     }
 

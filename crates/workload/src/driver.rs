@@ -11,7 +11,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use paragon_core::{PrefetchStats, PrefetchingFile};
+use std::cell::Cell;
+
+use paragon_core::{PrefetchGauges, PrefetchStats, PrefetchingFile};
 use paragon_machine::{Machine, MachineConfig};
 use paragon_pfs::{
     pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, PfsFile, PfsFileId,
@@ -20,6 +22,7 @@ use paragon_sim::{ev, EventKind, Sim, SimDuration, SimTime, Track};
 
 use crate::config::{AccessPattern, ExperimentConfig, FaultSpec};
 use crate::result::{NodeResult, RunResult};
+use crate::telemetry::{names, Telemetry};
 
 /// Where the driver task deposits its measurements for the host caller.
 type DriverOutput = Rc<RefCell<Option<(Vec<NodeResult>, SimDuration)>>>;
@@ -40,12 +43,22 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         },
     ));
     let pfs = ParallelFs::new(machine.clone());
+    let telemetry = cfg
+        .metrics_cadence
+        .map(|cadence| Telemetry::new(&sim, &machine, &pfs, cadence));
+    // Node programs always get cells to poke; without telemetry they are
+    // private dummies and the pokes are inert (no events, no RNG).
+    let (in_io, prefetch_gauges) = match &telemetry {
+        Some(t) => (t.in_io.clone(), t.prefetch.clone()),
+        None => (Rc::new(Cell::new(0)), PrefetchGauges::default()),
+    };
 
     let out: DriverOutput = Rc::new(RefCell::new(None));
     let out2 = out.clone();
     let cfg2 = cfg.clone();
     let sim2 = sim.clone();
     let machine2 = machine.clone();
+    let telemetry2 = telemetry.clone();
     sim.spawn_named("experiment-driver", async move {
         let files = setup_files(&pfs, &cfg2).await;
         // Setup never draws a fault: the plan is configured and armed
@@ -63,6 +76,9 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
                 cfg2.io_nodes as u64,
             )
         });
+        if let Some(t) = &telemetry2 {
+            t.begin();
+        }
         let mut handles = Vec::with_capacity(cfg2.compute_nodes);
         for rank in 0..cfg2.compute_nodes {
             let file = files[rank.min(files.len() - 1)];
@@ -73,12 +89,17 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
                 rank,
                 file,
                 t0,
+                in_io: in_io.clone(),
+                prefetch_gauges: prefetch_gauges.clone(),
             };
             handles.push(sim2.spawn_named("node-program", node_program(ctx)));
         }
         let mut per_node = Vec::with_capacity(handles.len());
         for h in handles {
             per_node.push(h.await);
+        }
+        if let Some(t) = &telemetry2 {
+            t.end();
         }
         let elapsed = sim2.now().since(t0);
         *out2.borrow_mut() = Some((per_node, elapsed));
@@ -131,6 +152,16 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         raid.reconstructed_bytes += r.reconstructed_bytes;
         raid.parity_rmws += r.parity_rmws;
     }
+    let metrics = telemetry.map(|t| {
+        // Distributions are recorded post-run from the per-request
+        // timers the node programs already keep.
+        for n in &per_node {
+            for &dt in &n.read_times {
+                t.record(names::READ_TIME_S, dt.as_secs_f64());
+            }
+        }
+        t.snapshot()
+    });
     RunResult {
         read_errors: per_node.iter().map(|n| n.read_errors).sum(),
         per_node,
@@ -144,6 +175,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         raid,
         disk,
         trace,
+        metrics,
     }
 }
 
@@ -239,6 +271,10 @@ struct NodeCtx {
     rank: usize,
     file: PfsFileId,
     t0: SimTime,
+    /// Telemetry gauge: nodes currently inside a read call.
+    in_io: Rc<Cell<i64>>,
+    /// Telemetry gauges shared by every prefetch buffer list.
+    prefetch_gauges: PrefetchGauges,
 }
 
 /// The demand-read side of one node's program: either a plain PFS handle
@@ -307,7 +343,11 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
     };
 
     let reader = match &cfg.prefetch {
-        Some(pc) => Reader::Prefetching(PrefetchingFile::new(file, pc.clone())),
+        Some(pc) => {
+            let pf = PrefetchingFile::new(file, pc.clone());
+            pf.set_gauges(ctx.prefetch_gauges.clone());
+            Reader::Prefetching(pf)
+        }
         None => Reader::Plain(file),
     };
 
@@ -347,10 +387,12 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
             AccessPattern::Reread { .. } => Some(base + (k % rounds) * sz as u64),
         };
         let before = ctx.sim.now();
+        ctx.in_io.set(ctx.in_io.get() + 1);
         let result = match planned {
             None => reader.read(sz).await,
             Some(off) => reader.read_at(off, sz).await,
         };
+        ctx.in_io.set(ctx.in_io.get() - 1);
         let dt = ctx.sim.now().since(before);
         let data = match result {
             Ok(data) => data,
@@ -442,6 +484,7 @@ mod tests {
             verify_data: true,
             trace_cap: 0,
             faults: FaultSpec::default(),
+            metrics_cadence: None,
         }
     }
 

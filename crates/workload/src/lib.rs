@@ -13,6 +13,7 @@ mod config;
 mod driver;
 mod result;
 pub mod spans;
+pub mod telemetry;
 
 pub use config::{AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
 pub use driver::run;
@@ -20,3 +21,4 @@ pub use result::{NodeResult, RunResult};
 pub use spans::{
     fault_events, kind_class, read_spans, KindClass, ReadSpan, SpanBreakdown, SpanKind,
 };
+pub use telemetry::{metrics_check, metrics_report, render_report, Telemetry};

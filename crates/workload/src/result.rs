@@ -9,6 +9,7 @@
 
 use paragon_core::PrefetchStats;
 use paragon_disk::{DiskStats, RaidStats};
+use paragon_metrics::MetricsSnapshot;
 use paragon_sim::{FaultStats, SimDuration, TraceEvent};
 
 /// What one compute node measured.
@@ -88,6 +89,8 @@ pub struct RunResult {
     pub disk: DiskStats,
     /// Trace events (empty unless `trace_cap` was set in the config).
     pub trace: Vec<TraceEvent>,
+    /// Telemetry snapshot (`None` unless `metrics_cadence` was set).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunResult {
@@ -177,6 +180,7 @@ mod tests {
             raid: RaidStats::default(),
             disk: DiskStats::default(),
             trace: Vec::new(),
+            metrics: None,
         };
         assert!((r.bandwidth_mb_s() - 2.0).abs() < 1e-9);
         // Mean access time over 8 reads = (500+1000)/8 ms.
@@ -198,6 +202,7 @@ mod tests {
             raid: RaidStats::default(),
             disk: DiskStats::default(),
             trace: Vec::new(),
+            metrics: None,
         };
         assert_eq!(r.node_imbalance(), 0.0);
     }

@@ -1,0 +1,725 @@
+//! Time-resolved telemetry for an experiment run.
+//!
+//! The flight recorder answers *what happened to one request*; this
+//! module answers *where simulated time goes in aggregate*. It wires the
+//! whole I/O path into a [`MetricsRegistry`]: per-I/O-node disk queues
+//! and busy time, server request queues and thread busy time, mesh
+//! bytes-in-flight and NIC occupancy, ART active-list length, prefetch
+//! buffer-list occupancy, and the number of compute nodes currently
+//! inside a read call. A [`Sampler`] task on the simulation kernel
+//! snapshots every gauge at a fixed simulated-time cadence, so the
+//! series are a pure function of the seed.
+//!
+//! On top of the raw snapshot, [`metrics_report`] derives the
+//! bottleneck-attribution report: per-component utilizations, a
+//! Little's-law consistency cross-check (time-mean concurrency vs
+//! throughput × latency), and — when a trace was recorded — agreement
+//! between the utilization ranking and the trace-derived access-time
+//! decomposition. [`metrics_check`] compares one report against a
+//! committed baseline with per-metric tolerance bands: the CI perf gate.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use paragon_core::PrefetchGauges;
+use paragon_machine::Machine;
+use paragon_metrics::{Json, MetricsRegistry, MetricsSnapshot, Sampler};
+use paragon_pfs::ParallelFs;
+use paragon_sim::{Sim, SimDuration};
+
+use crate::config::ExperimentConfig;
+use crate::result::RunResult;
+use crate::spans::{read_spans, SpanBreakdown, SpanKind};
+
+/// Stable dotted metric names. Per-I/O-node instruments derive their
+/// names from these via [`ion_metric`]; everything else uses the
+/// constant verbatim. `paragon-lint` checks each constant is actually
+/// registered or consumed somewhere.
+pub mod names {
+    /// Gauge: outstanding commands across every disk of one/all arrays.
+    pub const DISK_QUEUE: &str = "disk.queue";
+    /// Gauge: requests being handled by one/all I/O-node servers.
+    pub const SERVER_QUEUE: &str = "server.queue";
+    /// Gauge: message bytes currently in mesh transit.
+    pub const MESH_INFLIGHT_BYTES: &str = "mesh.inflight_bytes";
+    /// Gauge: ARTs on the active FIFO across all compute nodes.
+    pub const ART_ACTIVE: &str = "art.active";
+    /// Gauge: prefetch buffers held across all open files.
+    pub const PREFETCH_BUFFERS: &str = "prefetch.buffers";
+    /// Gauge: compute-node bytes those prefetch buffers pin.
+    pub const PREFETCH_BYTES: &str = "prefetch.bytes";
+    /// Gauge: compute nodes currently inside a read call.
+    pub const NODES_IN_IO: &str = "cn.nodes_in_io";
+    /// Counter: disk busy nanoseconds, summed over spindles.
+    pub const DISK_BUSY_NS: &str = "disk.busy_ns";
+    /// Counter: disk commands issued.
+    pub const DISK_REQUESTS: &str = "disk.requests";
+    /// Counter: server thread-held nanoseconds. A thread stays held
+    /// across its disk await, so this covers the service *and* disk
+    /// span phases, not server CPU alone.
+    pub const SERVER_BUSY_NS: &str = "server.busy_ns";
+    /// Counter: bytes the servers read off their file systems.
+    pub const SERVER_BYTES_READ: &str = "server.bytes_read";
+    /// Counter: mesh payload bytes sent.
+    pub const MESH_BYTES: &str = "mesh.bytes";
+    /// Counter: mesh messages sent.
+    pub const MESH_MESSAGES: &str = "mesh.messages";
+    /// Counter: router hops traversed, summed over messages.
+    pub const MESH_HOPS: &str = "mesh.hops";
+    /// Counter: busiest single NIC's occupancy nanoseconds.
+    pub const NIC_BUSY_NS_MAX: &str = "mesh.nic_busy_ns.max";
+    /// Counter: NIC occupancy nanoseconds summed over all nodes.
+    pub const NIC_BUSY_NS_TOTAL: &str = "mesh.nic_busy_ns.total";
+    /// Counter: asynchronous request threads submitted.
+    pub const ART_SUBMITTED: &str = "art.submitted";
+    /// Counter: asynchronous request threads completed.
+    pub const ART_COMPLETED: &str = "art.completed";
+    /// Histogram: per-request end-to-end read time, seconds.
+    pub const READ_TIME_S: &str = "read.time_s";
+}
+
+/// The per-I/O-node variant of a metric name: `disk.queue.ion3`.
+pub fn ion_metric(base: &str, ion: usize) -> String {
+    format!("{base}.ion{ion}")
+}
+
+/// One run's telemetry: the registry with every component instrument
+/// registered, plus the sampler driving it over the measured phase.
+pub struct Telemetry {
+    sim: Sim,
+    registry: MetricsRegistry,
+    cadence: SimDuration,
+    sampler: RefCell<Option<Sampler>>,
+    /// Wire to node programs: ±1 around every read call.
+    pub in_io: Rc<Cell<i64>>,
+    /// Wire to every prefetching file via `set_gauges`.
+    pub prefetch: PrefetchGauges,
+}
+
+impl Telemetry {
+    /// Build a registry wired to `machine` and `pfs` and covering the
+    /// whole I/O path. Gauges read live `Cell`s, so sampling emits no
+    /// events and draws no randomness; counters are polled only at the
+    /// measured-phase boundaries, so setup-phase activity (file
+    /// population) is excluded from every delta by construction.
+    pub fn new(
+        sim: &Sim,
+        machine: &Rc<Machine>,
+        pfs: &Rc<ParallelFs>,
+        cadence: SimDuration,
+    ) -> Rc<Telemetry> {
+        let registry = MetricsRegistry::new();
+        let ions = machine.io_nodes();
+
+        // -- Gauges: instantaneous levels, polled every sampler tick. --
+        let in_io = registry.gauge_cell(names::NODES_IN_IO);
+        let prefetch = PrefetchGauges::default();
+        let g = prefetch.entries.clone();
+        registry.register_gauge(names::PREFETCH_BUFFERS, move || g.get() as f64);
+        let g = prefetch.bytes.clone();
+        registry.register_gauge(names::PREFETCH_BYTES, move || g.get() as f64);
+
+        let mut every_disk = Vec::new();
+        for i in 0..ions {
+            let cells = machine.raid(i).member_queue_cells();
+            every_disk.extend(cells.iter().cloned());
+            registry.register_gauge(&ion_metric(names::DISK_QUEUE, i), move || {
+                cells.iter().map(|c| c.get() as f64).sum()
+            });
+        }
+        registry.register_gauge(names::DISK_QUEUE, move || {
+            every_disk.iter().map(|c| c.get() as f64).sum()
+        });
+
+        let server_cells = pfs.server_inflight_cells();
+        for (i, cell) in server_cells.iter().enumerate() {
+            let c = cell.clone();
+            registry.register_gauge(&ion_metric(names::SERVER_QUEUE, i), move || c.get() as f64);
+        }
+        registry.register_gauge(names::SERVER_QUEUE, move || {
+            server_cells.iter().map(|c| c.get() as f64).sum()
+        });
+
+        let c = pfs.rpc_net().inflight_bytes_cell();
+        registry.register_gauge(names::MESH_INFLIGHT_BYTES, move || c.get() as f64);
+        let p = pfs.clone();
+        registry.register_gauge(names::ART_ACTIVE, move || p.art_active() as f64);
+
+        // -- Counters: monotone totals, polled at phase boundaries. --
+        for i in 0..ions {
+            let m = machine.clone();
+            registry.register_counter(&ion_metric(names::DISK_BUSY_NS, i), move || {
+                m.raid(i)
+                    .member_stats()
+                    .iter()
+                    .map(|s| s.busy.as_nanos() as f64)
+                    .sum()
+            });
+            let p = pfs.clone();
+            registry.register_counter(&ion_metric(names::SERVER_BUSY_NS, i), move || {
+                p.server_busy_ns()[i] as f64
+            });
+        }
+        let m = machine.clone();
+        registry.register_counter(names::DISK_BUSY_NS, move || {
+            (0..ions)
+                .flat_map(|i| m.raid(i).member_stats())
+                .map(|s| s.busy.as_nanos() as f64)
+                .sum()
+        });
+        let m = machine.clone();
+        registry.register_counter(names::DISK_REQUESTS, move || {
+            (0..ions).map(|i| m.raid(i).stats().requests as f64).sum()
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::SERVER_BUSY_NS, move || {
+            p.server_busy_ns().iter().map(|&n| n as f64).sum()
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::SERVER_BYTES_READ, move || {
+            p.total_bytes_served() as f64
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::MESH_BYTES, move || {
+            p.rpc_net().mesh_stats().bytes as f64
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::MESH_MESSAGES, move || {
+            p.rpc_net().mesh_stats().messages as f64
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::MESH_HOPS, move || {
+            p.rpc_net().mesh_stats().hops as f64
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::NIC_BUSY_NS_MAX, move || {
+            p.rpc_net().nic_busy_ns().into_iter().max().unwrap_or(0) as f64
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::NIC_BUSY_NS_TOTAL, move || {
+            p.rpc_net().nic_busy_ns().iter().map(|&n| n as f64).sum()
+        });
+        let p = pfs.clone();
+        registry.register_counter(names::ART_SUBMITTED, move || p.art_stats().submitted as f64);
+        let p = pfs.clone();
+        registry.register_counter(names::ART_COMPLETED, move || p.art_stats().completed as f64);
+
+        Rc::new(Telemetry {
+            sim: sim.clone(),
+            registry,
+            cadence,
+            sampler: RefCell::new(None),
+            in_io,
+            prefetch,
+        })
+    }
+
+    /// Start the measured phase: counters are baselined and the sampler
+    /// task begins ticking at the configured cadence.
+    pub fn begin(&self) {
+        self.registry.mark_phase_start(self.sim.now().as_nanos());
+        *self.sampler.borrow_mut() = Some(Sampler::start(&self.sim, &self.registry, self.cadence));
+    }
+
+    /// End the measured phase: the sampler is stopped (its pending
+    /// wakeup exits without sampling) and counter finals are taken.
+    pub fn end(&self) {
+        if let Some(s) = self.sampler.borrow_mut().take() {
+            s.stop();
+        }
+        self.registry.finish(self.sim.now().as_nanos());
+    }
+
+    /// Record one histogram sample (post-run, from per-request data).
+    pub fn record(&self, name: &str, v: f64) {
+        self.registry.record(name, v);
+    }
+
+    /// Freeze the run's telemetry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// Spindles per I/O node under `cfg` (data members + optional parity).
+fn spindles_per_ion(cfg: &ExperimentConfig) -> usize {
+    cfg.calib.raid_members + usize::from(cfg.calib.raid_parity)
+}
+
+/// Build the bottleneck-attribution report for an instrumented run.
+///
+/// The report's `"scalars"` object is the perf-gate surface: flat
+/// `name → number`, compared against a committed baseline by
+/// [`metrics_check`]. Everything else (`series`, `counters`,
+/// `histograms`, `meta`) is context for humans and renderers.
+pub fn metrics_report(cfg: &ExperimentConfig, result: &RunResult) -> Json {
+    let snap = result
+        .metrics
+        .clone()
+        .expect("metrics_report needs a run with metrics_cadence set");
+    let elapsed_ns = snap.phase_end_ns.saturating_sub(snap.phase_start_ns).max(1) as f64;
+    let elapsed_s = snap.elapsed_s().max(1e-12);
+    let cn = cfg.compute_nodes as f64;
+    let ions = cfg.io_nodes as f64;
+    let delta = |name: &str| snap.counters.get(name).copied().unwrap_or(0.0);
+
+    // Component utilizations: busy time over capacity × elapsed.
+    let spindles = (spindles_per_ion(cfg) * cfg.io_nodes).max(1) as f64;
+    let util_disk = delta(names::DISK_BUSY_NS) / (spindles * elapsed_ns);
+    let threads = (cfg.calib.server_threads * cfg.io_nodes).max(1) as f64;
+    let util_server = delta(names::SERVER_BUSY_NS) / (threads * elapsed_ns);
+    let util_mesh = delta(names::NIC_BUSY_NS_MAX) / elapsed_ns;
+    let art_mean = snap.series_time_mean(names::ART_ACTIVE).unwrap_or(0.0);
+    let util_art = art_mean / (cn * cfg.calib.max_arts.max(1) as f64);
+    let reads: u64 = result.per_node.iter().map(|n| n.reads).sum();
+    let util_compute = cfg.delay.as_nanos() as f64 * reads as f64 / (cn * elapsed_ns);
+
+    // Little's law at the client station: L = time-mean concurrency,
+    // λ = completed reads per second, W = mean end-to-end read time.
+    // L ≈ λW when the gauges, the counters, and the per-request timers
+    // agree about the same run — the internal-consistency cross-check.
+    let l = snap.series_time_mean(names::NODES_IN_IO).unwrap_or(0.0);
+    let lambda = reads as f64 / elapsed_s;
+    let spans = read_spans(&result.trace);
+    let demand: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind != SpanKind::Prefetch)
+        .cloned()
+        .collect();
+    let w = if demand.is_empty() {
+        result.read_time_mean().as_secs_f64()
+    } else {
+        demand.iter().map(|s| s.total().as_secs_f64()).sum::<f64>() / demand.len() as f64
+    };
+    let littles_ratio = if lambda * w > 0.0 {
+        l / (lambda * w)
+    } else {
+        1.0
+    };
+
+    // Bottleneck attribution: rank components by utilization, then
+    // cross-check the hardware ranking (disk/server/mesh) against the
+    // trace-derived span decomposition: the busiest component should
+    // own the largest share of the end-to-end access time.
+    let mut ranking = [
+        ("disk", util_disk),
+        ("server", util_server),
+        ("mesh", util_mesh),
+        ("art", util_art),
+        ("cn_compute", util_compute),
+    ];
+    ranking.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    let consistent = span_consistency(&demand, util_disk, util_mesh);
+
+    let mut scalars = std::collections::BTreeMap::new();
+    let mut put = |k: &str, v: f64| {
+        scalars.insert(k.to_string(), Json::Num(v));
+    };
+    put("bandwidth_mb_s", result.bandwidth_mb_s());
+    put("read_time_mean_s", result.read_time_mean().as_secs_f64());
+    put("elapsed_s", elapsed_s);
+    put("util.disk", util_disk);
+    put("util.server", util_server);
+    put("util.mesh", util_mesh);
+    put("util.art", util_art);
+    put("util.cn_compute", util_compute);
+    put("littles_law.l", l);
+    put("littles_law.lambda_per_s", lambda);
+    put("littles_law.w_s", w);
+    put("littles_law.ratio", littles_ratio);
+    put("bottleneck.consistent", f64::from(consistent));
+    put(
+        "prefetch.hit_ratio",
+        if result.prefetch_enabled {
+            result.prefetch.hit_ratio()
+        } else {
+            0.0
+        },
+    );
+
+    let mut meta = std::collections::BTreeMap::new();
+    meta.insert("seed".into(), Json::Num(cfg.seed as f64));
+    meta.insert("compute_nodes".into(), Json::Num(cn));
+    meta.insert("io_nodes".into(), Json::Num(ions));
+    meta.insert("request_size".into(), Json::Num(cfg.request_size as f64));
+    meta.insert("file_size".into(), Json::Num(cfg.file_size as f64));
+    meta.insert("prefetch".into(), Json::Bool(result.prefetch_enabled));
+    meta.insert(
+        "cadence_ns".into(),
+        Json::Num(cfg.metrics_cadence.map_or(0, SimDuration::as_nanos) as f64),
+    );
+    meta.insert("samples".into(), Json::Num(snap.times_ns.len() as f64));
+
+    let mut bottleneck = std::collections::BTreeMap::new();
+    bottleneck.insert(
+        "ranking".into(),
+        Json::Arr(
+            ranking
+                .iter()
+                .map(|(n, _)| Json::Str((*n).to_string()))
+                .collect(),
+        ),
+    );
+    bottleneck.insert("top".into(), Json::Str(ranking[0].0.to_string()));
+
+    let mut counters = std::collections::BTreeMap::new();
+    for (k, v) in &snap.counters {
+        counters.insert(k.clone(), Json::Num(*v));
+    }
+    let mut series = std::collections::BTreeMap::new();
+    series.insert(
+        "times_ns".into(),
+        Json::Arr(snap.times_ns.iter().map(|&t| Json::Num(t as f64)).collect()),
+    );
+    for (k, vals) in &snap.series {
+        series.insert(
+            k.clone(),
+            Json::Arr(vals.iter().map(|&v| Json::Num(v)).collect()),
+        );
+    }
+    let mut histograms = std::collections::BTreeMap::new();
+    for (k, h) in &snap.hists {
+        histograms.insert(k.clone(), h.to_json());
+    }
+
+    let mut root = std::collections::BTreeMap::new();
+    root.insert("meta".into(), Json::Obj(meta));
+    root.insert("scalars".into(), Json::Obj(scalars));
+    root.insert("bottleneck".into(), Json::Obj(bottleneck));
+    root.insert("counters".into(), Json::Obj(counters));
+    root.insert("series".into(), Json::Obj(series));
+    root.insert("histograms".into(), Json::Obj(histograms));
+    Json::Obj(root)
+}
+
+/// Does the utilization ranking agree with the trace-derived span
+/// decomposition? Only the two layers with non-overlapping attribution
+/// are compared — disk utilization ↔ the disk span phase, mesh (NIC)
+/// utilization ↔ request + reply transit — because the other stations
+/// nest: a server thread stays held across the disk command, and an ART
+/// is active across mesh, server, and disk. The busier hardware layer by
+/// counters must also own more of the end-to-end access time by trace.
+/// With no spans recorded the check is vacuously true.
+fn span_consistency(demand: &[crate::spans::ReadSpan], disk: f64, mesh: f64) -> bool {
+    if demand.is_empty() {
+        return true;
+    }
+    let b = SpanBreakdown::of(demand);
+    let phase = |h: &paragon_metrics::Histogram| h.mean().unwrap_or(0.0) * h.len() as f64;
+    let time_disk = phase(&b.disk);
+    let time_mesh = phase(&b.request) + phase(&b.reply);
+    (disk >= mesh) == (time_disk >= time_mesh)
+}
+
+/// Compare a current report's `"scalars"` against a committed baseline.
+///
+/// Per-metric tolerance bands: utilizations (names starting `util.`)
+/// and ratios (names ending `.ratio`) are compared absolutely within
+/// 0.05; a zero baseline demands an exact zero; everything else is
+/// relative within 10%. `tolerance` overrides the band width for every
+/// metric (relative, with the same width used absolutely for the
+/// utilization/ratio class and zero baselines). Missing or extra
+/// scalars are violations too. Empty result = gate passes.
+pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) -> Vec<String> {
+    let mut violations = Vec::new();
+    let empty = std::collections::BTreeMap::new();
+    let cur = current
+        .get("scalars")
+        .and_then(Json::as_obj)
+        .unwrap_or(&empty);
+    let base = baseline
+        .get("scalars")
+        .and_then(Json::as_obj)
+        .unwrap_or(&empty);
+    if base.is_empty() {
+        violations.push("baseline has no scalars object".into());
+    }
+    for (name, bval) in base {
+        let Some(b) = bval.as_f64() else { continue };
+        let Some(c) = cur.get(name).and_then(Json::as_f64) else {
+            violations.push(format!("missing scalar {name} (baseline {b})"));
+            continue;
+        };
+        let absolute_class = name.starts_with("util.") || name.ends_with(".ratio");
+        let (limit, style) = if absolute_class {
+            (tolerance.unwrap_or(0.05), "absolute")
+        } else if b == 0.0 {
+            (tolerance.unwrap_or(0.0), "absolute")
+        } else {
+            (tolerance.unwrap_or(0.10) * b.abs(), "relative")
+        };
+        let diff = (c - b).abs();
+        if diff > limit {
+            violations.push(format!(
+                "{name}: {c} vs baseline {b} ({style} diff {diff:.6} > {limit:.6})"
+            ));
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            violations.push(format!("unexpected scalar {name} not in baseline"));
+        }
+    }
+    violations
+}
+
+/// Render the report for humans: a utilization table, the bottleneck
+/// line, Little's-law numbers, and queue-depth profiles as ASCII charts.
+pub fn render_report(report: &Json) -> String {
+    use paragon_metrics::{AsciiChart, Series, Table};
+    let scalar = |name: &str| {
+        report
+            .get("scalars")
+            .and_then(|s| s.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let mut out = String::new();
+
+    let mut t = Table::new(
+        "component utilization (measured phase)",
+        &["component", "utilization"],
+    );
+    for name in ["disk", "server", "mesh", "art", "cn_compute"] {
+        t.row(&[
+            name.to_string(),
+            format!("{:.4}", scalar(&format!("util.{name}"))),
+        ]);
+    }
+    out.push_str(&t.render());
+    let top = report
+        .get("bottleneck")
+        .and_then(|b| b.get("top"))
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    out.push_str(&format!(
+        "\nbottleneck: {top}   (ranking consistent with trace spans: {})\n",
+        if scalar("bottleneck.consistent") == 1.0 {
+            "yes"
+        } else {
+            "NO"
+        }
+    ));
+    out.push_str(&format!(
+        "bandwidth: {:.2} MB/s   mean read: {:.3} ms   Little's law L/(λW) = {:.3}\n\n",
+        scalar("bandwidth_mb_s"),
+        scalar("read_time_mean_s") * 1e3,
+        scalar("littles_law.ratio"),
+    ));
+
+    // Queue-depth / occupancy profiles over the measured phase.
+    if let Some(series) = report.get("series").and_then(Json::as_obj) {
+        let times: Vec<f64> = series
+            .get("times_ns")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Json::as_f64)
+                    .map(|t| t * 1e-9)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let points = |name: &str| -> Vec<(f64, f64)> {
+            series
+                .get(name)
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_f64)
+                        .zip(times.iter().copied())
+                        .map(|(v, t)| (t, v))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let chart = AsciiChart::new("queue depths over time", "simulated seconds", "depth")
+            .series(Series::new(names::DISK_QUEUE, points(names::DISK_QUEUE)))
+            .series(Series::new(
+                names::SERVER_QUEUE,
+                points(names::SERVER_QUEUE),
+            ))
+            .series(Series::new(names::NODES_IN_IO, points(names::NODES_IN_IO)));
+        out.push_str(&chart.render());
+        let pf = points(names::PREFETCH_BUFFERS);
+        if pf.iter().any(|&(_, v)| v != 0.0) {
+            let chart =
+                AsciiChart::new("prefetch buffers over time", "simulated seconds", "buffers")
+                    .series(Series::new(names::PREFETCH_BUFFERS, pf));
+            out.push('\n');
+            out.push_str(&chart.render());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StripeLayout;
+    use paragon_machine::Calibration;
+    use paragon_pfs::IoMode;
+    use std::collections::BTreeMap;
+
+    /// A small paper-calibrated config: real service times, so queues
+    /// form, utilizations are meaningful, and the sampler gets to tick.
+    fn instrumented() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 11,
+            compute_nodes: 2,
+            io_nodes: 2,
+            calib: Calibration::paragon_1995(),
+            mode: IoMode::MRecord,
+            fast_path: true,
+            stripe_unit: 16 * 1024,
+            layout: StripeLayout::Across { factor: 2 },
+            request_size: 16 * 1024,
+            file_size: 512 * 1024,
+            delay: SimDuration::ZERO,
+            prefetch: None,
+            access: crate::config::AccessPattern::ModeDriven,
+            separate_files: false,
+            verify_data: false,
+            trace_cap: 1 << 18,
+            faults: crate::config::FaultSpec::default(),
+            metrics_cadence: Some(SimDuration::from_millis(20)),
+        }
+    }
+
+    #[test]
+    fn instrumented_run_profiles_the_io_path() {
+        let cfg = instrumented();
+        let r = crate::run(&cfg);
+        let snap = r.metrics.as_ref().expect("metrics on");
+        assert!(snap.times_ns.len() > 2, "sampler never ticked");
+        for g in [
+            names::DISK_QUEUE,
+            names::SERVER_QUEUE,
+            names::MESH_INFLIGHT_BYTES,
+            names::ART_ACTIVE,
+            names::NODES_IN_IO,
+            names::PREFETCH_BYTES,
+        ] {
+            assert!(snap.series.contains_key(g), "missing gauge series {g}");
+        }
+        // The workload drives real disk and mesh work in the phase.
+        assert!(snap.counters[names::DISK_BUSY_NS] > 0.0);
+        assert!(snap.counters[names::MESH_BYTES] > 0.0);
+        assert!(snap.counters[names::MESH_HOPS] > 0.0);
+        assert!(snap.counters[&ion_metric(names::DISK_BUSY_NS, 0)] > 0.0);
+        assert!(snap.series_max(names::NODES_IN_IO).unwrap_or(0.0) > 0.0);
+        // An I/O-bound run keeps nodes inside read calls nearly all the
+        // time, and Little's law ties the three measurements together.
+        let report = metrics_report(&cfg, &r);
+        let scalar = |n: &str| {
+            report
+                .get("scalars")
+                .and_then(|s| s.get(n))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        let util_disk = scalar("util.disk");
+        assert!(util_disk > 0.0 && util_disk <= 1.0, "util.disk {util_disk}");
+        let ratio = scalar("littles_law.ratio");
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "Little's-law cross-check failed: {ratio}"
+        );
+        assert_eq!(scalar("bottleneck.consistent"), 1.0);
+        // A report always passes its own gate.
+        assert!(metrics_check(&report, &report, None).is_empty());
+        let text = render_report(&report);
+        assert!(text.contains("bottleneck:"));
+        assert!(text.contains("queue depths over time"));
+    }
+
+    #[test]
+    fn instrumented_runs_are_deterministic_and_leak_free() {
+        // Balanced workload: the compute delay lets prefetched buffers
+        // sit in the list long enough for sampler ticks to see them
+        // (I/O-bound depth-1 buffers are consumed the moment they land).
+        let mut cfg = instrumented().with_prefetch();
+        cfg.delay = SimDuration::from_millis(15);
+        let a = crate::run(&cfg);
+        let b = crate::run(&cfg);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        // Byte-identical reports: the JSON the perf gate diffs.
+        let ja = metrics_report(&cfg, &a).pretty();
+        let jb = metrics_report(&cfg, &b).pretty();
+        assert_eq!(ja, jb, "same seed must render identical report JSON");
+        // Prefetch buffers were held mid-run and all freed at close.
+        let snap = a.metrics.unwrap();
+        let bytes = &snap.series[names::PREFETCH_BYTES];
+        assert!(
+            snap.series_max(names::PREFETCH_BYTES).unwrap() > 0.0,
+            "prefetch never held a buffer"
+        );
+        assert_eq!(
+            *bytes.last().unwrap(),
+            0.0,
+            "close leaked prefetch buffer bytes"
+        );
+        assert_eq!(*snap.series[names::PREFETCH_BUFFERS].last().unwrap(), 0.0);
+    }
+
+    fn report_with(scalars: &[(&str, f64)]) -> Json {
+        let mut s = BTreeMap::new();
+        for (k, v) in scalars {
+            s.insert((*k).to_string(), Json::Num(*v));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("scalars".into(), Json::Obj(s));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn check_passes_identical_reports() {
+        let r = report_with(&[("util.disk", 0.8), ("bandwidth_mb_s", 3.2)]);
+        assert!(metrics_check(&r, &r, None).is_empty());
+    }
+
+    #[test]
+    fn check_applies_absolute_band_to_utilizations_and_ratios() {
+        let base = report_with(&[("util.disk", 0.80), ("littles_law.ratio", 1.00)]);
+        let ok = report_with(&[("util.disk", 0.84), ("littles_law.ratio", 0.96)]);
+        assert!(metrics_check(&ok, &base, None).is_empty());
+        let bad = report_with(&[("util.disk", 0.86), ("littles_law.ratio", 1.00)]);
+        let v = metrics_check(&bad, &base, None);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("util.disk"));
+    }
+
+    #[test]
+    fn check_applies_relative_band_elsewhere_and_exact_zero() {
+        let base = report_with(&[("bandwidth_mb_s", 10.0), ("read_errors", 0.0)]);
+        let ok = report_with(&[("bandwidth_mb_s", 10.9), ("read_errors", 0.0)]);
+        assert!(metrics_check(&ok, &base, None).is_empty());
+        let drift = report_with(&[("bandwidth_mb_s", 8.5), ("read_errors", 0.0)]);
+        assert_eq!(metrics_check(&drift, &base, None).len(), 1);
+        let nonzero = report_with(&[("bandwidth_mb_s", 10.0), ("read_errors", 1.0)]);
+        assert_eq!(metrics_check(&nonzero, &base, None).len(), 1);
+    }
+
+    #[test]
+    fn check_flags_missing_and_extra_scalars() {
+        let base = report_with(&[("a", 1.0), ("b", 2.0)]);
+        let cur = report_with(&[("a", 1.0), ("c", 3.0)]);
+        let v = metrics_check(&cur, &base, None);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("missing scalar b")));
+        assert!(v.iter().any(|m| m.contains("unexpected scalar c")));
+    }
+
+    #[test]
+    fn tolerance_override_widens_every_band() {
+        let base = report_with(&[("util.disk", 0.5), ("bandwidth_mb_s", 10.0)]);
+        let cur = report_with(&[("util.disk", 0.7), ("bandwidth_mb_s", 13.0)]);
+        assert!(!metrics_check(&cur, &base, None).is_empty());
+        assert!(metrics_check(&cur, &base, Some(0.35)).is_empty());
+    }
+
+    #[test]
+    fn ion_metric_names_are_stable() {
+        assert_eq!(ion_metric(names::DISK_QUEUE, 3), "disk.queue.ion3");
+        assert_eq!(ion_metric(names::SERVER_BUSY_NS, 0), "server.busy_ns.ion0");
+    }
+}

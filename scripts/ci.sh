@@ -23,6 +23,14 @@ echo "=== paragon-lint"
 # finding; waivers need `// paragon-lint: allow(RULE) — <reason>`.
 cargo run -q -p paragon-lint --release
 
+echo "=== metrics"
+# Perf-regression gate: re-run the telemetry-instrumented default
+# workload and compare the bottleneck report's scalars (utilizations,
+# bandwidth, Little's-law ratio, ...) against the committed baseline
+# within per-metric tolerance bands. Regenerate the baseline with
+# `paragonctl metrics run --seed 42` after an intentional perf change.
+cargo run -q -p paragon-bench --release --bin paragonctl -- metrics check --seed 42
+
 echo "=== cargo fmt --check"
 cargo fmt --check
 

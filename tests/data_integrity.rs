@@ -26,6 +26,7 @@ fn base(mode: IoMode) -> ExperimentConfig {
         verify_data: true,
         trace_cap: 0,
         faults: FaultSpec::default(),
+        metrics_cadence: None,
     }
 }
 

@@ -26,6 +26,7 @@ fn cfg(seed: u64, mode: IoMode) -> ExperimentConfig {
         verify_data: false,
         trace_cap: 0,
         faults: FaultSpec::default(),
+        metrics_cadence: None,
     }
 }
 
