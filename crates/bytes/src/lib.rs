@@ -49,6 +49,19 @@ impl Bytes {
         self.start == self.end
     }
 
+    /// Wrap an existing shared allocation without copying. The whole
+    /// buffer is visible; narrow with [`Bytes::slice`]. This is the
+    /// zero-copy bridge for owners that keep data in `Rc<[u8]>` pages
+    /// (the sparse disk store) and want to hand out views of them.
+    pub fn from_shared(data: Rc<[u8]>) -> Bytes {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
     /// O(1) sub-slice sharing the same allocation. Panics if the range
     /// is out of bounds, like slicing.
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
@@ -234,6 +247,19 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn slice_past_end_panics() {
         Bytes::from(vec![1, 2, 3]).slice(0..4);
+    }
+
+    #[test]
+    fn from_shared_does_not_copy() {
+        let page: Rc<[u8]> = Rc::from(vec![1u8, 2, 3, 4]);
+        let b = Bytes::from_shared(page.clone());
+        // The Bytes holds the same allocation, not a copy.
+        assert_eq!(Rc::strong_count(&page), 2);
+        let s = b.slice(1..3);
+        assert_eq!(Rc::strong_count(&page), 3);
+        assert_eq!(&s[..], &[2, 3]);
+        drop((b, s));
+        assert_eq!(Rc::strong_count(&page), 1);
     }
 
     #[test]

@@ -44,19 +44,31 @@ pub enum DiskOp {
     Read { offset: u64, len: u32 },
     /// Write the payload at byte offset `offset`.
     Write { offset: u64, data: Bytes },
+    /// Timing-only read: charged and scheduled exactly like
+    /// [`DiskOp::Read`], but no payload is produced. Used by the RAID
+    /// layer, which keeps the array's bytes in one logical store and uses
+    /// member disks purely as service-time models.
+    ReadTiming { offset: u64, len: u32 },
+    /// Timing-only write: charged like [`DiskOp::Write`] with `len`
+    /// payload bytes, but nothing is stored.
+    WriteTiming { offset: u64, len: u32 },
 }
 
 impl DiskOp {
     fn offset(&self) -> u64 {
         match self {
-            DiskOp::Read { offset, .. } | DiskOp::Write { offset, .. } => *offset,
+            DiskOp::Read { offset, .. }
+            | DiskOp::Write { offset, .. }
+            | DiskOp::ReadTiming { offset, .. }
+            | DiskOp::WriteTiming { offset, .. } => *offset,
         }
     }
 
     fn len(&self) -> u64 {
         match self {
-            DiskOp::Read { len, .. } => *len as u64,
+            DiskOp::Read { len, .. } | DiskOp::ReadTiming { len, .. } => *len as u64,
             DiskOp::Write { data, .. } => data.len() as u64,
+            DiskOp::WriteTiming { len, .. } => *len as u64,
         }
     }
 }
@@ -187,6 +199,52 @@ impl Disk {
         orx.await.unwrap_or(Err(DiskError::Down)).map(|_| ())
     }
 
+    /// Timing-only read: identical queueing, service time, events, fault
+    /// behaviour, and counters to [`Disk::read_req`], but no bytes move.
+    pub async fn read_timing_req(
+        &self,
+        offset: u64,
+        len: u32,
+        req: ReqId,
+    ) -> Result<(), DiskError> {
+        let (otx, orx) = oneshot();
+        if self
+            .tx
+            .send(DiskRequest {
+                op: DiskOp::ReadTiming { offset, len },
+                req,
+                reply: otx,
+            })
+            .is_err()
+        {
+            return Err(DiskError::Down);
+        }
+        orx.await.unwrap_or(Err(DiskError::Down)).map(|_| ())
+    }
+
+    /// Timing-only write: identical to [`Disk::write_req`] with a `len`-byte
+    /// payload, but no bytes move.
+    pub async fn write_timing_req(
+        &self,
+        offset: u64,
+        len: u32,
+        req: ReqId,
+    ) -> Result<(), DiskError> {
+        let (otx, orx) = oneshot();
+        if self
+            .tx
+            .send(DiskRequest {
+                op: DiskOp::WriteTiming { offset, len },
+                req,
+                reply: otx,
+            })
+            .is_err()
+        {
+            return Err(DiskError::Down);
+        }
+        orx.await.unwrap_or(Err(DiskError::Down)).map(|_| ())
+    }
+
     /// Snapshot of the disk's counters.
     pub fn stats(&self) -> DiskStats {
         self.stats.borrow().clone()
@@ -295,8 +353,12 @@ async fn server_loop(
         // knows the device is gone); a transient media error is discovered
         // only after the service attempt, so it still charges full time.
         let fault = match (track.get(), &req.op) {
-            (Track::Disk(i), DiskOp::Read { .. }) => faults.disk_read_fault(i),
-            (Track::Disk(i), DiskOp::Write { .. }) => faults.disk_write_fault(i),
+            (Track::Disk(i), DiskOp::Read { .. } | DiskOp::ReadTiming { .. }) => {
+                faults.disk_read_fault(i)
+            }
+            (Track::Disk(i), DiskOp::Write { .. } | DiskOp::WriteTiming { .. }) => {
+                faults.disk_write_fault(i)
+            }
             _ => None,
         };
         if fault == Some(DiskFault::Dead) {
@@ -338,6 +400,14 @@ async fn server_loop(
             DiskOp::Write { offset, data } => {
                 stats.borrow_mut().bytes_written += data.len() as u64;
                 store.write(offset, &data);
+                req.reply.send(Ok(Bytes::new()));
+            }
+            DiskOp::ReadTiming { len, .. } => {
+                stats.borrow_mut().bytes_read += len as u64;
+                req.reply.send(Ok(Bytes::new()));
+            }
+            DiskOp::WriteTiming { len, .. } => {
+                stats.borrow_mut().bytes_written += len as u64;
                 req.reply.send(Ok(Bytes::new()));
             }
         }

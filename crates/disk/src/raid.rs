@@ -16,12 +16,13 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
 use paragon_sim::sync::Semaphore;
 use paragon_sim::{ev, EventKind, ReqId, Sim, Track};
 
 use crate::disk::{Disk, DiskError, DiskStats};
 use crate::params::{DiskParams, SchedPolicy};
+use crate::store::BlockStore;
 
 /// Striping math shared by the array (and tested independently): maps a
 /// logical byte extent onto per-member `(member, offset, len)` pieces.
@@ -107,6 +108,11 @@ pub struct RaidArray {
     /// runs land on the same parity range must not interleave their RMWs.
     parity_lock: Semaphore,
     map: StripeMap,
+    /// The array's bytes, addressed by *logical* offset. Member disks are
+    /// pure service-time models (they carry no payload); keeping the data
+    /// in one logical store lets an aligned read hand back a zero-copy
+    /// page view instead of gathering interleaved member pieces.
+    logical: Rc<RefCell<BlockStore>>,
     /// Flight-recorder lane base set by [`RaidArray::set_tracks`].
     track_base: Rc<Cell<Option<u16>>>,
     rstats: Rc<RefCell<RaidStats>>,
@@ -148,6 +154,7 @@ impl RaidArray {
             parity,
             parity_lock: Semaphore::new(1),
             map: StripeMap::new(interleave, width),
+            logical: Rc::new(RefCell::new(BlockStore::new())),
             track_base: Rc::new(Cell::new(None)),
             rstats: Rc::new(RefCell::new(RaidStats::default())),
         }
@@ -245,47 +252,37 @@ impl RaidArray {
         for (member, start, pieces) in runs {
             let this = self.clone();
             let rlen: u64 = pieces.iter().map(|p| p.len).sum();
-            handles.push((
-                start,
-                pieces,
-                self.sim
-                    .spawn(async move { this.read_run(member, start, rlen as u32, req).await }),
-            ));
+            handles.push(self.sim.spawn_named("raid-read-run", async move {
+                this.read_run(member, start, rlen as u32, req).await
+            }));
         }
-        let mut out = BytesMut::zeroed(len as usize);
         let mut first_err = None;
-        for (start, pieces, h) in handles {
+        for h in handles {
             // Always join every leg (so concurrent member service finishes
             // deterministically) before reporting the first failure.
-            match h.await {
-                Ok(data) => {
-                    for p in &pieces {
-                        let src = (p.offset - start) as usize;
-                        let dst = p.logical_offset as usize;
-                        out[dst..dst + p.len as usize]
-                            .copy_from_slice(&data[src..src + p.len as usize]);
-                    }
-                }
-                Err(e) => first_err = first_err.or(Some(e)),
+            if let Err(e) = h.await {
+                first_err = first_err.or(Some(e));
             }
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(out.freeze()),
+            // Every member run has been charged; the bytes come out of the
+            // logical store in one (page-aligned: zero-copy) view.
+            None => Ok(self.logical.borrow().read(offset, len as usize)),
         }
     }
 
-    /// One member run: direct read, or parity reconstruction when the
-    /// member is dead.
+    /// One member run: direct service, or parity reconstruction when the
+    /// member is dead. Timing only — payload comes from the logical store.
     async fn read_run(
         &self,
         member: usize,
         start: u64,
         rlen: u32,
         req: ReqId,
-    ) -> Result<Bytes, DiskError> {
-        match self.member(member).read_req(start, rlen, req).await {
-            Ok(data) => Ok(data),
+    ) -> Result<(), DiskError> {
+        match self.member(member).read_timing_req(start, rlen, req).await {
+            Ok(()) => Ok(()),
             Err(DiskError::Dead) => self.reconstruct(member, start, rlen, req).await,
             Err(e) => Err(e),
         }
@@ -301,7 +298,7 @@ impl RaidArray {
         start: u64,
         rlen: u32,
         req: ReqId,
-    ) -> Result<Bytes, DiskError> {
+    ) -> Result<(), DiskError> {
         let Some(parity) = &self.parity else {
             // No redundancy: the member's death is unrecoverable.
             return Err(DiskError::Dead);
@@ -312,26 +309,18 @@ impl RaidArray {
                 continue;
             }
             let d = disk.clone();
-            handles.push(
-                self.sim
-                    .spawn(async move { d.read_req(start, rlen, req).await }),
-            );
+            handles.push(self.sim.spawn_named("raid-reconstruct-leg", async move {
+                d.read_timing_req(start, rlen, req).await
+            }));
         }
         let p = parity.clone();
-        handles.push(
-            self.sim
-                .spawn(async move { p.read_req(start, rlen, req).await }),
-        );
-        let mut out = vec![0u8; rlen as usize];
+        handles.push(self.sim.spawn_named("raid-reconstruct-leg", async move {
+            p.read_timing_req(start, rlen, req).await
+        }));
         let mut first_err = None;
         for h in handles {
-            match h.await {
-                Ok(data) => {
-                    for (o, b) in out.iter_mut().zip(data.iter()) {
-                        *o ^= b;
-                    }
-                }
-                Err(e) => first_err = first_err.or(Some(e)),
+            if let Err(e) = h.await {
+                first_err = first_err.or(Some(e));
             }
         }
         if let Some(e) = first_err {
@@ -351,7 +340,7 @@ impl RaidArray {
         let mut st = self.rstats.borrow_mut();
         st.reconstructed_reads += 1;
         st.reconstructed_bytes += rlen as u64;
-        Ok(Bytes::from(out))
+        Ok(())
     }
 
     /// Write a logical extent; completes when every member run (and, with
@@ -363,26 +352,16 @@ impl RaidArray {
     /// [`RaidArray::write`] under flight-recorder request context `req`.
     pub async fn write_req(&self, offset: u64, data: Bytes, req: ReqId) -> Result<(), DiskError> {
         let runs = self.runs(offset, data.len() as u64);
-        let gather = |start: u64, pieces: &[StripePiece]| {
-            let rlen: u64 = pieces.iter().map(|p| p.len).sum();
-            let mut buf = BytesMut::zeroed(rlen as usize);
-            for p in pieces {
-                let dst = (p.offset - start) as usize;
-                let src = p.logical_offset as usize;
-                buf[dst..dst + p.len as usize].copy_from_slice(&data[src..src + p.len as usize]);
-            }
-            buf.freeze()
-        };
         let Some(parity) = self.parity.clone() else {
-            // No parity: plain concurrent member writes.
+            // No parity: plain concurrent member writes (timing only; the
+            // payload lands in the logical store once the members finish).
             let mut handles = Vec::with_capacity(runs.len());
             for (member, start, pieces) in runs {
                 let disk = self.member(member).clone();
-                let buf = gather(start, &pieces);
-                handles.push(
-                    self.sim
-                        .spawn(async move { disk.write_req(start, buf, req).await }),
-                );
+                let rlen: u64 = pieces.iter().map(|p| p.len).sum();
+                handles.push(self.sim.spawn_named("raid-write-run", async move {
+                    disk.write_timing_req(start, rlen as u32, req).await
+                }));
             }
             let mut first_err = None;
             for h in handles {
@@ -392,7 +371,10 @@ impl RaidArray {
             }
             return match first_err {
                 Some(e) => Err(e),
-                None => Ok(()),
+                None => {
+                    self.logical.borrow_mut().write(offset, &data);
+                    Ok(())
+                }
             };
         };
         // Parity path: serialize whole-write RMWs. Runs of one logical
@@ -401,10 +383,11 @@ impl RaidArray {
         // under the lock.
         let _guard = self.parity_lock.acquire().await;
         for (member, start, pieces) in runs {
-            let buf = gather(start, &pieces);
-            self.write_run_with_parity(&parity, member, start, buf, req)
+            let rlen: u64 = pieces.iter().map(|p| p.len).sum();
+            self.write_run_with_parity(&parity, member, start, rlen as u32, req)
                 .await?;
         }
+        self.logical.borrow_mut().write(offset, &data);
         Ok(())
     }
 
@@ -418,39 +401,36 @@ impl RaidArray {
         parity: &Disk,
         member: usize,
         start: u64,
-        new_data: Bytes,
+        rlen: u32,
         req: ReqId,
     ) -> Result<(), DiskError> {
-        let rlen = new_data.len() as u32;
-        let old_parity = match parity.read_req(start, rlen, req).await {
-            Ok(d) => Some(d),
-            Err(DiskError::Dead) => None,
+        let old_parity_alive = match parity.read_timing_req(start, rlen, req).await {
+            Ok(()) => true,
+            Err(DiskError::Dead) => false,
             Err(e) => return Err(e),
         };
-        let Some(old_parity) = old_parity else {
+        if !old_parity_alive {
             // Parity member is dead: no redundancy to maintain.
-            return self.member(member).write_req(start, new_data, req).await;
-        };
-        let (old_data, member_alive) = match self.member(member).read_req(start, rlen, req).await {
-            Ok(d) => (d, true),
-            Err(DiskError::Dead) => (self.reconstruct(member, start, rlen, req).await?, false),
+            return self.member(member).write_timing_req(start, rlen, req).await;
+        }
+        let member_alive = match self.member(member).read_timing_req(start, rlen, req).await {
+            Ok(()) => true,
+            Err(DiskError::Dead) => {
+                self.reconstruct(member, start, rlen, req).await?;
+                false
+            }
             Err(e) => return Err(e),
         };
-        let new_parity: Vec<u8> = old_parity
-            .iter()
-            .zip(old_data.iter())
-            .zip(new_data.iter())
-            .map(|((p, d), n)| p ^ d ^ n)
-            .collect();
         self.rstats.borrow_mut().parity_rmws += 1;
         let p = parity.clone();
-        let parity_write = self
-            .sim
-            .spawn(async move { p.write_req(start, Bytes::from(new_parity), req).await });
+        let parity_write = self.sim.spawn_named("raid-parity-write", async move {
+            p.write_timing_req(start, rlen, req).await
+        });
         let data_write = member_alive.then(|| {
             let d = self.member(member).clone();
-            self.sim
-                .spawn(async move { d.write_req(start, new_data, req).await })
+            self.sim.spawn_named("raid-write-run", async move {
+                d.write_timing_req(start, rlen, req).await
+            })
         });
         let mut first_err = parity_write.await.err();
         if let Some(h) = data_write {

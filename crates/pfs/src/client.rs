@@ -432,7 +432,22 @@ impl PfsFile {
                 }),
             ));
         }
-        let mut out = BytesMut::zeroed(len as usize);
+        // Zero-copy fast path: one slot leg whose pieces land at identical
+        // offsets (src == dst) is the whole extent — the reply buffer is
+        // the result, no reassembly needed. The leg still runs in its own
+        // spawned task so event interleaving matches the general path.
+        let direct = handles.len() == 1 && {
+            let sreq = &handles[0].0;
+            sreq.pieces
+                .iter()
+                .all(|p| p.slot_offset - sreq.slot_offset == p.logical_offset)
+        };
+        let mut out = if direct {
+            BytesMut::new()
+        } else {
+            BytesMut::zeroed(len as usize)
+        };
+        let mut direct_data = None;
         let mut first_err = None;
         for (sreq, h) in handles {
             // Join every leg before reporting an error (deterministic
@@ -440,6 +455,10 @@ impl PfsFile {
             match h.await {
                 Ok(PfsResponse::Data(Ok(data))) => {
                     debug_assert_eq!(data.len() as u64, sreq.len);
+                    if direct {
+                        direct_data = Some(data);
+                        continue;
+                    }
                     for p in &sreq.pieces {
                         let src = (p.slot_offset - sreq.slot_offset) as usize;
                         let dst = p.logical_offset as usize;
@@ -469,7 +488,10 @@ impl PfsFile {
             .emit(|| ev(cn, EventKind::Copy, req, offset, len as u64));
         self.sim
             .emit(|| ev(cn, EventKind::ReadDone, req, offset, len as u64));
-        Ok(out.freeze())
+        Ok(match direct_data {
+            Some(data) => data,
+            None => out.freeze(),
+        })
     }
 
     /// Write the next `data.len()` bytes under the open mode — the write
@@ -553,20 +575,31 @@ impl PfsFile {
                 factor: self.io_node_ids.len(),
             })?;
             // Gather the logical pieces into one contiguous slot buffer.
-            let mut buf = BytesMut::zeroed(sreq.len as usize);
-            for p in &sreq.pieces {
-                let dst_at = (p.slot_offset - sreq.slot_offset) as usize;
-                let src_at = p.logical_offset as usize;
-                buf[dst_at..dst_at + p.len as usize]
-                    .copy_from_slice(&data[src_at..src_at + p.len as usize]);
-            }
+            // A single piece is already contiguous — share the slice.
+            let single = if sreq.pieces.len() == 1 {
+                sreq.pieces.first()
+            } else {
+                None
+            };
+            let payload = if let Some(p) = single {
+                data.slice(p.logical_offset as usize..(p.logical_offset + p.len) as usize)
+            } else {
+                let mut buf = BytesMut::zeroed(sreq.len as usize);
+                for p in &sreq.pieces {
+                    let dst_at = (p.slot_offset - sreq.slot_offset) as usize;
+                    let src_at = p.logical_offset as usize;
+                    buf[dst_at..dst_at + p.len as usize]
+                        .copy_from_slice(&data[src_at..src_at + p.len as usize]);
+                }
+                buf.freeze()
+            };
             let rpc = self.rpc.clone();
             let msg = PfsRequest::Write {
                 req,
                 file: self.meta.id,
                 slot: sreq.slot as u16,
                 offset: sreq.slot_offset,
-                data: buf.freeze(),
+                data: payload,
                 fast_path: self.fast_path,
                 shared,
             };

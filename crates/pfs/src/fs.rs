@@ -195,10 +195,9 @@ impl ParallelFs {
             // with exactly meta.attrs.factor() == meta.slots.len() entries
             let (ion, inode) = meta.slots[slot];
             let ufs = self.machine.ufs(ion).clone();
-            handles.push(
-                self.sim
-                    .spawn(async move { ufs.write(inode, 0, buf.freeze()).await }),
-            );
+            handles.push(self.sim.spawn_named("populate-slot", async move {
+                ufs.write(inode, 0, buf.freeze()).await
+            }));
         }
         for h in handles {
             h.await.map_err(PfsError::from)?;

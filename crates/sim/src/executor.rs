@@ -12,17 +12,15 @@
 //! the identical event trace — the property tests in this crate assert it.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
 use crate::fault::FaultPlan;
 use crate::kernel::Kernel;
 use crate::rng::Rng;
-use crate::task::{ReadyQueue, TaskId, TaskSlot, TaskWaker};
+use crate::task::{ReadyQueue, TaskId, TaskTable};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventBody, ReqId, Trace};
 
@@ -45,7 +43,7 @@ pub struct RunReport {
 #[derive(Clone)]
 pub struct Sim {
     kernel: Rc<RefCell<Kernel>>,
-    tasks: Rc<RefCell<BTreeMap<TaskId, TaskSlot>>>,
+    tasks: Rc<RefCell<TaskTable>>,
     ready: ReadyQueue,
     seed: u64,
     trace: Trace,
@@ -58,7 +56,7 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             kernel: Rc::new(RefCell::new(Kernel::new())),
-            tasks: Rc::new(RefCell::new(BTreeMap::new())),
+            tasks: Rc::new(RefCell::new(TaskTable::default())),
             ready: ReadyQueue::default(),
             seed,
             trace: Trace::default(),
@@ -124,7 +122,6 @@ impl Sim {
         F: Future<Output = T> + 'static,
         T: 'static,
     {
-        let id = self.kernel.borrow_mut().alloc_task_id();
         let state: Rc<RefCell<JoinState<T>>> = Rc::new(RefCell::new(JoinState {
             result: None,
             waker: None,
@@ -138,13 +135,7 @@ impl Sim {
                 w.wake();
             }
         });
-        self.tasks.borrow_mut().insert(
-            id,
-            TaskSlot {
-                future: Some(wrapped),
-                label,
-            },
-        );
+        let id = self.tasks.borrow_mut().insert(label, wrapped, &self.ready);
         self.ready.push(id);
         JoinHandle { id, state }
     }
@@ -204,7 +195,7 @@ impl Sim {
     fn run_inner(&self, horizon: SimTime) -> RunReport {
         loop {
             self.drain_ready();
-            let next = self.kernel.borrow().next_event_time();
+            let next = self.kernel.borrow_mut().next_event_time();
             match next {
                 Some(t) if t <= horizon => {
                     let waker = self
@@ -236,44 +227,42 @@ impl Sim {
         self.tasks.borrow_mut().clear();
     }
 
-    /// Labels of tasks that have not completed. Useful in deadlock triage.
+    /// Labels of tasks that have not completed, in spawn order. Useful in
+    /// deadlock triage.
     pub fn pending_task_labels(&self) -> Vec<&'static str> {
-        let tasks = self.tasks.borrow();
-        let mut ids: Vec<_> = tasks.keys().copied().collect();
-        ids.sort();
-        ids.iter().map(|id| tasks[id].label).collect()
+        self.tasks.borrow().live_labels()
     }
 
-    /// Poll woken tasks until the ready queue is empty.
+    /// Poll woken tasks until the ready ring is empty.
     fn drain_ready(&self) {
         while let Some(id) = self.ready.pop() {
             // Take the future out so model code may re-enter `Sim` freely
             // while we poll, and so wakes during the poll are harmless.
-            let mut fut = {
+            // The slot's cached waker is cloned (an `Arc` bump), not built.
+            let (mut fut, waker) = {
                 let mut tasks = self.tasks.borrow_mut();
-                match tasks.get_mut(&id) {
+                match tasks.get_live(id) {
                     Some(slot) => match slot.future.take() {
-                        Some(f) => f,
+                        Some(f) => {
+                            let w = slot.waker();
+                            (f, w)
+                        }
                         // Already being polled higher up the stack or woken
                         // twice; the in-progress poll will see the wake.
                         None => continue,
                     },
-                    // Task already completed; stale wake.
+                    // Task already completed — or its slot was reused and
+                    // the generation check failed. Stale wake; drop it.
                     None => continue,
                 }
             };
-            let waker = Waker::from(Arc::new(TaskWaker {
-                id,
-                ready: self.ready.clone(),
-            }));
             let mut cx = Context::from_waker(&waker);
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {
-                    self.tasks.borrow_mut().remove(&id);
-                    self.kernel.borrow_mut().live_tasks -= 1;
+                    self.tasks.borrow_mut().remove(id);
                 }
                 Poll::Pending => {
-                    if let Some(slot) = self.tasks.borrow_mut().get_mut(&id) {
+                    if let Some(slot) = self.tasks.borrow_mut().get_live(id) {
                         slot.future = Some(fut);
                     }
                 }
@@ -488,6 +477,60 @@ mod tests {
         assert_ne!(derive_seed(1, "disk0"), derive_seed(1, "disk1"));
         assert_ne!(derive_seed(1, "disk0"), derive_seed(2, "disk0"));
         assert_eq!(derive_seed(3, "x"), derive_seed(3, "x"));
+    }
+
+    #[test]
+    fn stale_wake_to_freed_slot_is_dropped() {
+        let sim = Sim::new(1);
+        let h = sim.spawn(async {});
+        sim.run();
+        assert!(h.is_finished());
+        // The task's slot is free; a wake addressed to it must be ignored.
+        sim.ready.push(h.id());
+        let report = sim.run();
+        assert_eq!(report.unfinished_tasks, 0);
+    }
+
+    #[test]
+    fn stale_wake_to_reused_slot_is_not_misdelivered() {
+        // The generational-index ABA case: task A completes, its slot is
+        // reused by task B, then a wake carrying A's old id arrives. The
+        // generation mismatch must drop it — B must not be polled.
+        let sim = Sim::new(1);
+        let a = sim.spawn(async {});
+        sim.run();
+        let old_id = a.id();
+
+        // B: counts its polls and parks forever without registering a waker
+        // anywhere, so only a (mis)delivered wake could poll it again.
+        let polls = Rc::new(Cell::new(0u32));
+        let p = polls.clone();
+        let b = sim.spawn(async move {
+            std::future::poll_fn(move |_| {
+                p.set(p.get() + 1);
+                Poll::<()>::Pending
+            })
+            .await
+        });
+        assert_eq!(b.id().slot(), old_id.slot(), "slot must be reused");
+        assert_ne!(
+            b.id().generation(),
+            old_id.generation(),
+            "generation must be bumped on free"
+        );
+        sim.run();
+        assert_eq!(polls.get(), 1, "initial spawn polls B once");
+
+        // Deliver the stale wake: addressed to the right slot, wrong
+        // generation. B must not run.
+        sim.ready.push(old_id);
+        sim.run();
+        assert_eq!(polls.get(), 1, "stale wake was misdelivered to B");
+
+        // Sanity: a wake with the *current* id does reach B.
+        sim.ready.push(b.id());
+        sim.run();
+        assert_eq!(polls.get(), 2);
     }
 
     #[test]

@@ -1,54 +1,26 @@
-//! The event heap at the heart of the simulation.
+//! The event queue at the heart of the simulation.
 //!
 //! Every future that needs to wait for virtual time registers a [`Waker`]
 //! at a deadline. The kernel pops entries in `(time, seq)` order — `seq` is
 //! a monotone counter, so simultaneous events fire in registration order and
-//! the whole simulation is deterministic.
+//! the whole simulation is deterministic. Storage is a [`CalendarQueue`],
+//! which pops in exactly the order a binary heap keyed on `(time, seq)`
+//! would, without the O(log n) sift per event.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::task::Waker;
 
-use crate::task::TaskId;
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
 
-pub(crate) struct HeapEntry {
-    pub(crate) time: SimTime,
-    pub(crate) seq: u64,
-    pub(crate) waker: Waker,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-// Reversed so the BinaryHeap (a max-heap) pops the *earliest* entry first.
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-/// Timer wheel + virtual clock. Owned by the executor behind a `RefCell`.
+/// Event queue + virtual clock. Owned by the executor behind a `RefCell`.
 pub(crate) struct Kernel {
     pub(crate) now: SimTime,
     seq: u64,
-    heap: BinaryHeap<HeapEntry>,
+    queue: CalendarQueue<Waker>,
     pub(crate) events_processed: u64,
     /// FNV-1a hash folded over every `(time, seq)` fired; lets tests assert
     /// that two runs with the same seed took the identical event path.
     pub(crate) trace_hash: u64,
-    pub(crate) next_task: u64,
-    pub(crate) live_tasks: usize,
 }
 
 impl Kernel {
@@ -56,19 +28,10 @@ impl Kernel {
         Kernel {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             events_processed: 0,
             trace_hash: 0xcbf2_9ce4_8422_2325,
-            next_task: 0,
-            live_tasks: 0,
         }
-    }
-
-    pub(crate) fn alloc_task_id(&mut self) -> TaskId {
-        let id = TaskId(self.next_task);
-        self.next_task += 1;
-        self.live_tasks += 1;
-        id
     }
 
     /// Register `waker` to fire at `deadline` (clamped to not be in the past).
@@ -76,22 +39,22 @@ impl Kernel {
         let time = deadline.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(HeapEntry { time, seq, waker });
+        self.queue.push(time, seq, waker);
     }
 
-    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub(crate) fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek().map(|(t, _)| t)
     }
 
     /// Pop the earliest entry, advance the clock, and return its waker.
     pub(crate) fn fire_next(&mut self) -> Option<Waker> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "event heap went backwards");
-        self.now = entry.time;
+        let (time, seq, waker) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
         self.events_processed += 1;
-        self.fold_trace(entry.time.as_nanos());
-        self.fold_trace(entry.seq);
-        Some(entry.waker)
+        self.fold_trace(time.as_nanos());
+        self.fold_trace(seq);
+        Some(waker)
     }
 
     fn fold_trace(&mut self, v: u64) {
@@ -171,5 +134,28 @@ mod tests {
         // Same events, different registration order: seq numbers differ, so
         // the traces differ. (Determinism tests compare equal-seed runs.)
         assert_ne!(a.trace_hash, b.trace_hash);
+    }
+
+    #[test]
+    fn clamped_same_instant_wakes_fire_in_registration_order() {
+        // Many wakes land at the already-reached instant `now`: they must
+        // drain FIFO, exactly as the binary-heap scheduler did.
+        let mut k = Kernel::new();
+        let (w, _c) = waker();
+        k.schedule_wake(SimTime::from_nanos(1_000), w.clone());
+        k.fire_next().unwrap();
+        let mut hashes = Vec::new();
+        for _ in 0..50 {
+            k.schedule_wake(SimTime::ZERO, w.clone());
+        }
+        while k.fire_next().is_some() {
+            hashes.push(k.trace_hash);
+            assert_eq!(k.now, SimTime::from_nanos(1_000));
+        }
+        assert_eq!(k.events_processed, 51);
+        // All 50 folds must be distinct (distinct seq) — FIFO covered by
+        // the seq fold order being reproducible.
+        hashes.dedup();
+        assert_eq!(hashes.len(), 50);
     }
 }

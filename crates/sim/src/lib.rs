@@ -29,6 +29,7 @@
 //! assert_eq!(h.try_take(), Some(3));
 //! ```
 
+pub mod calendar;
 mod executor;
 mod fault;
 mod kernel;
@@ -38,6 +39,7 @@ mod task;
 mod time;
 mod trace;
 
+pub use calendar::CalendarQueue;
 pub use executor::{derive_seed, JoinHandle, RunReport, Sim, Sleep};
 pub use fault::{DiskFault, FaultPlan, FaultStats, MeshVerdict};
 pub use rng::Rng;
@@ -45,5 +47,5 @@ pub use task::TaskId;
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};
 pub use trace::{
     ev, export_json, hash_events, parse_json, render_track_summary, EventBody, EventKind, ReqId,
-    Trace, TraceEvent, Track,
+    Trace, TraceEvent, Track, TrackSummaryScratch,
 };

@@ -8,11 +8,13 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use crate::sync::small_ring::SmallRing;
+
 struct BarrierState {
     n: usize,
     arrived: usize,
     generation: u64,
-    wakers: Vec<Waker>,
+    wakers: SmallRing<Waker, 8>,
 }
 
 /// A cyclic barrier for `n` parties.
@@ -36,7 +38,7 @@ impl Barrier {
                 n: n.max(1),
                 arrived: 0,
                 generation: 0,
-                wakers: Vec::new(),
+                wakers: SmallRing::new(),
             })),
         }
     }
@@ -71,13 +73,13 @@ impl Future for BarrierWait {
                 if st.arrived == st.n {
                     st.arrived = 0;
                     st.generation += 1;
-                    for w in st.wakers.drain(..) {
+                    while let Some(w) = st.wakers.pop_front() {
                         w.wake();
                     }
                     Poll::Ready(BarrierWaitResult { is_leader: true })
                 } else {
                     let gen = st.generation;
-                    st.wakers.push(cx.waker().clone());
+                    st.wakers.push_back(cx.waker().clone());
                     drop(st);
                     self.generation = Some(gen);
                     Poll::Pending
@@ -87,7 +89,7 @@ impl Future for BarrierWait {
                 if st.generation != gen {
                     Poll::Ready(BarrierWaitResult { is_leader: false })
                 } else {
-                    st.wakers.push(cx.waker().clone());
+                    st.wakers.push_back(cx.waker().clone());
                     Poll::Pending
                 }
             }

@@ -6,20 +6,29 @@
 //! processors" observation depends on no node starving another.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-struct WaiterState {
-    granted: bool,
+use crate::sync::small_ring::SmallRing;
+
+/// A parked acquirer, identified by its FIFO ticket. Lives *in* the queue
+/// ring (no per-waiter allocation); the `Acquire` future holds only the
+/// ticket number.
+struct Waiter {
+    ticket: u64,
     waker: Option<Waker>,
 }
 
 struct SemState {
     permits: usize,
-    queue: VecDeque<Rc<RefCell<WaiterState>>>,
+    /// Monotone ticket counter; queue order == ticket order.
+    next_ticket: u64,
+    queue: SmallRing<Waiter, 8>,
+    /// Tickets whose permit was handed over by `release` but whose waiter
+    /// has not polled (or been cancelled) yet.
+    granted: SmallRing<u64, 4>,
     /// High-water mark of queue length, for contention diagnostics.
     max_queue: usize,
 }
@@ -36,7 +45,9 @@ impl Semaphore {
         Semaphore {
             state: Rc::new(RefCell::new(SemState {
                 permits,
-                queue: VecDeque::new(),
+                next_ticket: 0,
+                queue: SmallRing::new(),
+                granted: SmallRing::new(),
                 max_queue: 0,
             })),
         }
@@ -46,7 +57,7 @@ impl Semaphore {
     pub fn acquire(&self) -> Acquire {
         Acquire {
             sem: self.clone(),
-            waiter: None,
+            ticket: None,
         }
     }
 
@@ -78,10 +89,9 @@ impl Semaphore {
 
     fn release(&self) {
         let mut st = self.state.borrow_mut();
-        if let Some(next) = st.queue.pop_front() {
-            let mut w = next.borrow_mut();
-            w.granted = true;
-            if let Some(waker) = w.waker.take() {
+        if let Some(mut next) = st.queue.pop_front() {
+            st.granted.push_back(next.ticket);
+            if let Some(waker) = next.waker.take() {
                 waker.wake();
             }
         } else {
@@ -93,56 +103,61 @@ impl Semaphore {
 /// Future returned by [`Semaphore::acquire`].
 pub struct Acquire {
     sem: Semaphore,
-    waiter: Option<Rc<RefCell<WaiterState>>>,
+    ticket: Option<u64>,
 }
 
 impl Future for Acquire {
     type Output = SemaphoreGuard;
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SemaphoreGuard> {
-        if let Some(w) = &self.waiter {
-            let mut ws = w.borrow_mut();
-            if ws.granted {
-                ws.granted = false; // guard now owns the permit
-                drop(ws);
-                self.waiter = None;
+        let mut st = self.sem.state.borrow_mut();
+        if let Some(t) = self.ticket {
+            if st.granted.remove_first(|&g| g == t).is_some() {
+                // The permit released to us is now owned by the guard.
+                drop(st);
+                self.ticket = None;
                 return Poll::Ready(SemaphoreGuard {
                     sem: self.sem.clone(),
                 });
             }
-            ws.waker = Some(cx.waker().clone());
+            let w = st
+                .queue
+                .find_mut(|q| q.ticket == t)
+                .expect("parked waiter is queued or granted");
+            w.waker = Some(cx.waker().clone());
             return Poll::Pending;
         }
-        let mut st = self.sem.state.borrow_mut();
         if st.queue.is_empty() && st.permits > 0 {
             st.permits -= 1;
             return Poll::Ready(SemaphoreGuard {
                 sem: self.sem.clone(),
             });
         }
-        let waiter = Rc::new(RefCell::new(WaiterState {
-            granted: false,
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(Waiter {
+            ticket,
             waker: Some(cx.waker().clone()),
-        }));
-        st.queue.push_back(waiter.clone());
+        });
         let qlen = st.queue.len();
         st.max_queue = st.max_queue.max(qlen);
         drop(st);
-        self.waiter = Some(waiter);
+        self.ticket = Some(ticket);
         Poll::Pending
     }
 }
 
 impl Drop for Acquire {
     fn drop(&mut self) {
-        if let Some(w) = self.waiter.take() {
-            if w.borrow().granted {
+        if let Some(t) = self.ticket.take() {
+            let mut st = self.sem.state.borrow_mut();
+            if st.granted.remove_first(|&g| g == t).is_some() {
                 // We were granted a permit but never returned the guard
                 // (e.g. cancelled by a timeout). Pass the permit on.
+                drop(st);
                 self.sem.release();
             } else {
                 // Still queued: remove ourselves so we never get granted.
-                let mut st = self.sem.state.borrow_mut();
-                st.queue.retain(|q| !Rc::ptr_eq(q, &w));
+                st.queue.remove_first(|q| q.ticket == t);
             }
         }
     }

@@ -10,9 +10,11 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use crate::sync::small_ring::SmallRing;
+
 struct SignalState {
     set: bool,
-    wakers: Vec<Waker>,
+    wakers: SmallRing<Waker, 4>,
 }
 
 /// A latch that starts clear and can be set exactly once.
@@ -33,7 +35,7 @@ impl Signal {
         Signal {
             state: Rc::new(RefCell::new(SignalState {
                 set: false,
-                wakers: Vec::new(),
+                wakers: SmallRing::new(),
             })),
         }
     }
@@ -43,7 +45,7 @@ impl Signal {
         let mut st = self.state.borrow_mut();
         if !st.set {
             st.set = true;
-            for w in st.wakers.drain(..) {
+            while let Some(w) = st.wakers.pop_front() {
                 w.wake();
             }
         }
@@ -74,7 +76,7 @@ impl Future for SignalWait {
         if st.set {
             Poll::Ready(())
         } else {
-            st.wakers.push(cx.waker().clone());
+            st.wakers.push_back(cx.waker().clone());
             Poll::Pending
         }
     }

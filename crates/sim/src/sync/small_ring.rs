@@ -1,0 +1,170 @@
+//! A FIFO ring that stores its first `N` elements inline.
+//!
+//! The sync primitives' waiter lists and message queues are almost always
+//! short (a parked receiver, a handful of semaphore waiters), but the seed
+//! implementation kept each in a heap-allocated `VecDeque` — one allocation
+//! per channel/semaphore plus growth churn on the hot path. `SmallRing`
+//! keeps up to `N` elements in the structure itself and spills to a
+//! `VecDeque` only when the queue genuinely grows (deep disk queues on the
+//! 512-node scaling shape), preserving strict FIFO order throughout.
+
+use std::collections::VecDeque;
+
+pub(crate) struct SmallRing<T, const N: usize> {
+    inline: [Option<T>; N],
+    /// Index of the front element within `inline`.
+    head: usize,
+    inline_len: usize,
+    /// Overflow, logically ordered *after* every inline element. Invariant:
+    /// non-empty only while the inline ring is full.
+    spill: VecDeque<T>,
+}
+
+impl<T, const N: usize> Default for SmallRing<T, N> {
+    fn default() -> Self {
+        SmallRing {
+            inline: std::array::from_fn(|_| None),
+            head: 0,
+            inline_len: 0,
+            spill: VecDeque::new(),
+        }
+    }
+}
+
+impl<T, const N: usize> SmallRing<T, N> {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.inline_len == 0
+    }
+
+    pub(crate) fn push_back(&mut self, value: T) {
+        if self.inline_len < N {
+            debug_assert!(self.spill.is_empty(), "spill while inline has room");
+            let tail = (self.head + self.inline_len) % N;
+            self.inline[tail] = Some(value);
+            self.inline_len += 1;
+        } else {
+            self.spill.push_back(value);
+        }
+    }
+
+    pub(crate) fn pop_front(&mut self) -> Option<T> {
+        if self.inline_len == 0 {
+            debug_assert!(self.spill.is_empty(), "spill while inline is empty");
+            return None;
+        }
+        let value = self.inline[self.head].take().expect("front slot occupied");
+        self.head = (self.head + 1) % N;
+        self.inline_len -= 1;
+        // Refill from the spill so the inline ring stays the queue's front.
+        if let Some(s) = self.spill.pop_front() {
+            let tail = (self.head + self.inline_len) % N;
+            self.inline[tail] = Some(s);
+            self.inline_len += 1;
+        }
+        Some(value)
+    }
+
+    /// Mutable access to the first element matching `pred`, in FIFO order.
+    pub(crate) fn find_mut(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<&mut T> {
+        for i in 0..self.inline_len {
+            let idx = (self.head + i) % N;
+            if pred(self.inline[idx].as_ref().expect("inline slot occupied")) {
+                return self.inline[idx].as_mut();
+            }
+        }
+        self.spill.iter_mut().find(|t| pred(t))
+    }
+
+    /// Remove and return the first element matching `pred`, preserving the
+    /// relative order of everything else. O(len), allocation-free.
+    pub(crate) fn remove_first(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let n = self.len();
+        let mut found = None;
+        for _ in 0..n {
+            let v = self.pop_front().expect("length was counted");
+            if found.is_none() && pred(&v) {
+                found = Some(v);
+            } else {
+                self.push_back(v);
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_across_inline_and_spill() {
+        let mut r: SmallRing<u32, 4> = SmallRing::new();
+        for i in 0..10 {
+            r.push_back(i);
+        }
+        assert_eq!(r.len(), 10);
+        let mut out = Vec::new();
+        while let Some(v) = r.pop_front() {
+            out.push(v);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut r: SmallRing<u32, 2> = SmallRing::new();
+        let mut expect = std::collections::VecDeque::new();
+        for i in 0..50u32 {
+            r.push_back(i);
+            expect.push_back(i);
+            if i % 3 == 0 {
+                assert_eq!(r.pop_front(), expect.pop_front());
+            }
+        }
+        while let Some(v) = r.pop_front() {
+            assert_eq!(Some(v), expect.pop_front());
+        }
+        assert!(expect.is_empty());
+    }
+
+    #[test]
+    fn remove_first_preserves_order() {
+        let mut r: SmallRing<u32, 4> = SmallRing::new();
+        for i in 0..8 {
+            r.push_back(i);
+        }
+        assert_eq!(r.remove_first(|&v| v == 5), Some(5));
+        assert_eq!(r.remove_first(|&v| v == 0), Some(0));
+        assert_eq!(r.remove_first(|&v| v == 99), None);
+        let mut out = Vec::new();
+        while let Some(v) = r.pop_front() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn find_mut_hits_inline_and_spill() {
+        let mut r: SmallRing<(u32, u32), 2> = SmallRing::new();
+        for i in 0..6 {
+            r.push_back((i, 0));
+        }
+        r.find_mut(|&(k, _)| k == 1).expect("inline element").1 = 11;
+        r.find_mut(|&(k, _)| k == 5).expect("spilled element").1 = 55;
+        assert!(r.find_mut(|&(k, _)| k == 9).is_none());
+        let mut out = Vec::new();
+        while let Some(v) = r.pop_front() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![(0, 0), (1, 11), (2, 0), (3, 0), (4, 0), (5, 55)]);
+    }
+}

@@ -10,7 +10,6 @@
 //! cap rather than growing without limit.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::time::SimTime;
@@ -329,6 +328,8 @@ pub(crate) struct TraceState {
     events: RefCell<Vec<TraceEvent>>,
     cap: Cell<usize>,
     next_req: Cell<ReqId>,
+    /// Reused by every `render_tracks` call on this recorder.
+    summary_scratch: RefCell<TrackSummaryScratch>,
 }
 
 /// Handle to a simulation's flight recorder (cloned out of `Sim`).
@@ -413,7 +414,10 @@ impl Trace {
 
     /// Per-track summary: event count and first/last event times.
     pub fn render_tracks(&self) -> String {
-        render_track_summary(&self.state.events.borrow())
+        self.state
+            .summary_scratch
+            .borrow_mut()
+            .render(&self.state.events.borrow())
     }
 
     /// Export the recording as a self-contained JSON document (see
@@ -423,30 +427,57 @@ impl Trace {
     }
 }
 
+/// Reusable accumulator for per-track summaries. The seed implementation
+/// rebuilt a `BTreeMap<Track, …>` (one node allocation per track) on every
+/// summary; this keeps a sorted row `Vec` whose capacity survives across
+/// calls, so repeated summaries of a live recorder allocate nothing but
+/// the output string.
+#[derive(Default)]
+pub struct TrackSummaryScratch {
+    /// Rows sorted by track; count plus first/last event times.
+    rows: Vec<(Track, usize, SimTime, SimTime)>,
+}
+
+impl TrackSummaryScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Summarize `events`, reusing this scratch's row storage.
+    pub fn render(&mut self, events: &[TraceEvent]) -> String {
+        self.rows.clear();
+        for e in events {
+            match self.rows.binary_search_by_key(&e.track, |r| r.0) {
+                Ok(i) => {
+                    let row = &mut self.rows[i];
+                    row.1 += 1;
+                    row.2 = row.2.min(e.time);
+                    row.3 = row.3.max(e.time);
+                }
+                Err(i) => self.rows.insert(i, (e.track, 1, e.time, e.time)),
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>14} {:>14}\n",
+            "track", "events", "first", "last"
+        ));
+        for &(track, n, first, last) in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {n:>8} {:>14} {:>14}\n",
+                track.to_string(),
+                format!("{first}"),
+                format!("{last}")
+            ));
+        }
+        out
+    }
+}
+
 /// Per-track summary of a slice of events: event count plus first/last
 /// event times, one row per track, tracks in [`Track`] order.
 pub fn render_track_summary(events: &[TraceEvent]) -> String {
-    let mut tracks: BTreeMap<Track, (usize, SimTime, SimTime)> = BTreeMap::new();
-    for e in events {
-        let entry = tracks.entry(e.track).or_insert((0, e.time, e.time));
-        entry.0 += 1;
-        entry.1 = entry.1.min(e.time);
-        entry.2 = entry.2.max(e.time);
-    }
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{:<10} {:>8} {:>14} {:>14}\n",
-        "track", "events", "first", "last"
-    ));
-    for (track, (n, first, last)) in tracks {
-        out.push_str(&format!(
-            "{:<10} {n:>8} {:>14} {:>14}\n",
-            track.to_string(),
-            format!("{first}"),
-            format!("{last}")
-        ));
-    }
-    out
+    TrackSummaryScratch::new().render(events)
 }
 
 /// FNV-1a folded over every field of every event, in order.
@@ -712,6 +743,40 @@ mod tests {
         assert!(tracks.contains("ion1"));
         let cn0_line = tracks.lines().find(|l| l.starts_with("cn0")).unwrap();
         assert!(cn0_line.contains(" 2 "), "{cn0_line}");
+    }
+
+    #[test]
+    fn summary_scratch_reuse_matches_fresh_renders() {
+        let t = Trace::default();
+        t.arm(64);
+        for i in 0..8u64 {
+            t.record(SimTime::from_nanos(i * 500), || {
+                ev(Track::Cn((i % 3) as u16), EventKind::ReadStart, i, 0, 64)
+            });
+            t.record(SimTime::from_nanos(i * 500 + 100), || {
+                ev(Track::Disk(0), EventKind::DiskStart, i, 0, 64)
+            });
+        }
+        // Repeated renders through the recorder's scratch must be
+        // identical to each other and to a from-scratch summary.
+        let first = t.render_tracks();
+        let second = t.render_tracks();
+        assert_eq!(first, second);
+        assert_eq!(first, render_track_summary(&t.events()));
+        // Growing the trace between renders must be reflected, not stale.
+        t.record(SimTime::from_nanos(9_000), || {
+            ev(Track::Svc, EventKind::Mark, 0, 0, 0)
+        });
+        let third = t.render_tracks();
+        assert!(third.contains("svc"));
+        assert_eq!(third, render_track_summary(&t.events()));
+        // One shared scratch reused across disjoint event sets: each
+        // render reflects only the events passed to it.
+        let mut scratch = TrackSummaryScratch::new();
+        let all = scratch.render(&t.events());
+        assert_eq!(all, third);
+        let empty = scratch.render(&[]);
+        assert_eq!(empty.lines().count(), 1, "header only: {empty}");
     }
 
     #[test]

@@ -420,6 +420,15 @@ fn span_consistency(demand: &[crate::spans::ReadSpan], disk: f64, mesh: f64) -> 
 /// metric (relative, with the same width used absolutely for the
 /// utilization/ratio class and zero baselines). Missing or extra
 /// scalars are violations too. Empty result = gate passes.
+///
+/// Exception: host-measured bench scalars (names starting `bench.`)
+/// are one-sided throughput floors. They only appear in reports
+/// produced with `--bench`, so a current report without them passes,
+/// and running faster than baseline is never a regression; a current
+/// value below `baseline × (1 − allowed_drop)` fails, where the
+/// allowed fractional drop defaults to 0.75 (i.e. the floor sits at
+/// 25% of baseline — wide on purpose, because wall-clock throughput
+/// varies across host machines) and `tolerance` overrides it.
 pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) -> Vec<String> {
     let mut violations = Vec::new();
     let empty = std::collections::BTreeMap::new();
@@ -436,6 +445,19 @@ pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) ->
     }
     for (name, bval) in base {
         let Some(b) = bval.as_f64() else { continue };
+        if name.starts_with("bench.") {
+            if let Some(c) = cur.get(name).and_then(Json::as_f64) {
+                let allowed_drop = tolerance.unwrap_or(0.75).min(1.0);
+                let floor = b * (1.0 - allowed_drop);
+                if c < floor {
+                    violations.push(format!(
+                        "{name}: {c} below floor {floor:.6} \
+                         (baseline {b}, allowed drop {allowed_drop})"
+                    ));
+                }
+            }
+            continue;
+        }
         let Some(c) = cur.get(name).and_then(Json::as_f64) else {
             violations.push(format!("missing scalar {name} (baseline {b})"));
             continue;
@@ -707,6 +729,26 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().any(|m| m.contains("missing scalar b")));
         assert!(v.iter().any(|m| m.contains("unexpected scalar c")));
+    }
+
+    #[test]
+    fn check_treats_bench_scalars_as_one_sided_floors() {
+        let base = report_with(&[("a", 1.0), ("bench.sim_io_bytes_per_host_second", 100.0)]);
+        // Absent from the current report (a run without --bench): passes.
+        assert!(metrics_check(&report_with(&[("a", 1.0)]), &base, None).is_empty());
+        // Faster than baseline is never a regression; 30% of baseline
+        // still clears the default 25% floor.
+        let fast = report_with(&[("a", 1.0), ("bench.sim_io_bytes_per_host_second", 900.0)]);
+        assert!(metrics_check(&fast, &base, None).is_empty());
+        let slow_ok = report_with(&[("a", 1.0), ("bench.sim_io_bytes_per_host_second", 30.0)]);
+        assert!(metrics_check(&slow_ok, &base, None).is_empty());
+        // Below the floor: one violation, naming the floor.
+        let slow = report_with(&[("a", 1.0), ("bench.sim_io_bytes_per_host_second", 20.0)]);
+        let v = metrics_check(&slow, &base, None);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("below floor"));
+        // Tolerance overrides the allowed drop (here: only 10% slack).
+        assert_eq!(metrics_check(&slow_ok, &base, Some(0.10)).len(), 1);
     }
 
     #[test]

@@ -31,6 +31,15 @@ echo "=== metrics"
 # `paragonctl metrics run --seed 42` after an intentional perf change.
 cargo run -q -p paragon-bench --release --bin paragonctl -- metrics check --seed 42
 
+echo "=== bench"
+# Engine-throughput gate: measure simulated-I/O bytes per host second on
+# the EXT-SCALING reread shape (host-timed, reread-differenced so
+# populate/driver constants cancel) and compare against the committed
+# bench.* scalar. One-sided floor at 25% of baseline — only a large
+# engine slowdown fails; host-speed variance is absorbed by the band.
+# Regenerate with `paragonctl metrics run --bench --seed 42`.
+cargo run -q -p paragon-bench --release --bin paragonctl -- metrics check --bench --seed 42
+
 echo "=== cargo fmt --check"
 cargo fmt --check
 

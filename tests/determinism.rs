@@ -30,6 +30,86 @@ fn cfg(seed: u64, mode: IoMode) -> ExperimentConfig {
     }
 }
 
+/// One named config per EXT axis: every mode, every access pattern,
+/// prefetch on/off, both stripe layouts, the buffered mount, fault
+/// injection, and a larger scaling shape.
+fn ext_matrix() -> Vec<(&'static str, ExperimentConfig)> {
+    let mut m = vec![
+        ("mrecord", cfg(11, IoMode::MRecord)),
+        ("mrecord-pf", cfg(11, IoMode::MRecord).with_prefetch()),
+        ("munix", cfg(12, IoMode::MUnix)),
+        ("msync", cfg(13, IoMode::MSync)),
+        ("mlog", cfg(14, IoMode::MLog)),
+        ("masync-pf", cfg(15, IoMode::MAsync).with_prefetch()),
+        ("mglobal-pf", cfg(16, IoMode::MGlobal).with_prefetch()),
+    ];
+    let mut c = cfg(17, IoMode::MAsync).with_prefetch();
+    c.access = AccessPattern::Random;
+    m.push(("random-pf", c));
+    let mut c = cfg(18, IoMode::MAsync).with_prefetch();
+    c.access = AccessPattern::Strided { stride: 256 * 1024 };
+    m.push(("strided-pf", c));
+    let mut c = cfg(19, IoMode::MAsync).with_prefetch();
+    c.access = AccessPattern::Reread { passes: 2 };
+    c.fast_path = false;
+    m.push(("reread-buffered-pf", c));
+    let mut c = cfg(20, IoMode::MRecord).with_prefetch();
+    c.layout = StripeLayout::WaysOnOne { ways: 2, ion: 0 };
+    m.push(("ways-on-one-pf", c));
+    let mut c = cfg(21, IoMode::MRecord).with_prefetch();
+    c.faults = FaultSpec {
+        disk_error_pm: 20,
+        mesh_drop_pm: 5,
+        mesh_dup_pm: 5,
+        mesh_delay_pm: 10,
+        mesh_delay: SimDuration::from_micros(300),
+        ..FaultSpec::default()
+    };
+    c.verify_data = true;
+    m.push(("faulted-verified-pf", c));
+    let mut c = cfg(22, IoMode::MRecord).with_prefetch();
+    c.compute_nodes = 8;
+    c.io_nodes = 4;
+    c.delay = SimDuration::from_millis(25);
+    m.push(("scaling-8x4-pf", c));
+    m
+}
+
+/// Trace hashes of the EXT matrix captured from the *seed* scheduler (the
+/// `BinaryHeap` kernel + `BTreeMap` executor at commit 65113e2). The
+/// calendar-queue/slab engine must pop every event in the identical
+/// `(time, seq)` order, so these hashes are frozen: a mismatch means the
+/// scheduler reordered something, not that the goldens need regenerating.
+const SEED_SCHEDULER_GOLDENS: &[(&str, u64)] = &[
+    ("mrecord", 0x01792f033b8531d4),
+    ("mrecord-pf", 0xeb377a239bebea41),
+    ("munix", 0x847fc12c4cc463f0),
+    ("msync", 0x97f34e90e4c61ae7),
+    ("mlog", 0xd0c1a0260d94ef9a),
+    ("masync-pf", 0x1e5a60d27dd6f77d),
+    ("mglobal-pf", 0x4f8f3ca8bfedaa6a),
+    ("random-pf", 0x33d25d187a5bf712),
+    ("strided-pf", 0x400071833569d341),
+    ("reread-buffered-pf", 0xe0d9f9d147f50dd2),
+    ("ways-on-one-pf", 0x4152b98bb7d5a3a3),
+    ("faulted-verified-pf", 0xf237b18eccd5117a),
+    ("scaling-8x4-pf", 0x73e8fcc3e4a9a1bd),
+];
+
+#[test]
+fn fast_path_engine_matches_seed_scheduler_byte_for_byte() {
+    let matrix = ext_matrix();
+    assert_eq!(matrix.len(), SEED_SCHEDULER_GOLDENS.len());
+    for ((name, cfg), (gname, golden)) in matrix.into_iter().zip(SEED_SCHEDULER_GOLDENS) {
+        assert_eq!(name, *gname);
+        let r = run(&cfg);
+        assert_eq!(
+            r.trace_hash, *golden,
+            "{name}: event order diverged from the seed scheduler"
+        );
+    }
+}
+
 #[test]
 fn identical_configs_reproduce_exactly() {
     for mode in [IoMode::MRecord, IoMode::MUnix, IoMode::MGlobal] {
