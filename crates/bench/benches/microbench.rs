@@ -93,7 +93,7 @@ fn bench_disk() {
 
 fn end_to_end_cfg() -> paragon_workload::ExperimentConfig {
     use paragon_machine::Calibration;
-    use paragon_pfs::IoMode;
+    use paragon_pfs::{IoMode, Redundancy};
     use paragon_workload::{AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
     ExperimentConfig {
         seed: 1,
@@ -113,6 +113,7 @@ fn end_to_end_cfg() -> paragon_workload::ExperimentConfig {
         verify_data: false,
         trace_cap: 0,
         faults: FaultSpec::default(),
+        redundancy: Redundancy::None,
         metrics_cadence: None,
     }
 }

@@ -4,7 +4,7 @@
 use paragon_core::{PredictorKind, PrefetchConfig};
 use paragon_machine::Calibration;
 use paragon_metrics::{ExperimentRecord, Json};
-use paragon_pfs::IoMode;
+use paragon_pfs::{IoMode, Redundancy};
 use paragon_sim::{
     export_json, hash_events, parse_json, render_track_summary, FaultStats, SimDuration, TraceEvent,
 };
@@ -56,6 +56,12 @@ FAULTS:
     report how throughput and the prefetch hit rate degrade
     --error-pm <N>    transient disk error rate, per mille   [20]
     --drop-pm <N>     mesh message drop rate, per mille      [10]
+    --redundancy all  instead run the EXT-FAULTS three-way comparison:
+               the same I/O-node crash under none (client-visible
+               errors), parity (in-array reconstruction), and
+               replicated:2 (replica failover + online re-replication
+               under the foreground load); any other value selects that
+               redundancy mode for the five-class sweep
 
 TRACE:
     capture    run an experiment with the flight recorder armed and
@@ -81,6 +87,7 @@ OPTIONS:
     --strided-predictor   use the stride detector (implies --prefetch)
     --pattern <mode|strided:BYTES|random|reread:N>           [mode]
     --separate            one private file per node
+    --redundancy <none|parity|replicated[:rf]>  mount redundancy [none]
     --buffered            disable Fast Path (server buffer cache on)
     --verify              verify returned bytes against the pattern
     --compare             also run with prefetching toggled, print both
@@ -170,6 +177,12 @@ pub(crate) fn build_config(args: &mut Args) -> Result<ExperimentConfig, String> 
     let pattern = parse_pattern(&args.value("--pattern")?.unwrap_or_else(|| "mode".into()))?;
     let strided_pred = args.flag("--strided-predictor");
     let prefetch_on = args.flag("--prefetch") || depth > 0 || strided_pred;
+    let redundancy = match args.value("--redundancy")? {
+        Some(v) => {
+            Redundancy::parse(&v).ok_or_else(|| format!("bad value for --redundancy: {v}"))?
+        }
+        None => Redundancy::None,
+    };
 
     let mut cfg = ExperimentConfig {
         seed,
@@ -193,6 +206,7 @@ pub(crate) fn build_config(args: &mut Args) -> Result<ExperimentConfig, String> 
         verify_data: args.flag("--verify"),
         trace_cap: args.parsed("--trace", 0)?,
         faults: FaultSpec::default(),
+        redundancy,
         metrics_cadence: None,
     };
     if prefetch_on {
@@ -220,11 +234,12 @@ fn report_text(label: &str, r: &RunResult) {
     if r.prefetch_enabled {
         let p = &r.prefetch;
         println!(
-            "  prefetch        hits {} ({} ready / {} in-flight), misses {}, \
-             wasted {}, hidden {}",
+            "  prefetch        hits {} ({} ready / {} in-flight / {} recovered), \
+             misses {}, wasted {}, hidden {}",
             p.hits(),
             p.hits_ready,
             p.hits_inflight,
+            p.recovered,
             p.misses,
             p.wasted,
             p.overlap_saved
@@ -668,6 +683,145 @@ fn injected_summary(f: &FaultStats) -> String {
     }
 }
 
+/// `paragonctl faults --redundancy all`: the EXT-FAULTS three-way
+/// comparison. The same I/O-node crash (ion 0 down from the measured
+/// phase's start, for a window that outlasts the run — a permanent
+/// failure as far as the workload is concerned) runs under each
+/// redundancy mode, next to that mode's healthy baseline:
+///
+/// * `none` — the crashed node's stripes are simply gone; every read of
+///   them burns the full retry budget and surfaces as an error.
+/// * `parity` — per-node RAID reconstructs dead *spindles*, but a whole
+///   crashed node still takes its stripes with it (the motivating gap).
+/// * `replicated:2` — reads fail over to surviving copies with zero
+///   client-visible errors while the recovery coordinator re-replicates
+///   the lost copies under the foreground load (the rebuild storm).
+///
+/// For the replicated rows the command enforces the robustness
+/// invariants: no client-visible read errors, and the rebuild queue
+/// drained to exactly zero.
+fn redundancy_sweep(base: &ExperimentConfig, json: bool) -> ExitCode {
+    let crash = FaultSpec {
+        ion_crash: Some((0, SimDuration::ZERO, SimDuration::from_secs(7200))),
+        ..FaultSpec::default()
+    };
+    let modes = [
+        Redundancy::None,
+        Redundancy::ParityRaid,
+        Redundancy::Replicated { rf: 2 },
+    ];
+    let mut rows = Vec::new();
+    for mode in modes {
+        let mut healthy = base.clone();
+        healthy.redundancy = mode;
+        let mut crashed = healthy.clone();
+        crashed.faults = crash.clone();
+        rows.push((mode, run(&healthy), run(&crashed)));
+    }
+
+    let keep = |h: &RunResult, c: &RunResult| {
+        if h.bandwidth_mb_s() > 0.0 {
+            c.bandwidth_mb_s() / h.bandwidth_mb_s() * 100.0
+        } else {
+            0.0
+        }
+    };
+    if json {
+        let mut rec = ExperimentRecord::new("EXT-FAULTS", "paragonctl faults --redundancy all");
+        rec.config("mode", base.mode)
+            .config("compute_nodes", base.compute_nodes)
+            .config("io_nodes", base.io_nodes)
+            .config("request_kb", base.request_size / 1024)
+            .config("file_mb", base.file_size >> 20)
+            .config("seed", base.seed);
+        for (mode, h, c) in &rows {
+            rec.point(
+                &[("redundancy", &mode.label())],
+                &[
+                    ("bw_healthy_mb_s", h.bandwidth_mb_s()),
+                    ("bw_crashed_mb_s", c.bandwidth_mb_s()),
+                    ("keep_pct", keep(h, c)),
+                    ("read_errors", c.read_errors as f64),
+                    ("reconstructed_reads", c.raid.reconstructed_reads as f64),
+                    ("replica_failovers", c.replica_failovers as f64),
+                    ("replica_reads", c.replica_reads as f64),
+                    (
+                        "rebuild_bytes",
+                        c.rebuild.as_ref().map_or(0.0, |r| r.bytes_copied as f64),
+                    ),
+                    ("rebuild_pending", c.rebuild_pending as f64),
+                ],
+            );
+        }
+        println!("{}", rec.to_json());
+    } else {
+        println!(
+            "== redundancy sweep: ion 0 down for the whole run, {} cn x {} ion, {:?}, {} KB requests",
+            base.compute_nodes,
+            base.io_nodes,
+            base.mode,
+            base.request_size / 1024
+        );
+        println!(
+            "{:<13} {:>9} {:>9} {:>6} {:>5} {:>7} {:>7} {:>7} {:>6} {:>5}",
+            "redundancy",
+            "healthy",
+            "crashed",
+            "keep%",
+            "errs",
+            "reconst",
+            "failov",
+            "alt-rd",
+            "rb-KB",
+            "pend"
+        );
+        for (mode, h, c) in &rows {
+            println!(
+                "{:<13} {:>9.2} {:>9.2} {:>6.1} {:>5} {:>7} {:>7} {:>7} {:>6} {:>5}",
+                mode.label(),
+                h.bandwidth_mb_s(),
+                c.bandwidth_mb_s(),
+                keep(h, c),
+                c.read_errors,
+                c.raid.reconstructed_reads,
+                c.replica_failovers,
+                c.replica_reads,
+                c.rebuild.as_ref().map_or(0, |r| r.bytes_copied >> 10),
+                c.rebuild_pending,
+            );
+        }
+    }
+
+    let mut ok = true;
+    for (mode, h, c) in &rows {
+        if h.verify_failures + c.verify_failures > 0 {
+            eprintln!("!! {mode}: verify failures");
+            ok = false;
+        }
+        if matches!(mode, Redundancy::Replicated { .. }) {
+            if c.read_errors > 0 {
+                eprintln!(
+                    "!! {mode}: {} client-visible read errors (replication must mask the crash)",
+                    c.read_errors
+                );
+                ok = false;
+            }
+            if c.rebuild_pending > 0 {
+                eprintln!(
+                    "!! {mode}: rebuild queue did not drain ({} slots pending)",
+                    c.rebuild_pending
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// `paragonctl faults`: sweep the fault classes over one base experiment
 /// and report the robustness metrics side by side.
 fn faults_cmd(argv: Vec<String>) -> ExitCode {
@@ -685,6 +839,20 @@ fn faults_cmd(argv: Vec<String>) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
+    // `--redundancy all` is a faults-only axis value, so it is peeled
+    // off before `build_config` (whose parser would reject it).
+    let three_way = {
+        let pos = args
+            .0
+            .windows(2)
+            .position(|w| w[0] == "--redundancy" && w[1] == "all");
+        if let Some(i) = pos {
+            args.0.drain(i..i + 2);
+            true
+        } else {
+            false
+        }
+    };
     let mut base = match build_config(&mut args) {
         Ok(c) => c,
         Err(e) => return fail(e),
@@ -692,15 +860,18 @@ fn faults_cmd(argv: Vec<String>) -> ExitCode {
     if !args.0.is_empty() {
         return fail(format!("unrecognized arguments {:?}", args.0));
     }
+    base.verify_data = true;
+    if base.prefetch.is_none() {
+        base = base.with_prefetch();
+    }
+    if three_way {
+        return redundancy_sweep(&base, json);
+    }
     // The sweep compares like with like: every class (including the
     // fault-free baseline) runs with a parity member so dead-member reads
     // can reconstruct, with prefetching on so hit-rate degradation is
     // visible, and with data verification so silent corruption fails loud.
     base.calib.raid_parity = true;
-    base.verify_data = true;
-    if base.prefetch.is_none() {
-        base = base.with_prefetch();
-    }
 
     let mut results: Vec<(&'static str, RunResult)> = Vec::new();
     for (label, spec) in fault_classes(error_pm, drop_pm) {

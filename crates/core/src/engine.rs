@@ -251,16 +251,24 @@ impl PrefetchingFile {
                 // The speculation failed (injected fault, raced a
                 // truncate, …): quarantine the buffer and fall back to a
                 // demand read rather than surfacing a phantom error — the
-                // demand path carries its own retry policy.
-                {
-                    let mut st = self.stats.borrow_mut();
-                    st.misses += 1;
-                    st.wasted += 1;
-                }
+                // demand path carries its own retry policy and, on a
+                // replicated mount, replica failover.
+                self.stats.borrow_mut().wasted += 1;
                 self.note_prefetch_fault(entry.req, offset, len);
-                let data = self.file.transfer_read(offset, len).await?;
-                self.note_good_read();
-                Ok(data)
+                match self.file.transfer_read(offset, len).await {
+                    Ok(data) => {
+                        // Retried and served: the speculation covered
+                        // the access after all, so this is a recovered
+                        // hit, not a miss.
+                        self.stats.borrow_mut().recovered += 1;
+                        self.note_good_read();
+                        Ok(data)
+                    }
+                    Err(e) => {
+                        self.stats.borrow_mut().misses += 1;
+                        Err(e)
+                    }
+                }
             }
         }
     }

@@ -22,6 +22,12 @@ pub struct PrefetchStats {
     pub hits_inflight: u64,
     /// Demand reads with no matching prefetch buffer.
     pub misses: u64,
+    /// Demand reads whose prefetch buffer joined with an error but whose
+    /// retried fallback — riding the client's retry policy and, on a
+    /// replicated mount, replica failover — served the bytes anyway. The
+    /// speculation *did* cover the access, so these count as hits, not
+    /// misses; only a fallback that also fails is a miss.
+    pub recovered: u64,
     /// Prefetched buffers evicted or discarded unused.
     pub wasted: u64,
     /// Prefetches abandoned while still in flight at close (a subset of
@@ -51,9 +57,11 @@ pub struct PrefetchStats {
 }
 
 impl PrefetchStats {
-    /// Demand reads served from a prefetch buffer, any kind.
+    /// Demand reads the speculation covered, any kind: served straight
+    /// from a prefetch buffer, or recovered by the retried fallback
+    /// after the buffer joined with an error.
     pub fn hits(&self) -> u64 {
-        self.hits_ready + self.hits_inflight
+        self.hits_ready + self.hits_inflight + self.recovered
     }
 
     /// Demand reads observed.
@@ -88,6 +96,7 @@ impl PrefetchStats {
         self.hits_ready += other.hits_ready;
         self.hits_inflight += other.hits_inflight;
         self.misses += other.misses;
+        self.recovered += other.recovered;
         self.wasted += other.wasted;
         self.cancelled += other.cancelled;
         self.faults += other.faults;
@@ -126,6 +135,7 @@ mod tests {
             hits_ready: 3,
             hits_inflight: 4,
             misses: 5,
+            recovered: 1,
             wasted: 6,
             cancelled: 1,
             faults: 2,
@@ -145,6 +155,7 @@ mod tests {
         assert_eq!(a.resumes, 2);
         assert_eq!(a.throttled_skips, 6);
         assert_eq!(a.overlap_saved, SimDuration::from_millis(16));
-        assert_eq!(a.demand_reads(), 24);
+        assert_eq!(a.recovered, 2);
+        assert_eq!(a.demand_reads(), 26);
     }
 }

@@ -16,7 +16,9 @@
 //! * **X1** — cross-file exhaustiveness: every protocol request variant
 //!   has a handler arm, a trace mapping, and a `PfsError` channel; every
 //!   `EventKind` is in `ALL`, emitted somewhere, and named in
-//!   `workload/spans.rs`.
+//!   `workload/spans.rs`; every `Redundancy` mode is dispatched on
+//!   outside its declaration; every telemetry metric name is registered
+//!   or recorded.
 //! * **W1** — waiver hygiene: `// paragon-lint: allow(<rule>) — <why>`
 //!   must carry a justification.
 //!
@@ -109,11 +111,14 @@ const POINTER: &str = "crates/pfs/src/pointer.rs";
 const TRACE: &str = "crates/sim/src/trace.rs";
 const SPANS: &str = "crates/workload/src/spans.rs";
 const TELEMETRY: &str = "crates/workload/src/telemetry.rs";
+const REDUNDANCY: &str = "crates/pfs/src/redundancy.rs";
 
 /// Run X1 against the real workspace file set.
 fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
     let mut anchors = Vec::new();
-    for path in [PROTO, SERVER, PFS_FS, POINTER, TRACE, SPANS, TELEMETRY] {
+    for path in [
+        PROTO, SERVER, PFS_FS, POINTER, TRACE, SPANS, TELEMETRY, REDUNDANCY,
+    ] {
         match sources.get(path) {
             Some(src) => anchors.push(x1::prep(path, src)),
             None => {
@@ -140,8 +145,8 @@ fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
         })
         .map(|(rel, src)| x1::prep(rel, src))
         .collect();
-    let [proto, server, pfs_fs, pointer, trace, spans, telemetry] = &anchors[..] else {
-        unreachable!("anchors holds exactly seven entries");
+    let [proto, server, pfs_fs, pointer, trace, spans, telemetry, redundancy] = &anchors[..] else {
+        unreachable!("anchors holds exactly eight entries");
     };
     let mut findings = x1::check_x1(proto, &[server, pfs_fs], pointer, trace, spans, &emitters);
     // Metric-name vocabulary: users are every scanned source except the
@@ -155,6 +160,16 @@ fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
         .collect();
     let metric_users: Vec<&x1::Src> = metric_users.iter().collect();
     findings.extend(x1::check_x1_metric_names(telemetry, &metric_users));
+    // Redundancy-mode exhaustiveness: every mount-level redundancy mode
+    // must be dispatched on somewhere outside its declaring file (the
+    // experiment driver and the CLI are the expected sites).
+    let redundancy_users: Vec<x1::Src> = sources
+        .iter()
+        .filter(|(rel, _)| *rel != REDUNDANCY && !rel.starts_with("crates/lint/"))
+        .map(|(rel, src)| x1::prep(rel, src))
+        .collect();
+    let redundancy_users: Vec<&x1::Src> = redundancy_users.iter().collect();
+    findings.extend(x1::check_x1_redundancy(redundancy, &redundancy_users));
     findings
 }
 

@@ -290,6 +290,37 @@ pub fn check_x1_metric_names(telemetry: &Src, users: &[&Src]) -> Vec<Finding> {
     out
 }
 
+/// Redundancy-mode exhaustiveness: every variant of the mount-level
+/// `Redundancy` enum (`pfs/redundancy.rs`) must be dispatched on
+/// somewhere outside its declaring file — the experiment driver selects
+/// machine shape and recovery behavior per mode, and the CLI exposes the
+/// mode axis. A variant nobody matches is dead policy: selectable in a
+/// config yet silently behaving like another mode.
+pub fn check_x1_redundancy(redundancy: &Src, users: &[&Src]) -> Vec<Finding> {
+    let Some(info) = parse_enum(&redundancy.code, "Redundancy") else {
+        return vec![x1(
+            &redundancy.file,
+            1,
+            "cannot find `enum Redundancy` (the mount-level redundancy policy)".into(),
+        )];
+    };
+    let mut out = Vec::new();
+    for v in &info.variants {
+        let qualified = format!("Redundancy::{}", v.name);
+        if !users.iter().any(|s| has_word(&s.code, &qualified)) {
+            out.push(x1(
+                &redundancy.file,
+                v.line,
+                format!(
+                    "`{qualified}` is never dispatched on outside its declaration — \
+                     a redundancy mode nothing selects or handles is dead policy"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 fn x1(file: &str, line: usize, msg: String) -> Finding {
     Finding {
         rule: "X1",

@@ -5,7 +5,9 @@
 //! The fixture sources under `tests/fixtures/` are data, not code: they
 //! are never compiled, only fed to the linter as text.
 
-use paragon_lint::x1::{check_x1, check_x1_metric_names, prep, Src};
+use paragon_lint::x1::{
+    check_x1, check_x1_metric_names, check_x1_redundancy, parse_enum, prep, Src,
+};
 use paragon_lint::{findings_to_json, lint_file, lint_workspace, FileCfg, Finding};
 
 fn fixture(name: &str) -> String {
@@ -234,6 +236,70 @@ fn x1_metric_names_flag_unregistered_constants() {
     let telemetry = prep("telemetry.rs", &fixed);
     let f = check_x1_metric_names(&telemetry, &[&user]);
     assert!(f.is_empty(), "fixed fixture must be quiet: {f:#?}");
+}
+
+#[test]
+fn x1_redundancy_modes_must_be_dispatched_somewhere() {
+    let decl = x1_src("redundancy.rs");
+    let user = x1_src("redundancy_user.rs");
+
+    // Replicated is declared but dispatched on by nobody.
+    let f = check_x1_redundancy(&decl, &[&user]);
+    assert_eq!(pairs(&f), [("X1", 6)]);
+    assert!(f[0].msg.contains("Replicated"), "{}", f[0].msg);
+    assert!(
+        f[0].msg.contains("dead policy"),
+        "the finding must name the consequence: {}",
+        f[0].msg
+    );
+
+    // Adding the dispatch arm closes the finding.
+    let fixed = fixture("x1/redundancy_user.rs").replace(
+        "        Redundancy::ParityRaid => 1,\n",
+        "        Redundancy::ParityRaid => 1,\n        \
+         Redundancy::Replicated { rf } => rf as u32,\n",
+    );
+    let user = prep("redundancy_user.rs", &fixed);
+    let f = check_x1_redundancy(&decl, &[&user]);
+    assert!(f.is_empty(), "fixed fixture must be quiet: {f:#?}");
+}
+
+#[test]
+fn recovery_vocabulary_is_pinned_in_the_real_tree() {
+    // The replication/recovery surface ships as one vocabulary: the
+    // recovery trace kinds and the mount-level redundancy modes.
+    // Dropping or renaming any of them silently breaks committed traces
+    // and configs, so the exact names are pinned against the real tree.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let read = |rel: &str| std::fs::read_to_string(root.join(rel)).expect(rel);
+
+    let trace = prep("trace.rs", &read("crates/sim/src/trace.rs"));
+    let kinds = parse_enum(&trace.code, "EventKind").expect("EventKind parses");
+    for k in [
+        "ReplicaFailover",
+        "RebuildStart",
+        "RebuildCopy",
+        "RebuildDone",
+        "FaultNodeRecovered",
+    ] {
+        assert!(
+            kinds.variants.iter().any(|v| v.name == k),
+            "recovery trace kind `EventKind::{k}` is gone from sim/trace.rs"
+        );
+    }
+
+    let red = prep("redundancy.rs", &read("crates/pfs/src/redundancy.rs"));
+    let info = parse_enum(&red.code, "Redundancy").expect("Redundancy parses");
+    let names: Vec<&str> = info.variants.iter().map(|v| v.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["None", "ParityRaid", "Replicated"],
+        "the mount-level redundancy modes changed"
+    );
 }
 
 #[test]

@@ -1,0 +1,7 @@
+//! Fixture: mount-level redundancy policy with one dead mode.
+
+pub enum Redundancy {
+    None,
+    ParityRaid,
+    Replicated { rf: usize },
+}

@@ -1,0 +1,8 @@
+//! Fixture: the driver dispatches on two of the three modes.
+
+pub fn dispatch(r: Redundancy) -> u32 {
+    match r {
+        Redundancy::None => 0,
+        Redundancy::ParityRaid => 1,
+    }
+}

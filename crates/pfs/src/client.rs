@@ -9,12 +9,13 @@
 //! engine in `paragon-core` is built on [`PfsFile::transfer_read`] +
 //! [`PfsFile::advance_pointer`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
 use paragon_mesh::NodeId;
-use paragon_os::{ArtPool, AsyncHandle, RpcClient, RpcPolicy};
+use paragon_os::{ArtPool, AsyncHandle, RpcClient, RpcError, RpcPolicy};
 use paragon_sim::{ev, EventKind, ReqId, Sim, SimDuration, Track};
 
 use crate::meta::FileMeta;
@@ -56,6 +57,11 @@ pub struct ClientParams {
     /// reads and writes are idempotent, so a timed-out leg is re-sent;
     /// pointer operations are NOT retried (they move shared state).
     pub data_policy: RpcPolicy,
+    /// Mount-wide count of read legs that failed over to another
+    /// replica (replicated mounts; stays 0 otherwise).
+    pub replica_failovers: Rc<Cell<u64>>,
+    /// Mount-wide count of read legs served by a non-primary replica.
+    pub replica_reads: Rc<Cell<u64>>,
 }
 
 struct FileState {
@@ -84,6 +90,10 @@ pub struct PfsFile {
     size_at_open: u64,
     state: Rc<RefCell<FileState>>,
     stats: Rc<RefCell<ClientStats>>,
+    /// I/O nodes a replicated read leg of this handle saw fail. They are
+    /// deprioritized (not skipped — a recovered node serves again) so
+    /// only the first read through a dead node pays the full timeout.
+    suspects: Rc<RefCell<BTreeSet<usize>>>,
 }
 
 impl PfsFile {
@@ -122,6 +132,7 @@ impl PfsFile {
                 local_offset: 0,
             })),
             stats: Rc::new(RefCell::new(ClientStats::default())),
+            suspects: Rc::new(RefCell::new(BTreeSet::new())),
         }
     }
 
@@ -407,11 +418,8 @@ impl PfsFile {
         let policy = self.params.data_policy;
         let mut handles = Vec::with_capacity(plan.len());
         for sreq in plan {
-            let (ion, _) = self.meta.slot(sreq.slot as u16)?;
-            let dst = *self.io_node_ids.get(ion).ok_or(PfsError::BadSlot {
-                slot: sreq.slot as u16,
-                factor: self.io_node_ids.len(),
-            })?;
+            let (primary, _) = self.meta.slot(sreq.slot as u16)?;
+            let copies = self.meta.readable_replicas(sreq.slot as u16)?;
             let rpc = self.rpc.clone();
             let msg = PfsRequest::Read {
                 req,
@@ -423,12 +431,78 @@ impl PfsFile {
                 shared,
                 global_parties,
             };
-            // Positioned reads are idempotent: re-sending one under the
-            // retry policy is safe.
+            if copies.len() <= 1 {
+                let dst = *self.io_node_ids.get(primary).ok_or(PfsError::BadSlot {
+                    slot: sreq.slot as u16,
+                    factor: self.io_node_ids.len(),
+                })?;
+                // Positioned reads are idempotent: re-sending one under the
+                // retry policy is safe.
+                handles.push((
+                    sreq,
+                    self.sim.spawn_named("pfs-read-leg", async move {
+                        rpc.call_policy(dst, msg, policy).await
+                    }),
+                ));
+                continue;
+            }
+            // Replicated: deterministic read-from-any. Candidate order is
+            // primary first, then the other copies in placement order,
+            // with this handle's suspect nodes demoted to the back (kept,
+            // not skipped — a recovered node serves again). Non-final
+            // candidates get a single attempt so a dead node costs one
+            // timeout; the final candidate keeps the full retry budget.
+            let mut order: Vec<(usize, NodeId)> = Vec::with_capacity(copies.len());
+            {
+                let suspects = self.suspects.borrow();
+                for pass in [false, true] {
+                    for c in copies.iter().filter(|c| suspects.contains(&c.ion) == pass) {
+                        let dst = *self.io_node_ids.get(c.ion).ok_or(PfsError::BadSlot {
+                            slot: sreq.slot as u16,
+                            factor: self.io_node_ids.len(),
+                        })?;
+                        order.push((c.ion, dst));
+                    }
+                }
+            }
+            let sim = self.sim.clone();
+            let suspects = self.suspects.clone();
+            let params = self.params.clone();
+            let slot = sreq.slot as u64;
             handles.push((
                 sreq,
                 self.sim.spawn_named("pfs-read-leg", async move {
-                    rpc.call_policy(dst, msg, policy).await
+                    let single = RpcPolicy {
+                        retries: 0,
+                        ..policy
+                    };
+                    let last = order.len().saturating_sub(1);
+                    for (k, &(ion, dst)) in order.iter().enumerate() {
+                        let attempt = if k == last { policy } else { single };
+                        let res = rpc.call_policy(dst, msg.clone(), attempt).await;
+                        if matches!(res, Ok(PfsResponse::Data(Ok(_)))) {
+                            if ion != primary {
+                                params.replica_reads.set(params.replica_reads.get() + 1);
+                            }
+                            return res;
+                        }
+                        if k < last && failover_worthy(&res) {
+                            suspects.borrow_mut().insert(ion);
+                            params
+                                .replica_failovers
+                                .set(params.replica_failovers.get() + 1);
+                            if let Some(&(next, _)) = order.get(k + 1) {
+                                sim.emit(|| {
+                                    ev(cn, EventKind::ReplicaFailover, req, slot, next as u64)
+                                });
+                            }
+                            continue;
+                        }
+                        return res;
+                    }
+                    // Unreachable (the final candidate always returns),
+                    // kept for totality.
+                    Err(RpcError::Dropped)
                 }),
             ));
         }
@@ -569,11 +643,7 @@ impl PfsFile {
         let policy = self.params.data_policy;
         let mut handles = Vec::with_capacity(plan.len());
         for sreq in plan {
-            let (ion, _) = self.meta.slot(sreq.slot as u16)?;
-            let dst = *self.io_node_ids.get(ion).ok_or(PfsError::BadSlot {
-                slot: sreq.slot as u16,
-                factor: self.io_node_ids.len(),
-            })?;
+            let copies = self.meta.readable_replicas(sreq.slot as u16)?;
             // Gather the logical pieces into one contiguous slot buffer.
             // A single piece is already contiguous — share the slice.
             let single = if sreq.pieces.len() == 1 {
@@ -593,35 +663,63 @@ impl PfsFile {
                 }
                 buf.freeze()
             };
-            let rpc = self.rpc.clone();
-            let msg = PfsRequest::Write {
-                req,
-                file: self.meta.id,
-                slot: sreq.slot as u16,
-                offset: sreq.slot_offset,
-                data: payload,
-                fast_path: self.fast_path,
-                shared,
-            };
-            // Positioned writes are idempotent (same bytes, same offset),
-            // so re-sending one under the retry policy is safe.
-            handles.push(self.sim.spawn_named("pfs-write-leg", async move {
-                rpc.call_policy(dst, msg, policy).await
-            }));
+            // One leg per readable copy (a single-copy slot is exactly the
+            // old path). Positioned writes are idempotent (same bytes,
+            // same offset), so re-sending one under the retry policy is
+            // safe — and so is fanning the same payload to every copy.
+            let mut legs = Vec::with_capacity(copies.len());
+            for copy in &copies {
+                let dst = *self.io_node_ids.get(copy.ion).ok_or(PfsError::BadSlot {
+                    slot: sreq.slot as u16,
+                    factor: self.io_node_ids.len(),
+                })?;
+                let rpc = self.rpc.clone();
+                let msg = PfsRequest::Write {
+                    req,
+                    file: self.meta.id,
+                    slot: sreq.slot as u16,
+                    offset: sreq.slot_offset,
+                    data: payload.clone(),
+                    fast_path: self.fast_path,
+                    shared,
+                };
+                legs.push(self.sim.spawn_named("pfs-write-leg", async move {
+                    rpc.call_policy(dst, msg, policy).await
+                }));
+            }
+            handles.push(legs);
         }
         let mut first_err = None;
-        for h in handles {
-            match h.await {
-                Ok(PfsResponse::WriteAck(Ok(_))) => {}
-                Ok(PfsResponse::WriteAck(Err(e))) => {
-                    first_err.get_or_insert(e);
+        for legs in handles {
+            // A replicated slot write succeeds when its primary copy acks
+            // or a majority of copies ack; every leg is still joined so no
+            // task is left writing after an early error. A single-copy
+            // slot needs its one leg — exactly the old semantics.
+            let quorum = legs.len() / 2 + 1;
+            let mut acked = 0usize;
+            let mut primary_acked = false;
+            let mut leg_err = None;
+            for (k, h) in legs.into_iter().enumerate() {
+                match h.await {
+                    Ok(PfsResponse::WriteAck(Ok(_))) => {
+                        acked += 1;
+                        if k == 0 {
+                            primary_acked = true;
+                        }
+                    }
+                    Ok(PfsResponse::WriteAck(Err(e))) => {
+                        leg_err.get_or_insert(e);
+                    }
+                    Ok(_) => {
+                        leg_err.get_or_insert(PfsError::BadReply);
+                    }
+                    Err(e) => {
+                        leg_err.get_or_insert(e.into());
+                    }
                 }
-                Ok(_) => {
-                    first_err.get_or_insert(PfsError::BadReply);
-                }
-                Err(e) => {
-                    first_err.get_or_insert(e.into());
-                }
+            }
+            if acked < quorum && !primary_acked {
+                first_err.get_or_insert(leg_err.unwrap_or(PfsError::BadReply));
             }
         }
         if let Some(e) = first_err {
@@ -649,5 +747,23 @@ impl PfsFile {
             self.ptr(PtrRequest::Rewind { file: self.meta.id }).await?;
         }
         Ok(())
+    }
+}
+
+/// Should a failed replicated read leg try the next copy? Transport
+/// failures and node/device unavailability are what replication covers;
+/// logical errors (bad slot, unknown file, protocol violations) would
+/// fail identically everywhere, so they are reported as-is.
+fn failover_worthy(res: &Result<PfsResponse, RpcError>) -> bool {
+    match res {
+        Err(_) => true,
+        Ok(PfsResponse::Data(Err(e))) => matches!(
+            e,
+            PfsError::Timeout
+                | PfsError::IoNodeDown
+                | PfsError::DiskError(_)
+                | PfsError::TooManyRetries { .. }
+        ),
+        Ok(_) => false,
     }
 }

@@ -18,15 +18,16 @@ use paragon_os::{ArtConfig, ArtPool, ArtStats, RpcClient, RpcNet, RpcPolicy};
 use paragon_sim::Sim;
 
 use crate::client::{ClientParams, OpenOptions, PfsFile};
-use crate::meta::{FileMeta, Registry};
+use crate::meta::{FileMeta, Registry, Replica};
 use crate::modes::IoMode;
 use crate::pointer::{PointerServer, PointerStats};
 use crate::proto::{PfsError, PfsFileId, PfsRequest, PfsResponse};
+use crate::redundancy::Redundancy;
 use crate::server::{IonServer, ServerParams, ServerStats};
 use crate::stripe::StripeAttrs;
 
 /// One compute node's RPC endpoint and ART pool.
-type NodeEndpoint = (RpcClient<PfsRequest, PfsResponse>, ArtPool);
+pub(crate) type NodeEndpoint = (RpcClient<PfsRequest, PfsResponse>, ArtPool);
 
 /// A mounted PFS. One per machine.
 pub struct ParallelFs {
@@ -40,12 +41,30 @@ pub struct ParallelFs {
     /// Lazily-created per-rank client endpoints and ART pools (one mailbox
     /// and one active list per compute node).
     clients: RefCell<BTreeMap<usize, NodeEndpoint>>,
+    /// Mount-level redundancy policy (`Replicated` places extra copies).
+    redundancy: Redundancy,
+    /// Stripe slots awaiting re-replication; polled live by telemetry.
+    rebuild_pending: Rc<Cell<u64>>,
+    /// Cumulative bytes copied by recovery coordinators.
+    rebuild_bytes: Rc<Cell<u64>>,
+    /// Cumulative reads that failed over to a non-primary replica.
+    replica_failovers: Rc<Cell<u64>>,
+    /// Cumulative reads served by a non-primary replica.
+    replica_reads: Rc<Cell<u64>>,
 }
 
 impl ParallelFs {
-    /// Mount a PFS on `machine`: starts the I/O-node servers and the
-    /// pointer server.
+    /// Mount a PFS on `machine` with single-copy striping (the paper's
+    /// layout): starts the I/O-node servers and the pointer server.
     pub fn new(machine: Rc<Machine>) -> Rc<Self> {
+        Self::new_with_redundancy(machine, Redundancy::None)
+    }
+
+    /// Mount with an explicit redundancy policy. `Replicated { rf }`
+    /// places `rf` copies of every stripe slot on `rf` distinct I/O
+    /// nodes; `None`/`ParityRaid` behave exactly like [`ParallelFs::new`]
+    /// (parity membership is a machine-calibration matter).
+    pub fn new_with_redundancy(machine: Rc<Machine>, redundancy: Redundancy) -> Rc<Self> {
         let sim = machine.sim().clone();
         let calib = machine.calib().clone();
         let rpc: RpcNet<PfsRequest, PfsResponse> =
@@ -95,6 +114,10 @@ impl ParallelFs {
                 .map(|i| machine.io_node(i))
                 .collect(),
         );
+        assert!(
+            redundancy.replication_factor() <= machine.io_nodes(),
+            "replication factor exceeds the I/O-node count"
+        );
         Rc::new(ParallelFs {
             sim,
             machine,
@@ -104,7 +127,71 @@ impl ParallelFs {
             servers,
             io_node_ids,
             clients: RefCell::new(BTreeMap::new()),
+            redundancy,
+            rebuild_pending: Rc::new(Cell::new(0)),
+            rebuild_bytes: Rc::new(Cell::new(0)),
+            replica_failovers: Rc::new(Cell::new(0)),
+            replica_reads: Rc::new(Cell::new(0)),
         })
+    }
+
+    /// The mount's redundancy policy.
+    pub fn redundancy(&self) -> Redundancy {
+        self.redundancy
+    }
+
+    /// Live count of stripe slots awaiting re-replication (telemetry
+    /// gauge; zero whenever no rebuild is in progress).
+    pub fn rebuild_pending_cell(&self) -> Rc<Cell<u64>> {
+        self.rebuild_pending.clone()
+    }
+
+    /// Cumulative bytes copied by recovery coordinators.
+    pub fn rebuild_bytes_cell(&self) -> Rc<Cell<u64>> {
+        self.rebuild_bytes.clone()
+    }
+
+    /// Cumulative reads that failed over to a non-primary replica.
+    pub fn replica_failovers_cell(&self) -> Rc<Cell<u64>> {
+        self.replica_failovers.clone()
+    }
+
+    /// Cumulative reads served by a non-primary replica.
+    pub fn replica_reads_cell(&self) -> Rc<Cell<u64>> {
+        self.replica_reads.clone()
+    }
+
+    pub(crate) fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    pub(crate) fn registry(&self) -> &Rc<RefCell<Registry>> {
+        &self.registry
+    }
+
+    /// The extra replica I/O nodes of one stripe slot whose primary is
+    /// `primary`: `rf - 1` distinct I/O nodes, preferring nodes *outside*
+    /// the stripe group — they serve no primary slot, so when a group
+    /// member crashes its failover traffic lands on spare capacity
+    /// instead of doubling a neighbour's load. Spares are rotated per
+    /// primary so consecutive slots spread over different spares; when
+    /// the group covers the whole machine the placement degrades to the
+    /// next distinct nodes cyclically. Deterministic either way.
+    fn replica_ions(&self, primary: usize, group: &[usize]) -> Vec<usize> {
+        let ions = self.machine.io_nodes();
+        let rf = self.redundancy.replication_factor();
+        let (mut spare, loaded): (Vec<usize>, Vec<usize>) = (1..ions)
+            .map(|d| (primary + d) % ions)
+            .partition(|ion| !group.contains(ion));
+        if !spare.is_empty() {
+            let rot = primary % spare.len();
+            spare.rotate_left(rot);
+        }
+        spare
+            .into_iter()
+            .chain(loaded)
+            .take(rf.saturating_sub(1))
+            .collect()
     }
 
     /// The machine this PFS is mounted on.
@@ -119,6 +206,7 @@ impl ParallelFs {
             "stripe group references a nonexistent I/O node"
         );
         let mut slots = Vec::with_capacity(attrs.factor());
+        let mut replicas = Vec::with_capacity(attrs.factor());
         for (slot, &ion) in attrs.group.iter().enumerate() {
             let inode = self
                 .machine
@@ -127,8 +215,30 @@ impl ParallelFs {
                 .await
                 .map_err(PfsError::from)?;
             slots.push((ion, inode));
+            let mut copies = vec![Replica {
+                ion,
+                inode,
+                ready: true,
+            }];
+            for (k, rion) in self.replica_ions(ion, &attrs.group).into_iter().enumerate() {
+                let rinode = self
+                    .machine
+                    .ufs(rion)
+                    .create(&format!("{name}.{slot}.r{}", k + 1))
+                    .await
+                    .map_err(PfsError::from)?;
+                copies.push(Replica {
+                    ion: rion,
+                    inode: rinode,
+                    ready: true,
+                });
+            }
+            replicas.push(copies);
         }
-        Ok(self.registry.borrow_mut().insert(name, attrs, slots))
+        Ok(self
+            .registry
+            .borrow_mut()
+            .insert_replicated(name, attrs, slots, replicas))
     }
 
     /// Create with the mount's default layout: striped once across the
@@ -191,13 +301,17 @@ impl ParallelFs {
             if buf.is_empty() {
                 continue;
             }
-            // paragon-lint: allow(P1) — slot enumerates slot_bufs, built
-            // with exactly meta.attrs.factor() == meta.slots.len() entries
-            let (ion, inode) = meta.slots[slot];
-            let ufs = self.machine.ufs(ion).clone();
-            handles.push(self.sim.spawn_named("populate-slot", async move {
-                ufs.write(inode, 0, buf.freeze()).await
-            }));
+            let data = buf.freeze();
+            // Every copy of the slot gets the identical content (the
+            // primary first, extra replicas after — one write task per
+            // copy, so replicated populates still overlap across nodes).
+            for copy in meta.slot_replicas(slot as u16)? {
+                let ufs = self.machine.ufs(copy.ion).clone();
+                let data = data.clone();
+                handles.push(self.sim.spawn_named("populate-slot", async move {
+                    ufs.write(copy.inode, 0, data).await
+                }));
+            }
         }
         for h in handles {
             h.await.map_err(PfsError::from)?;
@@ -210,12 +324,14 @@ impl ParallelFs {
     /// be used afterwards (their requests will fail with `UnknownFile`).
     pub async fn remove(&self, file: PfsFileId) -> Result<(), PfsError> {
         let meta = self.registry.borrow_mut().remove(file)?;
-        for (ion, inode) in meta.slots {
-            self.machine
-                .ufs(ion)
-                .remove(inode)
-                .await
-                .map_err(PfsError::from)?;
+        for slot in 0..meta.slots.len() {
+            for copy in meta.slot_replicas(slot as u16)? {
+                self.machine
+                    .ufs(copy.ion)
+                    .remove(copy.inode)
+                    .await
+                    .map_err(PfsError::from)?;
+            }
         }
         Ok(())
     }
@@ -286,6 +402,8 @@ impl ParallelFs {
                     calib.rpc_retries,
                     calib.rpc_backoff,
                 ),
+                replica_failovers: self.replica_failovers.clone(),
+                replica_reads: self.replica_reads.clone(),
             },
             meta,
             self.io_node_ids.clone(),
@@ -300,7 +418,7 @@ impl ParallelFs {
 
     /// The RPC endpoint + ART pool of compute node `rank`, created on
     /// first use (one mailbox per node).
-    fn node_endpoint(&self, rank: usize) -> NodeEndpoint {
+    pub(crate) fn node_endpoint(&self, rank: usize) -> NodeEndpoint {
         let mut clients = self.clients.borrow_mut();
         let calib = self.machine.calib();
         clients

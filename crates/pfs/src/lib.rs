@@ -43,14 +43,18 @@ mod meta;
 mod modes;
 mod pointer;
 mod proto;
+mod rebuild;
+mod redundancy;
 mod server;
 mod stripe;
 
 pub use client::{ClientParams, ClientStats, OpenOptions, PfsFile};
 pub use fs::{pattern_byte, pattern_slice, ParallelFs};
-pub use meta::{FileMeta, Registry};
+pub use meta::{FileMeta, Registry, Replica};
 pub use modes::IoMode;
 pub use pointer::{PointerServer, PointerStats};
 pub use proto::{PfsError, PfsFileId, PfsRequest, PfsResponse, PtrRequest};
+pub use rebuild::{rebuild_after_crash, RebuildConfig, RebuildStats};
+pub use redundancy::Redundancy;
 pub use server::{IonServer, ServerParams, ServerStats};
 pub use stripe::{SlotRequest, StripeAttrs, StripePiece};

@@ -217,13 +217,11 @@ impl IonServer {
     fn resolve(&self, file: PfsFileId, slot: u16) -> Result<paragon_ufs::InodeId, PfsError> {
         let registry = self.registry.borrow();
         let meta = registry.get(file)?;
-        let (ion, inode) = meta.slot(slot)?;
-        assert_eq!(
-            ion, self.ion_index,
-            "slot {slot} of file {} routed to the wrong I/O node",
-            file.0
-        );
-        Ok(inode)
+        // Replica-aware: serve whichever copy of the slot lives here
+        // (staging copies included, so rebuild writes land). A request
+        // routed to a node holding no copy is a `BadSlot` error reply,
+        // not a crash.
+        meta.inode_on(slot, self.ion_index)
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -192,6 +192,21 @@ impl FaultPlan {
             .insert(node, (from, until));
     }
 
+    /// Explicitly recover `node` at `now`: its crash window is removed
+    /// (not merely aged out), so rejoining is a recorded state change —
+    /// the harness emits `FaultNodeRecovered` at this moment — rather
+    /// than something inferred from the configured window bound. Returns
+    /// how long the node was degraded (window start to `now`), or `None`
+    /// when no window was registered.
+    pub fn recover_node(&self, node: u16, now: SimTime) -> Option<SimDuration> {
+        let (from, _) = self.state.borrow_mut().crash_windows.remove(&node)?;
+        Some(if now >= from {
+            now - from
+        } else {
+            SimDuration::ZERO
+        })
+    }
+
     // ---- queries (called from the model layers) ------------------------
 
     /// Consult the plan for one disk *read* on track `disk`. Order of
@@ -420,5 +435,24 @@ mod tests {
         assert_eq!(plan.mesh_verdict(0, 5, until), MeshVerdict::Deliver);
         assert_eq!(plan.stats().node_down_drops, 2);
         assert_eq!(plan.crash_window(5), Some((from, until)));
+    }
+
+    #[test]
+    fn recover_node_closes_the_window_explicitly() {
+        let plan = FaultPlan::new(2);
+        let from = SimTime::ZERO + SimDuration::from_millis(10);
+        let until = SimTime::ZERO + SimDuration::from_millis(20);
+        plan.crash_node(5, from, until);
+        plan.arm();
+        let mid = SimTime::ZERO + SimDuration::from_millis(15);
+        assert!(plan.node_down(5, mid));
+        assert_eq!(plan.recover_node(5, mid), Some(SimDuration::from_millis(5)));
+        assert!(!plan.node_down(5, mid), "recovered node serves again");
+        assert_eq!(plan.crash_window(5), None);
+        assert_eq!(
+            plan.recover_node(5, mid),
+            None,
+            "second recovery is a no-op"
+        );
     }
 }

@@ -173,13 +173,28 @@ pub enum EventKind {
     PrefetchThrottle,
     /// The prefetch engine re-enabled after a clean demand read.
     PrefetchResume,
+    /// Replicated read fell over to another copy of the slot
+    /// (`a`=slot, `b`=replica index served next).
+    ReplicaFailover,
+    /// Recovery coordinator began re-replicating after an I/O-node crash
+    /// (`a`=under-replicated stripe slots, `b`=crashed node id).
+    RebuildStart,
+    /// One stripe slot's lost copy was re-replicated to a surviving
+    /// I/O node (`a`=slot, `b`=bytes copied).
+    RebuildCopy,
+    /// Recovery coordinator drained its queue — full redundancy restored
+    /// (`a`=slots copied, `b`=bytes copied).
+    RebuildDone,
+    /// A crash window was explicitly closed and the node rejoined
+    /// (`a`=node id, `b`=degraded nanoseconds).
+    FaultNodeRecovered,
 }
 
 impl EventKind {
     /// Every kind, in hash/serialization order. New kinds are appended —
     /// [`EventKind::code`] is positional, so the existing order is frozen
     /// to keep old trace hashes stable.
-    pub const ALL: [EventKind; 35] = [
+    pub const ALL: [EventKind; 40] = [
         EventKind::ReadStart,
         EventKind::ReadDone,
         EventKind::WriteStart,
@@ -215,6 +230,11 @@ impl EventKind {
         EventKind::PrefetchFault,
         EventKind::PrefetchThrottle,
         EventKind::PrefetchResume,
+        EventKind::ReplicaFailover,
+        EventKind::RebuildStart,
+        EventKind::RebuildCopy,
+        EventKind::RebuildDone,
+        EventKind::FaultNodeRecovered,
     ];
 
     /// Stable wire name.
@@ -255,6 +275,11 @@ impl EventKind {
             EventKind::PrefetchFault => "pf-fault",
             EventKind::PrefetchThrottle => "pf-throttle",
             EventKind::PrefetchResume => "pf-resume",
+            EventKind::ReplicaFailover => "replica-failover",
+            EventKind::RebuildStart => "rebuild-start",
+            EventKind::RebuildCopy => "rebuild-copy",
+            EventKind::RebuildDone => "rebuild-done",
+            EventKind::FaultNodeRecovered => "fault-node-recovered",
         }
     }
 

@@ -8,7 +8,7 @@
 
 use paragon_core::PrefetchConfig;
 use paragon_machine::Calibration;
-use paragon_pfs::{IoMode, StripeAttrs};
+use paragon_pfs::{IoMode, Redundancy, StripeAttrs};
 use paragon_sim::SimDuration;
 
 /// How the shared file is striped.
@@ -118,6 +118,12 @@ pub struct ExperimentConfig {
     pub trace_cap: usize,
     /// Faults to inject during the measured phase.
     pub faults: FaultSpec,
+    /// Mount-level redundancy: single-copy striping (`None`, the paper's
+    /// layout), per-I/O-node parity RAID (`ParityRaid`, forces
+    /// `calib.raid_parity`), or cross-I/O-node replication
+    /// (`Replicated { rf }`; an I/O-node crash triggers online
+    /// re-replication under the foreground load).
+    pub redundancy: Redundancy,
     /// Sample telemetry gauges every this much simulated time during the
     /// measured phase; `None` = telemetry off (zero overhead, unchanged
     /// event stream).
@@ -148,6 +154,7 @@ impl ExperimentConfig {
             verify_data: false,
             trace_cap: 0,
             faults: FaultSpec::default(),
+            redundancy: Redundancy::None,
             metrics_cadence: None,
         }
     }
@@ -210,6 +217,14 @@ impl ExperimentConfig {
                 "M_RECORD needs the file to tile into whole collective rounds"
             );
         }
+        if let Redundancy::Replicated { rf } = self.redundancy {
+            assert!(rf >= 2, "replication factor below 2 is not replication");
+            assert!(
+                rf <= self.io_nodes,
+                "replication factor {rf} exceeds {} I/O nodes",
+                self.io_nodes
+            );
+        }
     }
 }
 
@@ -260,6 +275,14 @@ mod tests {
     fn m_record_rejects_ragged_files() {
         let mut cfg = ExperimentConfig::paper_iobound(64 * 1024, 8);
         cfg.file_size += 1;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn replication_factor_must_fit_the_machine() {
+        let mut cfg = ExperimentConfig::paper_iobound(64 * 1024, 8);
+        cfg.redundancy = Redundancy::Replicated { rf: 9 };
         cfg.validate();
     }
 

@@ -16,7 +16,8 @@ use std::cell::Cell;
 use paragon_core::{PrefetchGauges, PrefetchStats, PrefetchingFile};
 use paragon_machine::{Machine, MachineConfig};
 use paragon_pfs::{
-    pattern_byte, pattern_slice, IoMode, OpenOptions, ParallelFs, PfsFile, PfsFileId,
+    pattern_byte, pattern_slice, rebuild_after_crash, IoMode, OpenOptions, ParallelFs, PfsFile,
+    PfsFileId, RebuildConfig, RebuildStats, Redundancy,
 };
 use paragon_sim::{ev, EventKind, Sim, SimDuration, SimTime, Track};
 
@@ -34,15 +35,21 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
     if cfg.trace_cap > 0 {
         sim.tracer().arm(cfg.trace_cap);
     }
+    let mut calib = cfg.calib.clone();
+    if cfg.redundancy == Redundancy::ParityRaid {
+        // Parity redundancy is a per-I/O-node RAID property; selecting it
+        // at the mount level forces the calibration's parity member on.
+        calib.raid_parity = true;
+    }
     let machine = Rc::new(Machine::new(
         &sim,
         MachineConfig {
             compute_nodes: cfg.compute_nodes,
             io_nodes: cfg.io_nodes,
-            calib: cfg.calib.clone(),
+            calib,
         },
     ));
-    let pfs = ParallelFs::new(machine.clone());
+    let pfs = ParallelFs::new_with_redundancy(machine.clone(), cfg.redundancy);
     let telemetry = cfg
         .metrics_cadence
         .map(|cadence| Telemetry::new(&sim, &machine, &pfs, cadence));
@@ -55,15 +62,38 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
 
     let out: DriverOutput = Rc::new(RefCell::new(None));
     let out2 = out.clone();
+    let rebuild_out: Rc<RefCell<Option<RebuildStats>>> = Rc::new(RefCell::new(None));
+    let rebuild_out2 = rebuild_out.clone();
     let cfg2 = cfg.clone();
     let sim2 = sim.clone();
     let machine2 = machine.clone();
     let telemetry2 = telemetry.clone();
+    let replica_failovers = pfs.replica_failovers_cell();
+    let replica_reads = pfs.replica_reads_cell();
+    let rebuild_pending = pfs.rebuild_pending_cell();
     sim.spawn_named("experiment-driver", async move {
         let files = setup_files(&pfs, &cfg2).await;
         // Setup never draws a fault: the plan is configured and armed
         // only once the files exist, right at the measured phase's start.
         arm_faults(&sim2, &machine2, &cfg2.faults);
+        if let (Redundancy::Replicated { .. }, Some((ion, from, _))) =
+            (cfg2.redundancy, cfg2.faults.ion_crash)
+        {
+            // Recovery coordinator: wakes when the node drops and
+            // re-replicates every slot that lost a copy, token-bucket
+            // throttled, through the normal RPC path — while the
+            // foreground programs keep reading.
+            let sim3 = sim2.clone();
+            let pfs3 = pfs.clone();
+            let deposit = rebuild_out2.clone();
+            sim2.spawn_named("rebuild-coordinator", async move {
+                sim3.sleep(from).await;
+                let stats = rebuild_after_crash(&pfs3, ion, RebuildConfig::default())
+                    .await
+                    .expect("online re-replication failed");
+                *deposit.borrow_mut() = Some(stats);
+            });
+        }
         let t0 = sim2.now();
         // Timeline marker: the measured phase starts here; everything
         // before it is testbed setup the paper's clock never sees.
@@ -162,6 +192,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         }
         t.snapshot()
     });
+    let rebuild = rebuild_out.borrow_mut().take();
     RunResult {
         read_errors: per_node.iter().map(|n| n.read_errors).sum(),
         per_node,
@@ -174,6 +205,10 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         fault: sim.faults().stats(),
         raid,
         disk,
+        rebuild,
+        rebuild_pending: rebuild_pending.get(),
+        replica_failovers: replica_failovers.get(),
+        replica_reads: replica_reads.get(),
         trace,
         metrics,
     }
@@ -219,12 +254,29 @@ fn arm_faults(sim: &Sim, machine: &Machine, spec: &FaultSpec) {
         let now = sim.now();
         faults.crash_node(node, now + from, now + until);
         // Timeline markers so trace analysis can see the window edges.
+        // The node's return is an *explicit* state change: the marker
+        // task removes the crash window from the plan and records the
+        // degraded duration it measured, rather than letting the window
+        // silently age out at its configured bound.
         let marker_sim = sim.clone();
+        let marker_faults = faults.clone();
         sim.spawn_named("fault-window-marker", async move {
             marker_sim.sleep(from).await;
             marker_sim.emit(|| ev(Track::Sys, EventKind::FaultNodeDown, 0, node as u64, 0));
             marker_sim.sleep(until - from).await;
             marker_sim.emit(|| ev(Track::Sys, EventKind::FaultNodeUp, 0, node as u64, 0));
+            let degraded = marker_faults
+                .recover_node(node, marker_sim.now())
+                .unwrap_or(SimDuration::ZERO);
+            marker_sim.emit(|| {
+                ev(
+                    Track::Sys,
+                    EventKind::FaultNodeRecovered,
+                    0,
+                    node as u64,
+                    degraded.as_nanos(),
+                )
+            });
         });
     }
     faults.arm();
@@ -484,6 +536,7 @@ mod tests {
             verify_data: true,
             trace_cap: 0,
             faults: FaultSpec::default(),
+            redundancy: paragon_pfs::Redundancy::None,
             metrics_cadence: None,
         }
     }
@@ -623,9 +676,23 @@ mod tests {
         // The run completes and surviving reads are pattern-correct.
         assert_eq!(faulty.verify_failures, 0);
         assert!(faulty.prefetch.faults > 0, "no prefetch ever hit a fault");
+        // A faulted prefetch wastes its buffer; the demand read that
+        // retries and serves the bytes anyway is credited as a
+        // *recovered* hit, so the hit ratio holds while the waste and
+        // recovery counters record the damage.
         assert!(
-            faulty.prefetch.hit_ratio() < clean.prefetch.hit_ratio(),
-            "hit ratio must degrade: clean {:.2} vs faulty {:.2}",
+            faulty.prefetch.recovered > 0,
+            "no faulted prefetch recovered"
+        );
+        assert!(
+            faulty.prefetch.wasted > clean.prefetch.wasted,
+            "faults must waste prefetch buffers: clean {} vs faulty {}",
+            clean.prefetch.wasted,
+            faulty.prefetch.wasted
+        );
+        assert!(
+            faulty.prefetch.hit_ratio() <= clean.prefetch.hit_ratio(),
+            "recovered hits must not inflate the ratio past clean: clean {:.2} vs faulty {:.2}",
             clean.prefetch.hit_ratio(),
             faulty.prefetch.hit_ratio()
         );

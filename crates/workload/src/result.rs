@@ -87,6 +87,16 @@ pub struct RunResult {
     /// Aggregate disk counters across every I/O node's array (includes
     /// the setup phase's populate writes).
     pub disk: DiskStats,
+    /// Recovery-coordinator counters (`None` unless a replicated run's
+    /// I/O-node crash triggered online re-replication).
+    pub rebuild: Option<paragon_pfs::RebuildStats>,
+    /// Stripe slots still awaiting re-replication when the simulation
+    /// drained — must be 0 whenever a rebuild ran to completion.
+    pub rebuild_pending: u64,
+    /// Reads that failed over from one replica to another.
+    pub replica_failovers: u64,
+    /// Reads served by a non-primary replica.
+    pub replica_reads: u64,
     /// Trace events (empty unless `trace_cap` was set in the config).
     pub trace: Vec<TraceEvent>,
     /// Telemetry snapshot (`None` unless `metrics_cadence` was set).
@@ -179,6 +189,10 @@ mod tests {
             fault: FaultStats::default(),
             raid: RaidStats::default(),
             disk: DiskStats::default(),
+            rebuild: None,
+            rebuild_pending: 0,
+            replica_failovers: 0,
+            replica_reads: 0,
             trace: Vec::new(),
             metrics: None,
         };
@@ -201,6 +215,10 @@ mod tests {
             fault: FaultStats::default(),
             raid: RaidStats::default(),
             disk: DiskStats::default(),
+            rebuild: None,
+            rebuild_pending: 0,
+            replica_failovers: 0,
+            replica_reads: 0,
             trace: Vec::new(),
             metrics: None,
         };

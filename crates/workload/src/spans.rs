@@ -133,8 +133,39 @@ pub fn kind_class(kind: EventKind) -> KindClass {
         | EventKind::RaidReconstruct
         | EventKind::PrefetchFault
         | EventKind::PrefetchThrottle
-        | EventKind::PrefetchResume => KindClass::Fault,
+        | EventKind::PrefetchResume
+        | EventKind::ReplicaFailover
+        | EventKind::RebuildStart
+        | EventKind::RebuildCopy
+        | EventKind::RebuildDone
+        | EventKind::FaultNodeRecovered => KindClass::Fault,
     }
+}
+
+/// Degraded windows of a recording: for each `fault-node-down` marker,
+/// the interval to the matching explicit `fault-node-recovered` event on
+/// the same node, measured *directly from the trace* rather than
+/// inferred from the fault plan's configured window bound. Nodes still
+/// down when recording stopped yield `None` ends.
+pub fn degraded_windows(events: &[TraceEvent]) -> Vec<(u64, SimTime, Option<SimTime>)> {
+    let mut open: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::FaultNodeDown => {
+                open.entry(e.a).or_insert(e.time);
+            }
+            EventKind::FaultNodeRecovered => {
+                if let Some(from) = open.remove(&e.a) {
+                    out.push((e.a, from, Some(e.time)));
+                }
+            }
+            _ => {}
+        }
+    }
+    out.extend(open.into_iter().map(|(node, from)| (node, from, None)));
+    out.sort_by_key(|&(node, from, _)| (from, node));
+    out
 }
 
 /// Fault-related events of a recording, in time order: plan injections
@@ -426,13 +457,37 @@ mod tests {
                 .or_default() += 1;
         }
         assert_eq!(per_class.values().sum::<usize>(), EventKind::ALL.len());
-        assert_eq!(per_class["fault"], 13);
+        assert_eq!(per_class["fault"], 18);
         // fault_events agrees with the classifier.
         let events: Vec<TraceEvent> = EventKind::ALL
             .iter()
             .map(|&k| mk(0, ev(Track::Sys, k, 0, 0, 0)))
             .collect();
-        assert_eq!(fault_events(&events).len(), 13);
+        assert_eq!(fault_events(&events).len(), 18);
+    }
+
+    #[test]
+    fn degraded_windows_pair_down_with_explicit_recovery() {
+        let events = vec![
+            mk(10, ev(Track::Sys, EventKind::FaultNodeDown, 0, 5, 0)),
+            mk(15, ev(Track::Sys, EventKind::FaultNodeDown, 0, 9, 0)),
+            mk(
+                40,
+                ev(Track::Sys, EventKind::FaultNodeRecovered, 0, 5, 30_000),
+            ),
+            // Node 9 never recovers before the recording stops.
+        ];
+        let w = degraded_windows(&events);
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            w[0],
+            (
+                5,
+                SimTime::from_nanos(10_000),
+                Some(SimTime::from_nanos(40_000))
+            )
+        );
+        assert_eq!(w[1], (9, SimTime::from_nanos(15_000), None));
     }
 
     #[test]

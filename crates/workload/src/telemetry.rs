@@ -76,6 +76,15 @@ pub mod names {
     pub const ART_COMPLETED: &str = "art.completed";
     /// Histogram: per-request end-to-end read time, seconds.
     pub const READ_TIME_S: &str = "read.time_s";
+    /// Gauge: stripe slots still awaiting re-replication (drains to
+    /// exactly zero once a rebuild completes).
+    pub const REBUILD_QUEUE: &str = "rebuild.queue";
+    /// Counter: bytes the recovery coordinator has re-replicated.
+    pub const REBUILD_BYTES: &str = "rebuild.bytes";
+    /// Counter: reads that failed over from one replica to another.
+    pub const REPLICA_FAILOVERS: &str = "replica.failovers";
+    /// Counter: reads served by a non-primary replica.
+    pub const REPLICA_READS: &str = "replica.reads";
 }
 
 /// The per-I/O-node variant of a metric name: `disk.queue.ion3`.
@@ -142,6 +151,8 @@ impl Telemetry {
 
         let c = pfs.rpc_net().inflight_bytes_cell();
         registry.register_gauge(names::MESH_INFLIGHT_BYTES, move || c.get() as f64);
+        let c = pfs.rebuild_pending_cell();
+        registry.register_gauge(names::REBUILD_QUEUE, move || c.get() as f64);
         let p = pfs.clone();
         registry.register_gauge(names::ART_ACTIVE, move || p.art_active() as f64);
 
@@ -203,6 +214,12 @@ impl Telemetry {
         registry.register_counter(names::ART_SUBMITTED, move || p.art_stats().submitted as f64);
         let p = pfs.clone();
         registry.register_counter(names::ART_COMPLETED, move || p.art_stats().completed as f64);
+        let c = pfs.rebuild_bytes_cell();
+        registry.register_counter(names::REBUILD_BYTES, move || c.get() as f64);
+        let c = pfs.replica_failovers_cell();
+        registry.register_counter(names::REPLICA_FAILOVERS, move || c.get() as f64);
+        let c = pfs.replica_reads_cell();
+        registry.register_counter(names::REPLICA_READS, move || c.get() as f64);
 
         Rc::new(Telemetry {
             sim: sim.clone(),
@@ -336,6 +353,21 @@ pub fn metrics_report(cfg: &ExperimentConfig, result: &RunResult) -> Json {
             0.0
         },
     );
+    // Replication scalars are gated on the redundancy mode so that
+    // baseline reports committed before replication existed stay
+    // byte-compatible with every non-replicated run.
+    if matches!(cfg.redundancy, paragon_pfs::Redundancy::Replicated { .. }) {
+        put("replica.failovers", result.replica_failovers as f64);
+        put("replica.reads", result.replica_reads as f64);
+        put("rebuild.pending_end", result.rebuild_pending as f64);
+        put(
+            "rebuild.bytes",
+            result
+                .rebuild
+                .as_ref()
+                .map_or(0.0, |r| r.bytes_copied as f64),
+        );
+    }
 
     let mut meta = std::collections::BTreeMap::new();
     meta.insert("seed".into(), Json::Num(cfg.seed as f64));
@@ -603,6 +635,7 @@ mod tests {
             verify_data: false,
             trace_cap: 1 << 18,
             faults: crate::config::FaultSpec::default(),
+            redundancy: paragon_pfs::Redundancy::None,
             metrics_cadence: Some(SimDuration::from_millis(20)),
         }
     }

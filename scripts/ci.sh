@@ -16,6 +16,13 @@ cargo test -q --test failure_injection
 cargo test -q -p paragon-workload
 cargo test -q -p paragon-sim fault
 
+echo "=== rebuild-storm smoke"
+# Crash 1 of 16 I/O nodes under RF=2 replication mid-run: the foreground
+# must complete with zero client-visible read errors, the replica
+# failover/read counters must be nonzero, and the rebuild queue must
+# drain to exactly zero before the simulation ends.
+cargo test -q --release --test failure_injection rebuild_storm_smoke
+
 echo "=== paragon-lint"
 # Workspace invariant checker (crates/lint): D1 deterministic containers,
 # D2 no ambient nondeterminism, P1 panic-freedom on the I/O path, X1

@@ -3,7 +3,7 @@
 //! and buffered servers, and the prefetch engine.
 
 use paragon::machine::Calibration;
-use paragon::pfs::IoMode;
+use paragon::pfs::{IoMode, Redundancy};
 use paragon::sim::SimDuration;
 use paragon::workload::{run, AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
 
@@ -26,6 +26,7 @@ fn base(mode: IoMode) -> ExperimentConfig {
         verify_data: true,
         trace_cap: 0,
         faults: FaultSpec::default(),
+        redundancy: Redundancy::None,
         metrics_cadence: None,
     }
 }

@@ -3,7 +3,7 @@
 //! This is what makes the experiment tables regenerable bit-for-bit.
 
 use paragon::machine::Calibration;
-use paragon::pfs::IoMode;
+use paragon::pfs::{IoMode, Redundancy};
 use paragon::sim::SimDuration;
 use paragon::workload::{run, AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
 
@@ -26,6 +26,7 @@ fn cfg(seed: u64, mode: IoMode) -> ExperimentConfig {
         verify_data: false,
         trace_cap: 0,
         faults: FaultSpec::default(),
+        redundancy: Redundancy::None,
         metrics_cadence: None,
     }
 }
