@@ -17,7 +17,7 @@ use paragon_metrics::{ExperimentRecord, Table};
 use paragon_sim::SimDuration;
 use paragon_workload::{ExperimentConfig, StripeLayout};
 
-const SHAPES: [(usize, usize); 8] = [
+const SHAPES: [(usize, usize); 10] = [
     (2, 1),
     (4, 2),
     (8, 8),
@@ -26,14 +26,20 @@ const SHAPES: [(usize, usize); 8] = [
     (64, 16),
     (128, 32),
     (512, 64),
+    (1024, 128),
+    (4096, 256),
 ];
 
 /// Per-compute-node file bytes: 4 MB keeps the small shapes comparable
-/// to the paper's runs; from 64 CNs up it drops to 1 MB so the largest
-/// sweep point stays inside a laptop's memory and a CI wall-clock
-/// budget (512 CNs × 1 MB = 512 MB of simulated file bytes).
+/// to the paper's runs; from 64 CNs up it drops to 1 MB so the larger
+/// points stay inside a laptop's memory and a CI wall-clock budget, and
+/// the 4096-CN full machine drops to 256 KB (4 requests per node) for
+/// the same reason — the sharded worlds each replicate the whole file
+/// system, so file bytes cost shard-count × their size in host memory.
 fn per_cn_bytes(cn: usize) -> u64 {
-    if cn >= 64 {
+    if cn >= 4096 {
+        256 << 10
+    } else if cn >= 64 {
         1 << 20
     } else {
         4 << 20
@@ -66,6 +72,11 @@ fn main() {
         cfg.io_nodes = ion;
         cfg.layout = StripeLayout::Across { factor: ion };
         cfg.file_size = (cn as u64) * per_cn_bytes(cn);
+        // From 1024 CNs up the config auto-shards onto the parallel
+        // kernel; drive the worlds with one worker per host core. The
+        // recorded values cannot depend on this (workers only map worlds
+        // to threads), it just shortens the sweep on multicore hosts.
+        cfg.workers = 0;
         let no_pf = run_logged(&format!("{cn}x{ion} no-pf"), &cfg);
         // Arm the telemetry sampler on the prefetch run so the record
         // captures how deep the server request queues sit at each shape.

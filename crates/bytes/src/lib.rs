@@ -4,19 +4,23 @@
 //! cheap O(1) clones/slices of immutable payloads (so a 1 MB read reply
 //! can fan through the mesh, cache, and prefetch list without copies),
 //! and a mutable staging buffer that freezes into one. The crates.io
-//! `bytes` crate does this with atomics and a vtable because it is
-//! thread-safe; the simulator is single-threaded by design, so an
-//! `Rc<[u8]>` plus a range is enough — and keeping it in-repo makes the
-//! build hermetic (tier-1 verify needs no registry access). The API is
-//! the subset the workspace uses, name-compatible with the real crate.
+//! `bytes` crate does this with atomics and a vtable; here an
+//! `Arc<[u8]>` plus a range is enough — and keeping it in-repo makes the
+//! build hermetic (tier-1 verify needs no registry access). The backing
+//! pointer is atomic (`Arc`, not `Rc`) so a payload can cross a shard
+//! boundary in the parallel kernel: each sharded world runs on its own
+//! host thread, and a cross-shard mesh frame carries its `Bytes` with
+//! it. Clones are still cheap (one atomic increment) and immutable
+//! content needs no further synchronization. The API is the subset the
+//! workspace uses, name-compatible with the real crate.
 
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A cheaply clonable, immutable slice of bytes.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Rc<[u8]>,
+    data: Arc<[u8]>,
     start: usize,
     end: usize,
 }
@@ -51,9 +55,9 @@ impl Bytes {
 
     /// Wrap an existing shared allocation without copying. The whole
     /// buffer is visible; narrow with [`Bytes::slice`]. This is the
-    /// zero-copy bridge for owners that keep data in `Rc<[u8]>` pages
+    /// zero-copy bridge for owners that keep data in `Arc<[u8]>` pages
     /// (the sparse disk store) and want to hand out views of them.
-    pub fn from_shared(data: Rc<[u8]>) -> Bytes {
+    pub fn from_shared(data: Arc<[u8]>) -> Bytes {
         let end = data.len();
         Bytes {
             data,
@@ -88,7 +92,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Rc::from(v),
+            data: Arc::from(v),
             start: 0,
             end,
         }
@@ -251,15 +255,23 @@ mod tests {
 
     #[test]
     fn from_shared_does_not_copy() {
-        let page: Rc<[u8]> = Rc::from(vec![1u8, 2, 3, 4]);
+        let page: Arc<[u8]> = Arc::from(vec![1u8, 2, 3, 4]);
         let b = Bytes::from_shared(page.clone());
         // The Bytes holds the same allocation, not a copy.
-        assert_eq!(Rc::strong_count(&page), 2);
+        assert_eq!(Arc::strong_count(&page), 2);
         let s = b.slice(1..3);
-        assert_eq!(Rc::strong_count(&page), 3);
+        assert_eq!(Arc::strong_count(&page), 3);
         assert_eq!(&s[..], &[2, 3]);
         drop((b, s));
-        assert_eq!(Rc::strong_count(&page), 1);
+        assert_eq!(Arc::strong_count(&page), 1);
+    }
+
+    #[test]
+    fn bytes_crosses_threads() {
+        // The parallel kernel ships read replies across shard worlds:
+        // a Bytes (and anything holding one) must be Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Bytes>();
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! can assert byte-for-byte integrity through striping, caching, and
 //! prefetching. Unwritten regions read back as zeros, like a fresh disk.
 //!
-//! Pages are reference-counted (`Rc<[u8]>`) so a read that falls inside a
+//! Pages are reference-counted (`Arc<[u8]>`) so a read that falls inside a
 //! single page hands back a zero-copy view instead of allocating and
 //! copying a fresh buffer — the dominant cost of the data path once the
 //! scheduler is out of the way. Writes copy-on-write: a page still
@@ -13,7 +13,7 @@
 
 use std::cell::OnceCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -25,9 +25,9 @@ pub const STORE_PAGE: u64 = 64 * 1024;
 /// A sparse, page-granular byte store addressed by absolute disk offset.
 #[derive(Default)]
 pub struct BlockStore {
-    pages: BTreeMap<u64, Rc<[u8]>>,
+    pages: BTreeMap<u64, Arc<[u8]>>,
     /// Shared all-zero page backing single-page reads of holes.
-    zero: OnceCell<Rc<[u8]>>,
+    zero: OnceCell<Arc<[u8]>>,
     /// Total bytes ever written (for capacity accounting in tests).
     bytes_written: u64,
 }
@@ -38,9 +38,9 @@ impl BlockStore {
         Self::default()
     }
 
-    fn zero_page(&self) -> Rc<[u8]> {
+    fn zero_page(&self) -> Arc<[u8]> {
         self.zero
-            .get_or_init(|| Rc::from(vec![0u8; STORE_PAGE as usize]))
+            .get_or_init(|| Arc::from(vec![0u8; STORE_PAGE as usize]))
             .clone()
     }
 
@@ -83,14 +83,14 @@ impl BlockStore {
             let slot = self
                 .pages
                 .entry(page_idx)
-                .or_insert_with(|| Rc::from(vec![0u8; STORE_PAGE as usize]));
-            if Rc::get_mut(slot).is_none() {
+                .or_insert_with(|| Arc::from(vec![0u8; STORE_PAGE as usize]));
+            if Arc::get_mut(slot).is_none() {
                 // Copy-on-write: an outstanding read view still shares this
                 // page; give the store a private copy before mutating.
-                let private: Rc<[u8]> = Rc::from(&slot[..]);
+                let private: Arc<[u8]> = Arc::from(&slot[..]);
                 *slot = private;
             }
-            if let Some(page) = Rc::get_mut(slot) {
+            if let Some(page) = Arc::get_mut(slot) {
                 page[in_page..in_page + chunk].copy_from_slice(&data[pos..pos + chunk]);
             }
             pos += chunk;
@@ -171,7 +171,7 @@ mod tests {
         // Both reads share the resident page rather than copying it:
         // strong count = store + a + b.
         let page = store.pages.get(&0).unwrap();
-        assert_eq!(Rc::strong_count(page), 3);
+        assert_eq!(Arc::strong_count(page), 3);
     }
 
     #[test]
@@ -193,7 +193,7 @@ mod tests {
         let b = store.read(STORE_PAGE * 5 + 3, 64);
         assert!(a.iter().chain(b.iter()).all(|&x| x == 0));
         // Both are views of the same lazily created zero page.
-        assert_eq!(Rc::strong_count(store.zero.get().unwrap()), 3);
+        assert_eq!(Arc::strong_count(store.zero.get().unwrap()), 3);
         assert_eq!(store.resident_pages(), 0);
     }
 }

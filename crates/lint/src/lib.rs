@@ -8,8 +8,10 @@
 //! * **D1** — no `HashMap`/`HashSet` in sim-visible code: their seeded
 //!   iteration order would make same-seed runs diverge.
 //! * **D2** — no wall-clock or ambient nondeterminism (`Instant`,
-//!   `SystemTime`, `thread_rng`, `thread::spawn`) outside the
-//!   `paragon-sim` kernel.
+//!   `SystemTime`, `thread_rng`) outside the `paragon-sim` kernel; and
+//!   no host threads (`thread::spawn`, `std::thread`) *anywhere*,
+//!   the sim included, except the sanctioned `crates/sim/src/parallel.rs`
+//!   module whose uses carry W1-justified waivers.
 //! * **P1** — no `panic!`/`unwrap`/`expect`/`unreachable!`/unchecked
 //!   indexing in non-test code of the I/O-path crates (disk, os, pfs,
 //!   mesh, ufs): injected faults must surface as protocol errors.
@@ -54,6 +56,12 @@ pub fn cfg_for(rel: &str) -> FileCfg {
     FileCfg {
         d1: !exempt && !D1_ALLOW.contains(&rel),
         d2: !exempt && crate_name != "sim",
+        // The thread ban has no crate-level exemption: even the sim
+        // kernel may not touch host threads, except the one sanctioned
+        // parallel-kernel module — and that file silences the rule with
+        // per-site W1-justified waivers, so every use carries its
+        // soundness argument in the source.
+        threads: !exempt,
         p1: !exempt && P1_CRATES.contains(&crate_name),
     }
 }

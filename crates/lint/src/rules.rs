@@ -35,6 +35,12 @@ pub struct FileCfg {
     pub d1: bool,
     /// D2: ban wall-clock / ambient nondeterminism.
     pub d2: bool,
+    /// D2 thread ban: `thread::spawn` / `std::thread` are banned in
+    /// *every* crate, the sim included — host threads may only be
+    /// touched by the sanctioned parallel-kernel module
+    /// (`crates/sim/src/parallel.rs`), which carries explicit
+    /// W1-justified waivers rather than a config exemption.
+    pub threads: bool,
     /// P1: ban panicking constructs (I/O-path crates only).
     pub p1: bool,
 }
@@ -44,6 +50,7 @@ impl FileCfg {
         FileCfg {
             d1: true,
             d2: true,
+            threads: true,
             p1: true,
         }
     }
@@ -309,16 +316,20 @@ pub fn lint_file(file: &str, src: &str, cfg: FileCfg) -> Vec<Finding> {
                     ));
                 }
             }
-            if code_line.contains("thread::spawn") && !waived(&waivers, "D2", line) {
-                findings.push(Finding::new(
-                    "D2",
-                    file,
-                    line,
-                    "`thread::spawn` outside the sim kernel: OS scheduling order is \
-                     nondeterministic; spawn sim tasks on the single-threaded executor"
-                        .into(),
-                ));
-            }
+        }
+        if cfg.threads
+            && (code_line.contains("thread::spawn") || has_word(code_line, "std::thread"))
+            && !waived(&waivers, "D2", line)
+        {
+            findings.push(Finding::new(
+                "D2",
+                file,
+                line,
+                "host threads (`thread::spawn` / `std::thread`): OS scheduling order is \
+                 nondeterministic; spawn sim tasks on the executor, or route host \
+                 parallelism through the sanctioned `sim::parallel` module"
+                    .into(),
+            ));
         }
         if cfg.p1 {
             for mac in P1_MACROS {
@@ -401,6 +412,44 @@ mod tests {
         assert!(
             f.iter().any(|f| f.rule == "D1"),
             "unjustified waiver must not silence"
+        );
+    }
+
+    #[test]
+    fn thread_ban_applies_even_where_d2_is_off() {
+        // The sim crate is exempt from the wall-clock D2 words but NOT
+        // from the thread ban: a sharded kernel that raced the host
+        // scheduler would silently break byte-identity.
+        let sim_cfg = FileCfg {
+            d1: true,
+            d2: false,
+            threads: true,
+            p1: false,
+        };
+        let spawn = "let h = std::thread::spawn(move || world.run());\n";
+        let f = lint_file("crates/sim/src/executor.rs", spawn, sim_cfg);
+        assert_eq!(f.iter().filter(|f| f.rule == "D2").count(), 1);
+        let import = "use std::thread;\n";
+        let f = lint_file("crates/sim/src/executor.rs", import, sim_cfg);
+        assert_eq!(f.iter().filter(|f| f.rule == "D2").count(), 1);
+        // `Instant` stays allowed under this cfg (d2 off) — the ban is
+        // its own dimension.
+        let inst = "let t = Instant::now();\n";
+        assert!(lint_file("crates/sim/src/executor.rs", inst, sim_cfg).is_empty());
+    }
+
+    #[test]
+    fn thread_ban_is_waiverable_with_justification() {
+        let ok = "// paragon-lint: allow(D2) — epoch barrier: worlds only interact at deterministic merge points\n\
+                  let h = std::thread::spawn(run);\n";
+        // Own-line waiver covers the rest of the block.
+        assert!(lint_file("crates/sim/src/parallel.rs", ok, FileCfg::all()).is_empty());
+        let bare = "let h = std::thread::spawn(run); // paragon-lint: allow(D2)\n";
+        let f = lint_file("crates/sim/src/parallel.rs", bare, FileCfg::all());
+        assert!(f.iter().any(|f| f.rule == "W1"));
+        assert!(
+            f.iter().any(|f| f.rule == "D2"),
+            "unjustified waiver must not silence the thread ban"
         );
     }
 

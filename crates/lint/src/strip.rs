@@ -167,7 +167,15 @@ fn scan(src: &str) -> (String, Vec<usize>) {
             }
             St::Str => {
                 if c == '\\' {
-                    out.push_str("  ");
+                    // An escape blanks two chars — but `\<newline>` is the
+                    // string-continuation escape, and eating that newline
+                    // would shift every later line number in the file.
+                    out.push(' ');
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
                     i += 2;
                 } else if c == '"' {
                     st = St::Code;
@@ -350,6 +358,17 @@ mod tests {
         assert!(!out.contains("HashMap"));
         assert!(out.contains("let x ="));
         assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn string_continuations_keep_line_numbers() {
+        // `\` at end of line inside a string continues it on the next
+        // line; the stripped view must keep that newline or every later
+        // finding/waiver line in the file is off by one.
+        let src = "let s = \"one \\\n    two\";\nlet t = Instant::now();\n";
+        let out = strip(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(out.lines().nth(2).unwrap_or("").contains("Instant"));
     }
 
     #[test]

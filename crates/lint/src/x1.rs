@@ -180,6 +180,8 @@ const REQUEST_TRACE: &[(&str, &str, &[&str])] = &[
     ("PfsRequest", "Read", &["ServeStart", "ServeDone"]),
     ("PfsRequest", "Write", &["ServeStart", "ServeDone"]),
     ("PfsRequest", "Ptr", &["PtrOp"]),
+    ("PfsRequest", "StageReplica", &["ServeStart", "ServeDone"]),
+    ("PfsRequest", "CommitReplica", &["ServeStart", "ServeDone"]),
     ("PtrRequest", "UnixAcquire", &["PtrOp"]),
     ("PtrRequest", "UnixRelease", &["PtrOp"]),
     ("PtrRequest", "LogFetchAdd", &["PtrOp"]),
@@ -190,6 +192,8 @@ const REQUEST_ERR: &[(&str, &str, &str)] = &[
     ("PfsRequest", "Read", "Data"),
     ("PfsRequest", "Write", "WriteAck"),
     ("PfsRequest", "Ptr", "Ptr"),
+    ("PfsRequest", "StageReplica", "Staged"),
+    ("PfsRequest", "CommitReplica", "Staged"),
     ("PtrRequest", "UnixAcquire", "Ptr"),
     ("PtrRequest", "UnixRelease", "Ptr"),
     ("PtrRequest", "LogFetchAdd", "Ptr"),

@@ -73,10 +73,42 @@ fn p1_off_means_panics_pass() {
     let cfg = FileCfg {
         d1: true,
         d2: true,
+        threads: true,
         p1: false,
     };
     let f = lint_file("p1.rs", &fixture("p1_panic_path.rs"), cfg);
     assert!(f.is_empty(), "unexpected: {f:?}");
+}
+
+#[test]
+fn thread_ban_holds_in_the_sim_crate_cfg() {
+    // The sim crate's derived config turns the D2 wall-clock words off
+    // but keeps the thread ban on: a kernel file reaching for host
+    // threads must be flagged even though `Instant` is allowed there.
+    let cfg = FileCfg {
+        d1: true,
+        d2: false,
+        threads: true,
+        p1: false,
+    };
+    let f = lint_file("threads.rs", &fixture("d2_threads.rs"), cfg);
+    assert_eq!(pairs(&f), [("D2", 4), ("D2", 7), ("D2", 12)]);
+    assert!(f[0].msg.contains("std::thread"), "{}", f[0].msg);
+    assert!(
+        f[0].msg.contains("sim::parallel"),
+        "the finding must name the sanctioned escape hatch: {}",
+        f[0].msg
+    );
+}
+
+#[test]
+fn sanctioned_parallel_module_waives_the_thread_ban() {
+    let f = lint_file(
+        "crates/sim/src/parallel.rs",
+        &fixture("d2_threads_waived.rs"),
+        FileCfg::all(),
+    );
+    assert!(f.is_empty(), "W1-justified waivers must silence: {f:?}");
 }
 
 #[test]

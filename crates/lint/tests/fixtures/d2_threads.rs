@@ -1,0 +1,14 @@
+// Seeded thread-ban violations: line 4 (import), line 7 (spawn via
+// path), line 12 (spawn via imported name).
+
+use std::thread;
+
+pub fn fan_out() {
+    let a = std::thread::spawn(|| 1u32);
+    let _ = a;
+}
+
+pub fn fan_out_imported() {
+    let b = thread::spawn(|| 2u32);
+    let _ = b;
+}

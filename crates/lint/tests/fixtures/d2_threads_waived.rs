@@ -1,0 +1,12 @@
+// The sanctioned parallel-kernel shape: every host-thread touch sits
+// under a W1-justified waiver that argues why determinism survives.
+
+pub fn run_sharded() {
+    // paragon-lint: allow(D2) — worlds interact only at barrier epochs; merge order is (time, seq, shard)
+    let workers: Vec<_> = (0..4)
+        .map(|k| std::thread::spawn(move || k))
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+}

@@ -235,7 +235,7 @@ impl HistSummary {
 }
 
 /// Plain-data result of one instrumented run: what the sampler saw.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Measured-phase start, simulated nanoseconds.
     pub phase_start_ns: u64,

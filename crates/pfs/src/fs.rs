@@ -105,6 +105,9 @@ impl ParallelFs {
                     // gets a matching-kind error reply, not a crash.
                     PfsRequest::Read { .. } => PfsResponse::Data(Err(PfsError::BadRequest)),
                     PfsRequest::Write { .. } => PfsResponse::WriteAck(Err(PfsError::BadRequest)),
+                    PfsRequest::StageReplica { .. } | PfsRequest::CommitReplica { .. } => {
+                        PfsResponse::Staged(Err(PfsError::BadRequest))
+                    }
                 }
             })
         });

@@ -235,7 +235,14 @@ impl<T> CalendarQueue<T> {
                 min_t = min_t.min(t);
                 max_t = max_t.max(t);
             }
-            let gap = ((max_t - min_t) / entries.len() as u64).max(1);
+            // Degenerate content — e.g. a barrier releasing thousands of
+            // wakes at one instant — makes `max_t == min_t` and collapses
+            // the mean-gap estimate to zero. An unclamped zero gap would
+            // drive `shift` to its minimum on every resize scan, so the
+            // width is floored at one tick: every rebuild, including an
+            // all-equal-timestamp cluster, yields a usable bucket width.
+            let span = max_t - min_t;
+            let gap = (span / entries.len() as u64).max(1);
             // floor(log2(gap)) + 1: a power-of-two width in [gap, 2·gap).
             self.shift = (64 - gap.leading_zeros()).min(MAX_SHIFT);
             self.cur_vb = min_t >> self.shift;
@@ -316,6 +323,38 @@ mod tests {
         q.push(SimTime::from_nanos(5), 2, 2);
         assert_eq!(q.pop().map(|(_, s, _)| s), Some(2));
         assert_eq!(q.pop().map(|(_, s, _)| s), Some(1));
+    }
+
+    #[test]
+    fn equal_timestamp_cluster_keeps_a_nonzero_width_and_fifo_order() {
+        // Regression for the resize degenerate case: 10k entries sharing
+        // one timestamp force several doubling rebuilds whose mean-gap
+        // estimate is exactly zero. The width clamp must hold (shift >= 1)
+        // and the monotone seq tie-break must still drain FIFO.
+        let mut q = CalendarQueue::new();
+        let t = 123_456_789u64;
+        for s in 0..10_000u64 {
+            q.push(SimTime::from_nanos(t), s, s as u32);
+        }
+        assert!(q.shift >= 1, "bucket width collapsed to zero");
+        assert_eq!(q.len(), 10_000);
+        // Drain half, land one later event, then drain the rest: the
+        // cluster must come out in seq order with the tail event last.
+        let mut got = Vec::new();
+        for _ in 0..5_000 {
+            got.push(q.pop().expect("cluster half"));
+        }
+        q.push(SimTime::from_nanos(t + 1), 10_000, 10_000);
+        while let Some(e) = q.pop() {
+            got.push(e);
+        }
+        assert_eq!(got.len(), 10_001);
+        for (i, (time, seq, item)) in got.iter().take(10_000).enumerate() {
+            assert_eq!(time.as_nanos(), t);
+            assert_eq!(*seq, i as u64);
+            assert_eq!(*item, i as u32);
+        }
+        assert_eq!(got[10_000].1, 10_000);
     }
 
     #[test]

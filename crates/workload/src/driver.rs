@@ -26,11 +26,19 @@ use crate::result::{NodeResult, RunResult};
 use crate::telemetry::{names, Telemetry};
 
 /// Where the driver task deposits its measurements for the host caller.
-type DriverOutput = Rc<RefCell<Option<(Vec<NodeResult>, SimDuration)>>>;
+pub(crate) type DriverOutput = Rc<RefCell<Option<(Vec<NodeResult>, SimDuration)>>>;
 
 /// Run one experiment to completion and return its measurements.
+///
+/// Configs that resolve to more than one shard world (full-machine
+/// EXT-SCALING shapes, or an explicit `shards` override) run on the
+/// parallel kernel; everything else takes the classic serial path below,
+/// byte-for-byte unchanged.
 pub fn run(cfg: &ExperimentConfig) -> RunResult {
     cfg.validate();
+    if cfg.resolved_shards() > 1 {
+        return crate::shard::run_sharded_experiment(cfg);
+    }
     let sim = Sim::new(cfg.seed);
     if cfg.trace_cap > 0 {
         sim.tracer().arm(cfg.trace_cap);
@@ -216,15 +224,17 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
 
 thread_local! {
     /// Data-verification failures observed by node programs of the run
-    /// currently executing on this thread. Runs are single-threaded and
-    /// sequential, so a thread-local counter is race-free.
-    static VERIFY_FAILURES: RefCell<u64> = const { RefCell::new(0) };
+    /// currently executing on this thread. Serial runs are
+    /// single-threaded and sequential; sharded runs harvest every worker
+    /// thread's counter once per world and sum, and each failure is
+    /// observed by exactly one world, so the total is exact either way.
+    pub(crate) static VERIFY_FAILURES: RefCell<u64> = const { RefCell::new(0) };
 }
 
 /// Configure and arm the simulation's fault plan from `spec`. The service
 /// node is always exempted: shared-pointer operations are not idempotent,
 /// so the client never retries them and a lost one would wedge the run.
-fn arm_faults(sim: &Sim, machine: &Machine, spec: &FaultSpec) {
+pub(crate) fn arm_faults(sim: &Sim, machine: &Machine, spec: &FaultSpec) {
     if spec.is_noop() {
         return;
     }
@@ -284,7 +294,7 @@ fn arm_faults(sim: &Sim, machine: &Machine, spec: &FaultSpec) {
 
 /// Create and populate the run's file(s); returns one id per node for
 /// separate-files runs, else a single shared id.
-async fn setup_files(pfs: &Rc<ParallelFs>, cfg: &ExperimentConfig) -> Vec<PfsFileId> {
+pub(crate) async fn setup_files(pfs: &Rc<ParallelFs>, cfg: &ExperimentConfig) -> Vec<PfsFileId> {
     let attrs = cfg.layout.attrs(cfg.stripe_unit);
     if cfg.separate_files {
         let mut files = Vec::with_capacity(cfg.compute_nodes);
@@ -316,24 +326,26 @@ async fn setup_files(pfs: &Rc<ParallelFs>, cfg: &ExperimentConfig) -> Vec<PfsFil
     }
 }
 
-struct NodeCtx {
-    sim: Sim,
-    pfs: Rc<ParallelFs>,
-    cfg: ExperimentConfig,
-    rank: usize,
-    file: PfsFileId,
-    t0: SimTime,
+pub(crate) struct NodeCtx {
+    pub(crate) sim: Sim,
+    pub(crate) pfs: Rc<ParallelFs>,
+    pub(crate) cfg: ExperimentConfig,
+    pub(crate) rank: usize,
+    pub(crate) file: PfsFileId,
+    pub(crate) t0: SimTime,
     /// Telemetry gauge: nodes currently inside a read call.
-    in_io: Rc<Cell<i64>>,
+    pub(crate) in_io: Rc<Cell<i64>>,
     /// Telemetry gauges shared by every prefetch buffer list.
-    prefetch_gauges: PrefetchGauges,
+    pub(crate) prefetch_gauges: PrefetchGauges,
 }
 
 /// The demand-read side of one node's program: either a plain PFS handle
 /// or the prefetching prototype wrapped around it.
+// Both variants boxed: the handles carry whole stripe maps, so inline
+// they would make every future that holds a `Reader` hundreds of bytes.
 enum Reader {
-    Plain(PfsFile),
-    Prefetching(PrefetchingFile),
+    Plain(Box<PfsFile>),
+    Prefetching(Box<PrefetchingFile>),
 }
 
 impl Reader {
@@ -362,7 +374,7 @@ impl Reader {
     }
 }
 
-async fn node_program(ctx: NodeCtx) -> NodeResult {
+pub(crate) async fn node_program(ctx: NodeCtx) -> NodeResult {
     let cfg = &ctx.cfg;
     let sz = cfg.request_size;
     let rounds = cfg.rounds_per_node();
@@ -398,9 +410,9 @@ async fn node_program(ctx: NodeCtx) -> NodeResult {
         Some(pc) => {
             let pf = PrefetchingFile::new(file, pc.clone());
             pf.set_gauges(ctx.prefetch_gauges.clone());
-            Reader::Prefetching(pf)
+            Reader::Prefetching(Box::new(pf))
         }
-        None => Reader::Plain(file),
+        None => Reader::Plain(Box::new(file)),
     };
 
     let mut rng = ctx.sim.rng(&format!("workload.rank{}", ctx.rank));
@@ -538,6 +550,8 @@ mod tests {
             faults: FaultSpec::default(),
             redundancy: paragon_pfs::Redundancy::None,
             metrics_cadence: None,
+            shards: None,
+            workers: 1,
         }
     }
 

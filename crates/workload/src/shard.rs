@@ -1,0 +1,599 @@
+//! Sharded (parallel-kernel) execution of one experiment.
+//!
+//! A config that resolves to `S > 1` shards runs as `S` *replicated
+//! worlds* on [`paragon_sim::run_sharded`]: every world builds the whole
+//! machine and performs the whole setup phase (file creation and
+//! population are direct UFS operations — no mesh traffic — so the
+//! worlds are bit-identical up to the measured phase's start), but each
+//! world *owns* a contiguous slice of compute-node ranks and I/O nodes
+//! and only its owned components generate activity:
+//!
+//! * node programs run in the owning world of their rank; their reads
+//!   reach remote I/O-node servers through the mesh's cross-shard cut;
+//! * the service node (shared pointers), the recovery coordinator, and
+//!   the `Sys` timeline markers belong to shard 0;
+//! * each world's flight recorder keeps only owned tracks (replicated
+//!   emits elsewhere are filtered before they charge the cap), and mints
+//!   request ids on a stride-`S` lattice so ids never collide;
+//! * metrics, disk counters, and per-node results are harvested per
+//!   world and merged deterministically in shard order.
+//!
+//! The merge is a pure function of the per-world results, and each
+//! world's bytes are a pure function of `(config, shard count)` — so the
+//! merged `RunResult` cannot depend on the `workers` thread count.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use paragon_core::{PrefetchGauges, PrefetchStats};
+use paragon_machine::{Machine, MachineConfig};
+use paragon_metrics::{HistSummary, Histogram, MetricsSnapshot};
+use paragon_pfs::{rebuild_after_crash, ParallelFs, RebuildConfig, RebuildStats, Redundancy};
+use paragon_sim::{
+    ev, merge_reports, merge_shard_events, run_sharded, EventKind, RunReport, ShardPlan, Sim,
+    SimDuration, TraceEvent, Track,
+};
+
+use crate::config::ExperimentConfig;
+use crate::driver::{
+    arm_faults, node_program, setup_files, DriverOutput, NodeCtx, VERIFY_FAILURES,
+};
+use crate::result::{NodeResult, RunResult};
+use crate::telemetry::{names, Telemetry};
+
+/// Cut `cfg`'s machine into shard worlds: contiguous balanced slices of
+/// ranks and I/O nodes, service node on shard 0.
+fn plan(cfg: &ExperimentConfig) -> ShardPlan {
+    let shards = cfg.resolved_shards();
+    let cn = cfg.compute_nodes;
+    let io = cfg.io_nodes;
+    let mut owner = Vec::with_capacity(cn + io + 1);
+    for r in 0..cn {
+        owner.push((r * shards / cn) as u32);
+    }
+    for i in 0..io {
+        owner.push((i * shards / io) as u32);
+    }
+    owner.push(0); // service node
+    ShardPlan {
+        shards,
+        workers: cfg.workers,
+        lookahead_ns: cfg.shard_lookahead().as_nanos(),
+        owner: Arc::new(owner),
+        seed: cfg.seed,
+    }
+}
+
+/// One world's view of the partition, for gating and trace filtering.
+#[derive(Clone)]
+struct Ownership {
+    owner: Arc<Vec<u32>>,
+    shard: u32,
+    cn: usize,
+    /// Spindles per I/O node, to map `Track::Disk` lanes to their array.
+    spindles: usize,
+}
+
+impl Ownership {
+    fn owns_rank(&self, rank: usize) -> bool {
+        self.owner.get(rank).copied().unwrap_or(0) == self.shard
+    }
+
+    fn owns_ion(&self, ion: usize) -> bool {
+        self.owner.get(self.cn + ion).copied().unwrap_or(0) == self.shard
+    }
+
+    /// Does this world's flight recorder keep events on `track`? Every
+    /// lane has exactly one owner, so the merged trace has no duplicates.
+    fn keeps(&self, track: Track) -> bool {
+        let of = |node: usize| self.owner.get(node).copied().unwrap_or(0);
+        match track {
+            Track::Cn(r) => of(r as usize) == self.shard,
+            Track::Ion(i) => of(self.cn + i as usize) == self.shard,
+            Track::Node(n) => of(n as usize) == self.shard,
+            Track::Disk(d) => of(self.cn + d as usize / self.spindles.max(1)) == self.shard,
+            Track::Svc | Track::Sys => self.shard == 0,
+        }
+    }
+}
+
+/// Per-world live state between build and harvest.
+struct World {
+    machine: Rc<Machine>,
+    telemetry: Option<Rc<Telemetry>>,
+    out: DriverOutput,
+    rebuild_out: Rc<RefCell<Option<RebuildStats>>>,
+    rebuild_pending: Rc<Cell<u64>>,
+    replica_failovers: Rc<Cell<u64>>,
+    replica_reads: Rc<Cell<u64>>,
+    own: Ownership,
+}
+
+/// What one world measured, shipped back to the merge step.
+struct WorldOutcome {
+    report: RunReport,
+    per_node: Vec<NodeResult>,
+    elapsed: SimDuration,
+    trace: Vec<TraceEvent>,
+    verify_failures: u64,
+    fault: paragon_sim::FaultStats,
+    disk: paragon_disk::DiskStats,
+    raid: paragon_disk::RaidStats,
+    rebuild: Option<RebuildStats>,
+    rebuild_pending: u64,
+    replica_failovers: u64,
+    replica_reads: u64,
+    metrics: Option<MetricsSnapshot>,
+}
+
+/// Run `cfg` on the parallel kernel and merge the worlds' measurements.
+pub(crate) fn run_sharded_experiment(cfg: &ExperimentConfig) -> RunResult {
+    let plan = plan(cfg);
+    let outcomes = run_sharded(
+        &plan,
+        |k, sim| build_world(cfg, &plan, k, sim),
+        |k, sim, world| finish_world(cfg, k, sim, world),
+    );
+    merge_outcomes(cfg, outcomes)
+}
+
+fn build_world(cfg: &ExperimentConfig, plan: &ShardPlan, k: usize, sim: &Sim) -> World {
+    let own = Ownership {
+        owner: plan.owner.clone(),
+        shard: k as u32,
+        cn: cfg.compute_nodes,
+        spindles: cfg.calib.raid_members + usize::from(cfg.calib.raid_parity),
+    };
+    if cfg.trace_cap > 0 {
+        sim.tracer().arm(cfg.trace_cap);
+    }
+    // Request ids on a stride-S lattice (world k mints k+1, k+1+S, …) so
+    // ids are globally unique; the recorder keeps only owned lanes.
+    sim.tracer().shard_req_ids(k as u64, plan.shards as u64);
+    let filter_own = own.clone();
+    sim.tracer().set_track_filter(move |t| filter_own.keeps(t));
+
+    let mut calib = cfg.calib.clone();
+    if cfg.redundancy == Redundancy::ParityRaid {
+        calib.raid_parity = true;
+    }
+    let machine = Rc::new(Machine::new(
+        sim,
+        MachineConfig {
+            compute_nodes: cfg.compute_nodes,
+            io_nodes: cfg.io_nodes,
+            calib,
+        },
+    ));
+    let pfs = ParallelFs::new_with_redundancy(machine.clone(), cfg.redundancy);
+    let telemetry = cfg
+        .metrics_cadence
+        .map(|cadence| Telemetry::new(sim, &machine, &pfs, cadence));
+    let (in_io, prefetch_gauges) = match &telemetry {
+        Some(t) => (t.in_io.clone(), t.prefetch.clone()),
+        None => (Rc::new(Cell::new(0)), PrefetchGauges::default()),
+    };
+
+    let out: DriverOutput = Rc::new(RefCell::new(None));
+    let out2 = out.clone();
+    let rebuild_out: Rc<RefCell<Option<RebuildStats>>> = Rc::new(RefCell::new(None));
+    let rebuild_out2 = rebuild_out.clone();
+    let rebuild_pending = pfs.rebuild_pending_cell();
+    let replica_failovers = pfs.replica_failovers_cell();
+    let replica_reads = pfs.replica_reads_cell();
+    let cfg2 = cfg.clone();
+    let sim2 = sim.clone();
+    let machine2 = machine.clone();
+    let telemetry2 = telemetry.clone();
+    let own2 = own.clone();
+    sim.spawn_named("experiment-driver", async move {
+        // Every world performs the full setup: population is direct UFS
+        // work (no mesh), so all worlds reach the same t0 with identical
+        // file systems — remote reads later find the right bytes.
+        let files = setup_files(&pfs, &cfg2).await;
+        // Every world arms the same fault plan: mesh verdicts draw in
+        // the world that performs the send/delivery, disk faults in the
+        // disk's owner world, and crash windows are absolute times.
+        arm_faults(&sim2, &machine2, &cfg2.faults);
+        if let (Redundancy::Replicated { .. }, Some((ion, from, _))) =
+            (cfg2.redundancy, cfg2.faults.ion_crash)
+        {
+            // The recovery coordinator drives through compute node 0's
+            // endpoint, so it belongs to rank 0's owner: shard 0.
+            if own2.shard == 0 {
+                let sim3 = sim2.clone();
+                let pfs3 = pfs.clone();
+                let deposit = rebuild_out2.clone();
+                sim2.spawn_named("rebuild-coordinator", async move {
+                    sim3.sleep(from).await;
+                    let stats = rebuild_after_crash(&pfs3, ion, RebuildConfig::default())
+                        .await
+                        .expect("online re-replication failed");
+                    *deposit.borrow_mut() = Some(stats);
+                });
+            }
+        }
+        let t0 = sim2.now();
+        // Replicated emit: the Sys lane belongs to shard 0, so the
+        // filter keeps exactly one copy of the marker.
+        sim2.emit(|| {
+            ev(
+                Track::Sys,
+                EventKind::Mark,
+                0,
+                cfg2.compute_nodes as u64,
+                cfg2.io_nodes as u64,
+            )
+        });
+        if let Some(t) = &telemetry2 {
+            t.begin();
+        }
+        let mut handles = Vec::new();
+        for rank in 0..cfg2.compute_nodes {
+            if !own2.owns_rank(rank) {
+                continue;
+            }
+            let file = files[rank.min(files.len() - 1)];
+            let ctx = NodeCtx {
+                sim: sim2.clone(),
+                pfs: pfs.clone(),
+                cfg: cfg2.clone(),
+                rank,
+                file,
+                t0,
+                in_io: in_io.clone(),
+                prefetch_gauges: prefetch_gauges.clone(),
+            };
+            handles.push(sim2.spawn_named("node-program", node_program(ctx)));
+        }
+        let mut per_node = Vec::with_capacity(handles.len());
+        for h in handles {
+            per_node.push(h.await);
+        }
+        if let Some(t) = &telemetry2 {
+            t.end();
+        }
+        let elapsed = sim2.now().since(t0);
+        *out2.borrow_mut() = Some((per_node, elapsed));
+    });
+
+    World {
+        machine,
+        telemetry,
+        out,
+        rebuild_out,
+        rebuild_pending,
+        replica_failovers,
+        replica_reads,
+        own,
+    }
+}
+
+fn finish_world(cfg: &ExperimentConfig, k: usize, sim: &Sim, world: World) -> WorldOutcome {
+    let report = sim.report();
+    let trace = sim.tracer().events();
+    let fault = sim.faults().stats();
+    let (per_node, elapsed) = world.out.borrow_mut().take().unwrap_or_else(|| {
+        panic!(
+            "shard {k} deadlocked; pending: {:?}",
+            sim.pending_task_labels()
+        )
+    });
+    let mut verify_failures = VERIFY_FAILURES.with(|v| v.replace(0));
+    if cfg.verify_data {
+        // fsck only owned I/O nodes: a non-owner world's replica of a
+        // file system never saw the measured phase's writes.
+        for i in 0..cfg.io_nodes {
+            if !world.own.owns_ion(i) {
+                continue;
+            }
+            let problems = world.machine.ufs(i).check();
+            if !problems.is_empty() {
+                eprintln!("fsck failures on I/O node {i}: {problems:?}");
+                verify_failures += problems.len() as u64;
+            }
+        }
+    }
+    // Disk counters from owned arrays only. The owner world replicated
+    // the setup phase *and* received all measured traffic for its nodes,
+    // so its counters equal what a serial run would have recorded.
+    let mut disk = paragon_disk::DiskStats::default();
+    let mut raid = paragon_disk::RaidStats::default();
+    for i in 0..cfg.io_nodes {
+        if !world.own.owns_ion(i) {
+            continue;
+        }
+        let s = world.machine.raid(i).stats();
+        disk.requests += s.requests;
+        disk.bytes_read += s.bytes_read;
+        disk.bytes_written += s.bytes_written;
+        disk.busy += s.busy;
+        disk.sequential_hits += s.sequential_hits;
+        disk.near_seeks += s.near_seeks;
+        disk.far_seeks += s.far_seeks;
+        disk.max_queue_depth = disk.max_queue_depth.max(s.max_queue_depth);
+        let r = world.machine.raid(i).raid_stats();
+        raid.reconstructed_reads += r.reconstructed_reads;
+        raid.reconstructed_bytes += r.reconstructed_bytes;
+        raid.parity_rmws += r.parity_rmws;
+    }
+    // The read-time histogram is *not* recorded per world — the merge
+    // rebuilds it exactly from the merged per-node timers.
+    let metrics = world.telemetry.as_ref().map(|t| t.snapshot());
+    let rebuild = world.rebuild_out.borrow_mut().take();
+    let outcome = WorldOutcome {
+        report,
+        per_node,
+        elapsed,
+        trace,
+        verify_failures,
+        fault,
+        disk,
+        raid,
+        rebuild,
+        rebuild_pending: world.rebuild_pending.get(),
+        replica_failovers: world.replica_failovers.get(),
+        replica_reads: world.replica_reads.get(),
+        metrics,
+    };
+    // Free the world (server loops otherwise pin the machine via Rc
+    // cycles) before the worker thread moves on.
+    sim.shutdown();
+    outcome
+}
+
+fn merge_outcomes(cfg: &ExperimentConfig, outcomes: Vec<WorldOutcome>) -> RunResult {
+    let reports: Vec<RunReport> = outcomes.iter().map(|o| o.report.clone()).collect();
+    let merged_report = merge_reports(&reports);
+
+    let mut per_node = Vec::with_capacity(cfg.compute_nodes);
+    let mut fault = paragon_sim::FaultStats::default();
+    let mut disk = paragon_disk::DiskStats::default();
+    let mut raid = paragon_disk::RaidStats::default();
+    let mut verify_failures = 0;
+    let mut rebuild = None;
+    let mut rebuild_pending = 0;
+    let mut replica_failovers = 0;
+    let mut replica_reads = 0;
+    let mut traces = Vec::with_capacity(outcomes.len());
+    let mut snaps = Vec::new();
+    let mut elapsed = SimDuration::ZERO;
+    for o in outcomes {
+        per_node.extend(o.per_node);
+        elapsed = elapsed.max(o.elapsed);
+        verify_failures += o.verify_failures;
+        fault.disk_transients += o.fault.disk_transients;
+        fault.disk_dead_hits += o.fault.disk_dead_hits;
+        fault.mesh_dropped += o.fault.mesh_dropped;
+        fault.mesh_duplicated += o.fault.mesh_duplicated;
+        fault.mesh_delayed += o.fault.mesh_delayed;
+        fault.node_down_drops += o.fault.node_down_drops;
+        disk.requests += o.disk.requests;
+        disk.bytes_read += o.disk.bytes_read;
+        disk.bytes_written += o.disk.bytes_written;
+        disk.busy += o.disk.busy;
+        disk.sequential_hits += o.disk.sequential_hits;
+        disk.near_seeks += o.disk.near_seeks;
+        disk.far_seeks += o.disk.far_seeks;
+        disk.max_queue_depth = disk.max_queue_depth.max(o.disk.max_queue_depth);
+        raid.reconstructed_reads += o.raid.reconstructed_reads;
+        raid.reconstructed_bytes += o.raid.reconstructed_bytes;
+        raid.parity_rmws += o.raid.parity_rmws;
+        rebuild = rebuild.or(o.rebuild);
+        rebuild_pending += o.rebuild_pending;
+        replica_failovers += o.replica_failovers;
+        replica_reads += o.replica_reads;
+        traces.push(o.trace);
+        if let Some(s) = o.metrics {
+            snaps.push(s);
+        }
+    }
+    per_node.sort_by_key(|n| n.rank);
+    let trace = merge_shard_events(traces);
+
+    let total_bytes = per_node.iter().map(|n| n.bytes).sum();
+    let mut prefetch = PrefetchStats::default();
+    for n in &per_node {
+        if let Some(p) = &n.prefetch {
+            prefetch.merge(p);
+        }
+    }
+    let metrics = merge_snapshots(snaps, &per_node);
+    RunResult {
+        read_errors: per_node.iter().map(|n| n.read_errors).sum(),
+        per_node,
+        elapsed,
+        total_bytes,
+        prefetch,
+        prefetch_enabled: cfg.prefetch.is_some(),
+        trace_hash: merged_report.trace_hash,
+        verify_failures,
+        fault,
+        raid,
+        disk,
+        rebuild,
+        rebuild_pending,
+        replica_failovers,
+        replica_reads,
+        trace,
+        metrics,
+    }
+}
+
+/// Merge per-world telemetry into one machine-level snapshot.
+///
+/// Worlds sample on the same cadence from the same phase start, so their
+/// timelines are prefix-equal; a world whose owned programs finished
+/// early just stopped sampling sooner, and its gauges hold their final
+/// value for the remainder (step extension). Gauges sum pointwise (each
+/// world reports only its owned components); counters are
+/// measured-phase deltas and sum, except busiest-single-entity `.max`
+/// names which take the max across worlds.
+fn merge_snapshots(
+    snaps: Vec<MetricsSnapshot>,
+    per_node: &[NodeResult],
+) -> Option<MetricsSnapshot> {
+    let longest = snaps
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.times_ns.len())
+        .map(|(i, _)| i)?;
+    let times_ns = snaps[longest].times_ns.clone();
+    let n = times_ns.len();
+    let mut merged = MetricsSnapshot {
+        phase_start_ns: snaps.iter().map(|s| s.phase_start_ns).min().unwrap_or(0),
+        phase_end_ns: snaps.iter().map(|s| s.phase_end_ns).max().unwrap_or(0),
+        times_ns,
+        series: Default::default(),
+        counters: Default::default(),
+        hists: Default::default(),
+    };
+    for s in &snaps {
+        for (name, vals) in &s.series {
+            let acc = merged
+                .series
+                .entry(name.clone())
+                .or_insert_with(|| vec![0.0; n]);
+            for (i, slot) in acc.iter_mut().enumerate() {
+                *slot += vals.get(i).or(vals.last()).copied().unwrap_or(0.0);
+            }
+        }
+        for (name, v) in &s.counters {
+            let slot = merged.counters.entry(name.clone()).or_insert(0.0);
+            if name.ends_with(".max") {
+                *slot = slot.max(*v);
+            } else {
+                *slot += v;
+            }
+        }
+    }
+    // Distributions come from the merged per-request timers, exactly as
+    // the serial driver records them.
+    let mut h = Histogram::new();
+    for node in per_node {
+        for &dt in &node.read_times {
+            h.record(dt.as_secs_f64());
+        }
+    }
+    merged
+        .hists
+        .insert(names::READ_TIME_S.to_string(), HistSummary::of(&mut h));
+    Some(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AccessPattern, FaultSpec, StripeLayout};
+    use paragon_machine::Calibration;
+    use paragon_pfs::IoMode;
+
+    /// A paper-calibrated 4×2 shape, small enough to shard-test quickly.
+    fn small(mode: IoMode) -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 21,
+            compute_nodes: 4,
+            io_nodes: 2,
+            calib: Calibration::paragon_1995(),
+            mode,
+            fast_path: true,
+            stripe_unit: 64 * 1024,
+            layout: StripeLayout::Across { factor: 2 },
+            request_size: 64 * 1024,
+            file_size: 2 << 20,
+            delay: SimDuration::ZERO,
+            prefetch: None,
+            access: AccessPattern::ModeDriven,
+            separate_files: false,
+            verify_data: true,
+            trace_cap: 1 << 18,
+            faults: FaultSpec::default(),
+            redundancy: Redundancy::None,
+            metrics_cadence: None,
+            shards: None,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn plan_partitions_contiguously_and_covers_every_node() {
+        let mut cfg = small(IoMode::MRecord);
+        cfg.compute_nodes = 8;
+        cfg.io_nodes = 4;
+        cfg.shards = Some(4);
+        let p = plan(&cfg);
+        assert_eq!(p.shards, 4);
+        // Ranks 0..8 split two per shard, IONs one per shard, service on 0.
+        assert_eq!(&p.owner[0..8], &[0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(&p.owner[8..12], &[0, 1, 2, 3]);
+        assert_eq!(p.owner[12], 0);
+        assert_eq!(p.lookahead_ns, cfg.shard_lookahead().as_nanos());
+    }
+
+    #[test]
+    fn instant_calibration_forces_the_serial_kernel() {
+        let mut cfg = small(IoMode::MRecord);
+        cfg.calib = Calibration::instant();
+        cfg.shards = Some(4);
+        assert_eq!(cfg.resolved_shards(), 1, "no lookahead, no epochs");
+    }
+
+    #[test]
+    fn auto_sharding_starts_at_full_machine_scale() {
+        let mut cfg = small(IoMode::MRecord);
+        assert_eq!(cfg.resolved_shards(), 1);
+        cfg.compute_nodes = 1024;
+        assert_eq!(cfg.resolved_shards(), 4);
+        cfg.compute_nodes = 4096;
+        assert_eq!(cfg.resolved_shards(), 8);
+    }
+
+    #[test]
+    fn sharded_run_delivers_correct_bytes_and_full_coverage() {
+        let mut cfg = small(IoMode::MRecord);
+        cfg.shards = Some(2);
+        let r = crate::run(&cfg);
+        assert_eq!(r.total_bytes, 2 << 20);
+        assert_eq!(r.verify_failures, 0, "corruption across the shard cut");
+        assert_eq!(r.per_node.len(), 4);
+        for (rank, n) in r.per_node.iter().enumerate() {
+            assert_eq!(n.rank, rank, "merged per-node results in rank order");
+            assert_eq!(n.reads, 8);
+        }
+        assert!(!r.trace.is_empty(), "merged trace lost its events");
+        // Exactly one world keeps the Sys phase marker.
+        let marks = r
+            .trace
+            .iter()
+            .filter(|e| e.kind == EventKind::Mark && e.track == Track::Sys)
+            .count();
+        assert_eq!(marks, 1, "replicated Sys emits must merge to one");
+    }
+
+    #[test]
+    fn worker_count_cannot_change_the_merged_bytes() {
+        let mut cfg = small(IoMode::MRecord);
+        cfg.shards = Some(2);
+        cfg.workers = 1;
+        let one = crate::run(&cfg);
+        cfg.workers = 2;
+        let two = crate::run(&cfg);
+        assert_eq!(one.trace_hash, two.trace_hash);
+        assert_eq!(one.elapsed, two.elapsed);
+        assert_eq!(one.total_bytes, two.total_bytes);
+    }
+
+    #[test]
+    fn every_mode_survives_the_shard_cut() {
+        // Shared-pointer modes route every rank through shard 0's
+        // service node; M_GLOBAL coalesces parties across worlds.
+        for mode in IoMode::all() {
+            let mut cfg = small(mode);
+            cfg.shards = Some(2);
+            let r = crate::run(&cfg);
+            assert_eq!(r.verify_failures, 0, "corruption under {mode}");
+            assert!(r.total_bytes > 0);
+        }
+    }
+}

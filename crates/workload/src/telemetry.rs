@@ -461,6 +461,15 @@ fn span_consistency(demand: &[crate::spans::ReadSpan], disk: f64, mesh: f64) -> 
 /// allowed fractional drop defaults to 0.75 (i.e. the floor sits at
 /// 25% of baseline — wide on purpose, because wall-clock throughput
 /// varies across host machines) and `tolerance` overrides it.
+///
+/// [`PARALLEL_SPEEDUP_SCALAR`] is the one bench scalar gated against an
+/// *absolute* floor instead of the baseline: the parallel kernel must
+/// run the 512×64 bench shape at least [`PARALLEL_SPEEDUP_FLOOR`]×
+/// faster on four workers than on one, wherever the report was
+/// produced. It only appears in reports from hosts with enough cores to
+/// run the parallel trial, so it is absent-safe in both directions (a
+/// baseline without it accepts a current report that has it, and vice
+/// versa) and needs no committed baseline value.
 pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) -> Vec<String> {
     let mut violations = Vec::new();
     let empty = std::collections::BTreeMap::new();
@@ -475,8 +484,19 @@ pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) ->
     if base.is_empty() {
         violations.push("baseline has no scalars object".into());
     }
+    if let Some(c) = cur.get(PARALLEL_SPEEDUP_SCALAR).and_then(Json::as_f64) {
+        if c < PARALLEL_SPEEDUP_FLOOR {
+            violations.push(format!(
+                "{PARALLEL_SPEEDUP_SCALAR}: {c} below the absolute floor \
+                 {PARALLEL_SPEEDUP_FLOOR}"
+            ));
+        }
+    }
     for (name, bval) in base {
         let Some(b) = bval.as_f64() else { continue };
+        if name == PARALLEL_SPEEDUP_SCALAR {
+            continue; // gated absolutely against the current report above
+        }
         if name.starts_with("bench.") {
             if let Some(c) = cur.get(name).and_then(Json::as_f64) {
                 let allowed_drop = tolerance.unwrap_or(0.75).min(1.0);
@@ -510,12 +530,21 @@ pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) ->
         }
     }
     for name in cur.keys() {
-        if !base.contains_key(name) {
+        if !base.contains_key(name) && name != PARALLEL_SPEEDUP_SCALAR {
             violations.push(format!("unexpected scalar {name} not in baseline"));
         }
     }
     violations
 }
+
+/// Host-timed scalar `--bench` adds on multicore hosts: how much faster
+/// the sharded bench shape runs on four workers than on one. See
+/// [`metrics_check`] for its gating rules.
+pub const PARALLEL_SPEEDUP_SCALAR: &str = "bench.parallel_speedup";
+
+/// Absolute one-sided floor for [`PARALLEL_SPEEDUP_SCALAR`]: four
+/// workers must at least halve the sharded bench shape's host time.
+pub const PARALLEL_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Render the report for humans: a utilization table, the bottleneck
 /// line, Little's-law numbers, and queue-depth profiles as ASCII charts.
@@ -637,6 +666,8 @@ mod tests {
             faults: crate::config::FaultSpec::default(),
             redundancy: paragon_pfs::Redundancy::None,
             metrics_cadence: Some(SimDuration::from_millis(20)),
+            shards: None,
+            workers: 1,
         }
     }
 
@@ -782,6 +813,26 @@ mod tests {
         assert!(v[0].contains("below floor"));
         // Tolerance overrides the allowed drop (here: only 10% slack).
         assert_eq!(metrics_check(&slow_ok, &base, Some(0.10)).len(), 1);
+    }
+
+    #[test]
+    fn check_gates_parallel_speedup_against_an_absolute_floor() {
+        let base = report_with(&[("a", 1.0)]);
+        // Absent from the current report (a host too small to run the
+        // parallel trial): passes, and is never "missing".
+        assert!(metrics_check(&report_with(&[("a", 1.0)]), &base, None).is_empty());
+        // Present but absent from the baseline: not an "unexpected
+        // scalar" — the floor is absolute, no committed value needed.
+        let fast = report_with(&[("a", 1.0), (PARALLEL_SPEEDUP_SCALAR, 3.1)]);
+        assert!(metrics_check(&fast, &base, None).is_empty());
+        // Below the floor fails wherever the report came from, even if
+        // a stale baseline recorded a worse value.
+        let slow = report_with(&[("a", 1.0), (PARALLEL_SPEEDUP_SCALAR, 1.4)]);
+        let v = metrics_check(&slow, &base, None);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("absolute floor"));
+        let stale = report_with(&[("a", 1.0), (PARALLEL_SPEEDUP_SCALAR, 0.9)]);
+        assert_eq!(metrics_check(&slow, &stale, None).len(), 1);
     }
 
     #[test]

@@ -30,6 +30,16 @@ echo "=== paragon-lint"
 # finding; waivers need `// paragon-lint: allow(RULE) — <reason>`.
 cargo run -q -p paragon-lint --release
 
+echo "=== parallel"
+# Parallel-kernel equivalence gate: every EXT-matrix config, an
+# instrumented run, and a crash+rebuild run must be byte-identical at
+# --workers 1 vs --workers 4 on four forced shard worlds, and the
+# 1024x128 full machine (auto-sharded onto four worlds) must reproduce
+# its committed trace-hash/elapsed golden. The worker count maps worlds
+# to host threads and nothing else; see DESIGN.md section 11.
+cargo test -q --release --test parallel_equivalence
+cargo test -q --release --test parallel_equivalence full_machine_1024x128 -- --ignored
+
 echo "=== metrics"
 # Perf-regression gate: re-run the telemetry-instrumented default
 # workload and compare the bottleneck report's scalars (utilizations,

@@ -28,6 +28,8 @@ fn base(mode: IoMode) -> ExperimentConfig {
         faults: FaultSpec::default(),
         redundancy: Redundancy::None,
         metrics_cadence: None,
+        shards: None,
+        workers: 1,
     }
 }
 
