@@ -1,0 +1,208 @@
+//! C1/C2 — statically fence the parallel kernel.
+//!
+//! The sharded kernel's byte-identity proof (tests/parallel_equivalence)
+//! rests on worlds being *isolated*: they may only interact through the
+//! epoch-barrier frame channel in `crates/sim/src/parallel.rs`, merged
+//! by the sanctioned path in `crates/workload/src/shard.rs`. Any other
+//! shared mutable state or host channel is a place where thread
+//! scheduling could leak into simulation results.
+//!
+//! * **C1** bans thread-shareable mutable state outside the sanctioned
+//!   modules: `static mut`, `thread_local!`, the `std::sync` locking
+//!   and once-init primitives (`Mutex`, `RwLock`, `Condvar`, `Barrier`,
+//!   `Once`, `OnceLock`, `LazyLock`), all `std::sync::atomic` types,
+//!   and `Arc`-wrapped interior mutability (`Arc<RefCell<_>>` and kin).
+//!   Plain `Cell`/`RefCell`/`Rc` stay legal: they are `!Sync`, so the
+//!   compiler already confines them to one world — they are the
+//!   *approved* single-world interior-mutability idiom.
+//! * **C2** bans host channel construction (`std::sync::mpsc`) outside
+//!   the sanctioned modules: cross-shard handoff must use the typed
+//!   frame-channel/epoch-barrier API (`ShardCtx` outboxes + injectors).
+
+/// `std::sync` items under C1 (import-resolved; `Arc`/`Weak` are legal
+/// because an `Arc` of a `!Sync` or immutable payload is just sharing).
+pub const C1_SYNC_TYPES: &[&str] = &[
+    "Mutex", "RwLock", "Condvar", "Barrier", "Once", "OnceLock", "LazyLock",
+];
+
+/// The token-scanned subset of C1 names. Bare `Once` is import-detected
+/// only: as a token it collides with ordinary vocabulary.
+pub const C1_WORDS: &[&str] = &[
+    "Mutex", "RwLock", "Condvar", "Barrier", "OnceLock", "LazyLock",
+];
+
+/// Token-scanned C2 names.
+pub const C2_WORDS: &[&str] = &["mpsc"];
+
+pub fn c1_msg(what: &str) -> String {
+    format!(
+        "`{what}` is thread-shareable mutable state: worlds may only interact through the \
+         epoch-barrier frame channel (`sim::parallel`); keep state world-local (`Rc`/`RefCell`) \
+         or route it through the sanctioned merge path"
+    )
+}
+
+pub fn c2_msg(what: &str) -> String {
+    format!(
+        "`{what}` builds a host channel: cross-shard handoff must use the typed \
+         frame-channel/epoch-barrier API (`ShardCtx` outboxes + shard injectors), \
+         where merge order is deterministic"
+    )
+}
+
+/// Line-level C1 shapes that are not plain banned-name tokens:
+/// `static mut`, `thread_local!`, and `Arc`-wrapped interior
+/// mutability. Returns `(what, msg)` per hit.
+pub fn c1_line_extras(code_line: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if find_word(code_line, "static mut").is_some() {
+        out.push((
+            "static mut".to_string(),
+            "`static mut` is process-global mutable state: worlds sharing it race and \
+             break byte-identity; thread state through the world context instead"
+                .to_string(),
+        ));
+    }
+    if let Some(at) = find_word(code_line, "thread_local") {
+        let after_bang = code_line
+            .chars()
+            .skip(at + "thread_local".len())
+            .find(|c| !c.is_whitespace())
+            == Some('!');
+        if after_bang {
+            out.push((
+                "thread_local!".to_string(),
+                "`thread_local!` pins state to host threads: the world-to-thread mapping \
+                 must never affect simulation state; hold the state in the world or node \
+                 context instead"
+                    .to_string(),
+            ));
+        }
+    }
+    if let Some(pat) = arc_interior(code_line) {
+        out.push((
+            pat.to_string(),
+            format!(
+                "`{pat}...` smuggles unsynchronized shared mutable state behind a \
+                 thread-shareable handle: use `Rc` within a world, or the frame channel \
+                 across worlds"
+            ),
+        ));
+    }
+    out
+}
+
+/// Detect `Arc` directly wrapping an interior-mutability cell, in type
+/// position (`Arc<RefCell<T>>`) or constructor position
+/// (`Arc::new(RefCell::new(..))`). Whitespace-insensitive.
+fn arc_interior(code_line: &str) -> Option<&'static str> {
+    let squished: String = code_line.chars().filter(|c| !c.is_whitespace()).collect();
+    for pat in [
+        "Arc<Cell<",
+        "Arc<RefCell<",
+        "Arc<UnsafeCell<",
+        "Arc::new(Cell::new",
+        "Arc::new(RefCell::new",
+        "Arc::new(UnsafeCell::new",
+    ] {
+        let mut from = 0;
+        while let Some(at) = squished[from..].find(pat) {
+            let s = from + at;
+            let pre = squished[..s].chars().next_back();
+            if pre.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                return Some(pat);
+            }
+            from = s + pat.len();
+        }
+    }
+    None
+}
+
+/// Identifier tokens on `code_line` that look like `std::sync::atomic`
+/// types: `Atomic` followed by an uppercase tail (`AtomicU64`,
+/// `AtomicBool`, ...). Returns the token text per occurrence site.
+pub fn atomic_tokens(code_line: &str) -> Vec<String> {
+    let cs: Vec<char> = code_line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        if !(cs[i].is_alphabetic() || cs[i] == '_') {
+            i += 1;
+            continue;
+        }
+        let s = i;
+        while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+            i += 1;
+        }
+        let tok: String = cs[s..i].iter().collect();
+        let boundary_ok = s == 0 || !(cs[s - 1].is_alphanumeric() || cs[s - 1] == '_');
+        if boundary_ok
+            && tok.starts_with("Atomic")
+            && tok.chars().nth(6).is_some_and(|c| c.is_ascii_uppercase())
+        {
+            out.push(tok);
+        }
+    }
+    out
+}
+
+/// Char column of `word` in `hay` with identifier boundaries, or None.
+fn find_word(hay: &str, word: &str) -> Option<usize> {
+    let h: Vec<char> = hay.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    if w.is_empty() || h.len() < w.len() {
+        return None;
+    }
+    for s in 0..=h.len() - w.len() {
+        if h[s..s + w.len()] != w[..] {
+            continue;
+        }
+        let pre_ok = s == 0 || !(h[s - 1].is_alphanumeric() || h[s - 1] == '_');
+        let post = h.get(s + w.len());
+        let post_ok = post.is_none_or(|c| !c.is_alphanumeric() && *c != '_');
+        if pre_ok && post_ok {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extras_fire_on_each_shape() {
+        let hits = |s: &str| {
+            c1_line_extras(s)
+                .into_iter()
+                .map(|(w, _)| w)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(hits("static mut COUNTER: u64 = 0;"), ["static mut"]);
+        assert_eq!(
+            hits("thread_local! { static X: u8 = 0; }"),
+            ["thread_local!"]
+        );
+        assert_eq!(hits("thread_local ! { }"), ["thread_local!"]);
+        assert_eq!(hits("let s: Arc<RefCell<Vec<u8>>> = x;"), ["Arc<RefCell<"]);
+        assert_eq!(
+            hits("let s = Arc::new( RefCell::new(0) );"),
+            ["Arc::new(RefCell::new"]
+        );
+        assert!(hits("let s = Rc::new(RefCell::new(0));").is_empty());
+        assert!(hits("let s: Arc<Vec<u8>> = x;").is_empty());
+        assert!(hits("fn thread_local_name() {}").is_empty());
+        assert!(hits("let a = MyArc::new(RefCell::new(0));").is_empty());
+    }
+
+    #[test]
+    fn atomic_token_shapes() {
+        assert_eq!(
+            atomic_tokens("next: Vec<AtomicU64>, done: AtomicBool,"),
+            ["AtomicU64", "AtomicBool"]
+        );
+        assert!(atomic_tokens("let atomically = 1; Atomicity(x)").is_empty());
+        assert!(atomic_tokens("MyAtomicU64::new()").is_empty());
+    }
+}

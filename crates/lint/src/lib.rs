@@ -2,7 +2,7 @@
 //!
 //! The paper's tables (IPPS'96 Tables 2–4) are reproduced from flight-
 //! recorder traces of same-seed simulation runs. That only works while
-//! three families of invariants hold, and this crate enforces them as
+//! a few families of invariants hold, and this crate enforces them as
 //! named, machine-checkable rules:
 //!
 //! * **D1** — no `HashMap`/`HashSet` in sim-visible code: their seeded
@@ -15,6 +15,14 @@
 //! * **P1** — no `panic!`/`unwrap`/`expect`/`unreachable!`/unchecked
 //!   indexing in non-test code of the I/O-path crates (disk, os, pfs,
 //!   mesh, ufs): injected faults must surface as protocol errors.
+//! * **C1** — no thread-shareable mutable state (`static mut`,
+//!   `thread_local!`, `std::sync` locks/atomics, `Arc`-wrapped interior
+//!   mutability) outside the sanctioned parallel kernel
+//!   (`crates/sim/src/parallel.rs`) and its merge path
+//!   (`crates/workload/src/shard.rs`).
+//! * **C2** — no host channel construction (`std::sync::mpsc`) outside
+//!   those same modules: cross-shard handoff goes through the typed
+//!   frame-channel/epoch-barrier API.
 //! * **X1** — cross-file exhaustiveness: every protocol request variant
 //!   has a handler arm, a trace mapping, and a `PfsError` channel; every
 //!   `EventKind` is in `ALL`, emitted somewhere, and named in
@@ -23,15 +31,26 @@
 //!   or recorded.
 //! * **W1** — waiver hygiene: `// paragon-lint: allow(<rule>) — <why>`
 //!   must carry a justification.
+//! * **W2** — waiver liveness: a waiver whose rule no longer fires on
+//!   the lines it covers is itself a finding, so the waiver ledger
+//!   cannot rot.
+//!
+//! D1/D2/C1/C2 are resolution-aware (see [`resolve`]): `use`
+//! aliases and cross-crate `pub use` re-export chains of banned items
+//! are caught; locally defined types shadow banned names.
 //!
 //! Test code (`#[cfg(test)]` regions, `tests/`, `benches/`) is exempt
-//! from D1/D2/P1.
+//! from the per-file rules.
 
+pub mod concurrency;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
 pub mod strip;
 pub mod x1;
 
-pub use rules::{lint_file, FileCfg, Finding};
+pub use rules::{lint_file, lint_file_in, FileCfg, Finding};
+pub use sarif::findings_to_sarif;
 
 use std::collections::BTreeMap;
 use std::io;
@@ -44,6 +63,12 @@ pub const P1_CRATES: &[&str] = &["disk", "os", "pfs", "mesh", "ufs"];
 /// need a rationale in DESIGN.md).
 pub const D1_ALLOW: &[&str] = &[];
 
+/// The sanctioned shared-state modules: the parallel kernel itself and
+/// the merge path that folds world results. C1/C2 are off here — the
+/// point of the rules is to fence everything else off from what only
+/// these two files may do.
+pub const C_SANCTIONED: &[&str] = &["crates/sim/src/parallel.rs", "crates/workload/src/shard.rs"];
+
 /// Derive which rules apply to a workspace-relative path.
 pub fn cfg_for(rel: &str) -> FileCfg {
     let crate_name = rel
@@ -53,6 +78,7 @@ pub fn cfg_for(rel: &str) -> FileCfg {
     let exempt = rel
         .split('/')
         .any(|c| c == "tests" || c == "benches" || c == "examples");
+    let sanctioned = C_SANCTIONED.contains(&rel);
     FileCfg {
         d1: !exempt && !D1_ALLOW.contains(&rel),
         d2: !exempt && crate_name != "sim",
@@ -63,8 +89,15 @@ pub fn cfg_for(rel: &str) -> FileCfg {
         // soundness argument in the source.
         threads: !exempt,
         p1: !exempt && P1_CRATES.contains(&crate_name),
+        c1: !exempt && !sanctioned,
+        c2: !exempt && !sanctioned,
     }
 }
+
+/// Directory names the workspace scan must never descend into: build
+/// output and experiment results can contain `.rs` files (fixtures,
+/// build-script output) that are not workspace sources.
+const SKIP_DIRS: &[&str] = &["target", "results"];
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
@@ -73,6 +106,10 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     entries.sort();
     for p in entries {
         if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
             collect_rs(&p, out)?;
         } else if p.extension().is_some_and(|e| e == "rs") {
             out.push(p);
@@ -81,8 +118,32 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scan `crates/*/src/**/*.rs` under `root` and run every rule.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+/// The Cargo package ident (`-` mapped to `_`) of the crate at `dir`,
+/// falling back to the directory name.
+fn crate_ident(dir: &Path) -> String {
+    let fallback = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("")
+        .to_string();
+    let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) else {
+        return fallback.replace('-', "_");
+    };
+    manifest
+        .lines()
+        .find_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("name")?.trim_start().strip_prefix('=')?;
+            Some(rest.trim().trim_matches('"').replace('-', "_"))
+        })
+        .unwrap_or(fallback)
+        .replace('-', "_")
+}
+
+/// Collect `crates/*/src/**/*.rs` under `root` as `rel path → source`,
+/// skipping `target/` and `results/` explicitly. Exposed so tests can
+/// assert the skip behavior on synthetic workspaces.
+pub fn workspace_sources(root: &Path) -> io::Result<BTreeMap<String, String>> {
     let mut files = Vec::new();
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -92,7 +153,6 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     for c in &crate_dirs {
         collect_rs(&c.join("src"), &mut files)?;
     }
-
     let mut sources: BTreeMap<String, String> = BTreeMap::new();
     for p in &files {
         let rel = p
@@ -102,10 +162,46 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .replace('\\', "/");
         sources.insert(rel, std::fs::read_to_string(p)?);
     }
+    Ok(sources)
+}
 
+/// Crate dir name of a workspace-relative source path.
+fn crate_dir_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Build the cross-crate re-export table from every file's `pub use`
+/// declarations.
+pub fn build_workspace(root: &Path, sources: &BTreeMap<String, String>) -> resolve::Workspace {
+    let mut idents: BTreeMap<String, String> = BTreeMap::new();
+    let mut ws = resolve::Workspace::default();
+    for (rel, src) in sources {
+        let dir = crate_dir_of(rel);
+        let ident = idents
+            .entry(dir.to_string())
+            .or_insert_with(|| crate_ident(&root.join("crates").join(dir)))
+            .clone();
+        let syms = resolve::parse_file(&strip::view(src));
+        ws.add_exports(&ident, &syms);
+    }
+    ws
+}
+
+/// Scan `crates/*/src/**/*.rs` under `root` and run every rule.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let sources = workspace_sources(root)?;
+    let ws = build_workspace(root, &sources);
+    let mut idents: BTreeMap<String, String> = BTreeMap::new();
     let mut findings = Vec::new();
     for (rel, src) in &sources {
-        findings.extend(lint_file(rel, src, cfg_for(rel)));
+        let dir = crate_dir_of(rel);
+        let ident = idents
+            .entry(dir.to_string())
+            .or_insert_with(|| crate_ident(&root.join("crates").join(dir)))
+            .clone();
+        findings.extend(lint_file_in(rel, src, cfg_for(rel), &ws, &ident));
     }
     findings.extend(x1_workspace(&sources));
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

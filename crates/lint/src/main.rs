@@ -1,11 +1,13 @@
 //! `paragon-lint` binary: scan the workspace, print findings, exit
-//! nonzero when any rule fires. `--json` emits machine-readable output.
+//! nonzero when any rule fires. `--json` emits a machine-readable
+//! array; `--sarif` emits a SARIF 2.1.0 log for code-scanning UIs.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let json = std::env::args().any(|a| a == "--json");
+    let sarif = std::env::args().any(|a| a == "--sarif");
     // The binary lives at crates/lint; the workspace root is two up.
     let root = match Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
         Some(r) => r,
@@ -21,10 +23,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if json {
+    if sarif {
+        print!("{}", paragon_lint::findings_to_sarif(&findings));
+    } else if json {
         println!("{}", paragon_lint::findings_to_json(&findings));
     } else if findings.is_empty() {
-        println!("paragon-lint: clean (rules D1, D2, P1, X1, W1)");
+        println!("paragon-lint: clean (rules D1, D2, P1, C1, C2, X1, W1, W2)");
     } else {
         for f in &findings {
             println!("{} {}:{} — {}", f.rule, f.file, f.line, f.msg);

@@ -1,0 +1,554 @@
+//! Workspace symbol resolution.
+//!
+//! The per-file lexer cannot see that `use std::collections::HashMap as
+//! Map;` smuggles a banned container in under a new name, or that a
+//! local `struct Instant` has nothing to do with the wall clock. This
+//! pass closes both gaps with a deliberately small model:
+//!
+//! * **Use-declarations** — every `use` in a file (including `as`
+//!   aliases, nested `{...}` groups, and `self` group members) becomes
+//!   a `name → target path` binding. A binding whose target resolves to
+//!   a banned item makes the bound name scannable; a binding to a
+//!   non-banned target *rebinds* the name, so bare occurrences of it
+//!   are no longer evidence of the std item.
+//! * **Re-exports** — `pub use` bindings are collected per crate into
+//!   an export table keyed by the crate's Cargo ident (`paragon-sim` →
+//!   `paragon_sim`). Resolution follows chains through that table
+//!   (depth-limited, cycle-guarded), so `pub use std::collections::
+//!   HashMap as FastMap;` in one crate is caught at every `use
+//!   other_crate::FastMap;` site.
+//! * **Local defines** — `struct`/`enum`/`trait`/`type`/`union`/`fn`/
+//!   `mod`/`macro_rules!` names declared in a file shadow the banned
+//!   vocabulary for bare occurrences in that file. A `std::`-qualified
+//!   occurrence still flags: shadowing hides a name, not the item.
+//!
+//! Out of model (documented limits, all conservative in the quiet
+//! direction for resolved paths and in the strict direction for bare
+//! tokens): glob imports, `let`-bindings, method calls, macro-generated
+//! code, and `crate`/`self`/`super`-relative paths, which are treated
+//! as crate-local and never banned.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::concurrency::C1_SYNC_TYPES;
+use crate::strip::FileView;
+
+/// One `use` binding: `name` is the identifier in scope, `target` the
+/// path it was bound to, as written (one segment per element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseBinding {
+    pub name: String,
+    pub target: Vec<String>,
+    pub is_pub: bool,
+    /// 1-based first/last source line of the declaration.
+    pub span: (usize, usize),
+}
+
+/// Per-file symbol table: use-bindings plus locally defined names.
+#[derive(Debug, Default, Clone)]
+pub struct FileSymbols {
+    pub uses: Vec<UseBinding>,
+    pub defines: BTreeSet<String>,
+}
+
+impl FileSymbols {
+    pub fn binding(&self, name: &str) -> Option<&UseBinding> {
+        self.uses.iter().find(|b| b.name == name)
+    }
+}
+
+/// Workspace-wide re-export table: crate ident → exported name →
+/// target path as written at the `pub use` site.
+#[derive(Debug, Default, Clone)]
+pub struct Workspace {
+    pub exports: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+impl Workspace {
+    /// Record every `pub use` binding of `syms` as an export of
+    /// `crate_ident`.
+    pub fn add_exports(&mut self, crate_ident: &str, syms: &FileSymbols) {
+        for b in syms.uses.iter().filter(|b| b.is_pub) {
+            self.exports
+                .entry(crate_ident.to_string())
+                .or_default()
+                .insert(b.name.clone(), b.target.clone());
+        }
+    }
+
+    /// Follow `path` (as written in `crate_ident`) to an absolute path
+    /// rooted at `std`/`core`/`alloc`/`rand`, chasing workspace
+    /// re-export chains. `None` when the path leaves the model —
+    /// crate-relative roots, unknown roots, non-re-exported items —
+    /// which callers must treat as "not a banned item".
+    pub fn canonicalize(&self, crate_ident: &str, path: &[String]) -> Option<Vec<String>> {
+        let mut cur: Vec<String> = path.to_vec();
+        if cur.first().is_some_and(|r| r == "crate") && !crate_ident.is_empty() {
+            cur[0] = crate_ident.to_string();
+        }
+        for _ in 0..8 {
+            let root = cur.first()?.as_str();
+            match root {
+                "std" | "core" | "alloc" | "rand" => return Some(cur),
+                r if self.exports.contains_key(r) => {
+                    if cur.len() < 2 {
+                        return None;
+                    }
+                    let last = cur.last()?.clone();
+                    match self.exports[r].get(&last) {
+                        Some(t) if *t != cur => cur = t.clone(),
+                        _ => return None,
+                    }
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Does `path`, written in `crate_ident`, resolve to a banned item?
+    /// Returns the rule id and the canonical path.
+    pub fn banned(
+        &self,
+        crate_ident: &str,
+        path: &[String],
+    ) -> Option<(&'static str, Vec<String>)> {
+        let canon = self.canonicalize(crate_ident, path)?;
+        banned_path(&canon).map(|rule| (rule, canon))
+    }
+}
+
+/// The banned-item registry over canonical absolute paths. Returns the
+/// rule the item falls under.
+pub fn banned_path(path: &[String]) -> Option<&'static str> {
+    let segs: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+    let (&root, &last) = (segs.first()?, segs.last()?);
+    if root == "rand" {
+        return (last == "thread_rng").then_some("D2");
+    }
+    if !matches!(root, "std" | "core" | "alloc") {
+        return None;
+    }
+    if segs.contains(&"collections") && matches!(last, "HashMap" | "HashSet") {
+        return Some("D1");
+    }
+    if segs.get(1) == Some(&"time") && matches!(last, "Instant" | "SystemTime") {
+        return Some("D2");
+    }
+    if segs.get(1) == Some(&"thread") {
+        return Some("D2");
+    }
+    if segs.get(1) == Some(&"sync") {
+        if segs.get(2) == Some(&"mpsc") {
+            return Some("C2");
+        }
+        if segs.get(2) == Some(&"atomic") || last.starts_with("Atomic") {
+            return Some("C1");
+        }
+        if C1_SYNC_TYPES.contains(&last) {
+            return Some("C1");
+        }
+    }
+    None
+}
+
+/// Parse a stripped file into its symbol table. Declarations inside
+/// `#[cfg(test)]` regions are skipped: test-only symbols must neither
+/// shadow nor incriminate non-test code.
+pub fn parse_file(v: &FileView) -> FileSymbols {
+    let chars: Vec<char> = v.code.chars().collect();
+    let mut line_of = Vec::with_capacity(chars.len());
+    let mut ln = 1usize;
+    for &c in &chars {
+        line_of.push(ln);
+        if c == '\n' {
+            ln += 1;
+        }
+    }
+
+    let mut syms = FileSymbols {
+        uses: Vec::new(),
+        defines: parse_defines(v),
+    };
+
+    let mut i = 0;
+    while i + 3 <= chars.len() {
+        let kw =
+            chars[i] == 'u' && chars.get(i + 1) == Some(&'s') && chars.get(i + 2) == Some(&'e');
+        let pre_ok = i == 0 || !is_ident(chars[i - 1]);
+        let post_ok = chars.get(i + 3).is_none_or(|c| c.is_whitespace());
+        if !(kw && pre_ok && post_ok) {
+            i += 1;
+            continue;
+        }
+        if v.is_test(line_of[i]) {
+            i += 3;
+            continue;
+        }
+        let is_pub = pub_precedes(&chars, i);
+        let start = i + 3;
+        let mut end = start;
+        while end < chars.len() && chars[end] != ';' {
+            end += 1;
+        }
+        let decl: String = chars[start..end].iter().collect();
+        let first_line = line_of[i];
+        let last_line = line_of[end.min(chars.len() - 1)];
+        let t = toks(&decl);
+        let mut pos = 0;
+        let mut found = Vec::new();
+        parse_tree(&t, &mut pos, &[], &mut found);
+        for (target, name) in found {
+            let Some(name) = name else { continue };
+            if name == "_" || target.is_empty() {
+                continue;
+            }
+            syms.uses.push(UseBinding {
+                name,
+                target,
+                is_pub,
+                span: (first_line, last_line),
+            });
+        }
+        i = end + 1;
+    }
+    syms
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `pub` (possibly `pub(crate)`/`pub(in ...)`) immediately precede
+/// the keyword at `chars[i]`?
+fn pub_precedes(chars: &[char], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 && chars[k - 1].is_whitespace() {
+        k -= 1;
+    }
+    if k > 0 && chars[k - 1] == ')' {
+        let mut depth = 1usize;
+        k -= 1;
+        while k > 0 && depth > 0 {
+            k -= 1;
+            match chars[k] {
+                '(' => depth -= 1,
+                ')' => depth += 1,
+                _ => {}
+            }
+        }
+        while k > 0 && chars[k - 1].is_whitespace() {
+            k -= 1;
+        }
+    }
+    k >= 3 && chars[k - 3..k] == ['p', 'u', 'b'] && (k == 3 || !is_ident(chars[k - 4]))
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    PathSep,
+    Open,
+    Close,
+    Comma,
+    Star,
+}
+
+fn toks(s: &str) -> Vec<Tok> {
+    let cs: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        let c = cs[i];
+        if is_ident(c) {
+            let mut j = i;
+            while j < cs.len() && is_ident(cs[j]) {
+                j += 1;
+            }
+            out.push(Tok::Ident(cs[i..j].iter().collect()));
+            i = j;
+        } else if c == ':' && cs.get(i + 1) == Some(&':') {
+            out.push(Tok::PathSep);
+            i += 2;
+        } else {
+            match c {
+                '{' => out.push(Tok::Open),
+                '}' => out.push(Tok::Close),
+                ',' => out.push(Tok::Comma),
+                '*' => out.push(Tok::Star),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Recursive descent over a use-tree, producing `(path, bound name)`
+/// pairs. Globs bind nothing (out of model).
+fn parse_tree(
+    t: &[Tok],
+    pos: &mut usize,
+    prefix: &[String],
+    out: &mut Vec<(Vec<String>, Option<String>)>,
+) {
+    match t.get(*pos) {
+        Some(Tok::Open) => {
+            *pos += 1;
+            while !matches!(t.get(*pos), Some(Tok::Close) | None) {
+                if matches!(t.get(*pos), Some(Tok::Comma)) {
+                    *pos += 1;
+                    continue;
+                }
+                parse_tree(t, pos, prefix, out);
+            }
+            if matches!(t.get(*pos), Some(Tok::Close)) {
+                *pos += 1;
+            }
+        }
+        Some(Tok::Star) => {
+            *pos += 1;
+        }
+        Some(Tok::Ident(_)) => {
+            let mut path = prefix.to_vec();
+            while let Some(Tok::Ident(id)) = t.get(*pos) {
+                path.push(id.clone());
+                *pos += 1;
+                match t.get(*pos) {
+                    Some(Tok::PathSep) => {
+                        *pos += 1;
+                        if matches!(t.get(*pos), Some(Tok::Open) | Some(Tok::Star)) {
+                            parse_tree(t, pos, &path, out);
+                            return;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let mut alias = None;
+            if matches!(t.get(*pos), Some(Tok::Ident(a)) if a == "as") {
+                *pos += 1;
+                if let Some(Tok::Ident(b)) = t.get(*pos) {
+                    alias = Some(b.clone());
+                    *pos += 1;
+                }
+            }
+            if path.len() > prefix.len() {
+                if path.last().is_some_and(|s| s == "self") {
+                    path.pop();
+                }
+                if !path.is_empty() {
+                    let name = alias.or_else(|| path.last().cloned());
+                    out.push((path, name));
+                }
+            }
+        }
+        Some(_) => {
+            *pos += 1;
+        }
+        None => {}
+    }
+}
+
+const DEF_KEYWORDS: &[&str] = &["struct", "enum", "trait", "union", "type", "fn", "mod"];
+
+/// Names defined by items in non-test code of this file.
+fn parse_defines(v: &FileView) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (idx, line) in v.code.lines().enumerate() {
+        if v.test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let cs: Vec<char> = line.chars().collect();
+        for kw in DEF_KEYWORDS.iter().copied().chain(["macro_rules!"]) {
+            let needle: Vec<char> = kw.chars().collect();
+            let mut from = 0;
+            while from + needle.len() <= cs.len() {
+                if cs[from..from + needle.len()] != needle[..] {
+                    from += 1;
+                    continue;
+                }
+                let s = from;
+                let e = from + needle.len();
+                from = e;
+                let pre_ok = s == 0 || !is_ident(cs[s - 1]);
+                let post_ok = cs.get(e).is_none_or(|c| !is_ident(*c));
+                if !pre_ok || (!post_ok && !kw.ends_with('!')) {
+                    continue;
+                }
+                let mut j = e;
+                while j < cs.len() && cs[j].is_whitespace() {
+                    j += 1;
+                }
+                let mut k = j;
+                while k < cs.len() && is_ident(cs[k]) {
+                    k += 1;
+                }
+                if k > j {
+                    out.insert(cs[j..k].iter().collect());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::view;
+
+    fn uses(src: &str) -> Vec<(String, Vec<String>, bool)> {
+        parse_file(&view(src))
+            .uses
+            .into_iter()
+            .map(|b| (b.name, b.target, b.is_pub))
+            .collect()
+    }
+
+    fn path(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_alias_and_group_bindings() {
+        let got = uses(
+            "use std::collections::HashMap as Map;\n\
+             use std::time::{Instant, SystemTime as Wall};\n\
+             pub use std::sync::mpsc::{self as chan, Receiver};\n",
+        );
+        assert_eq!(
+            got,
+            vec![
+                (
+                    "Map".into(),
+                    path(&["std", "collections", "HashMap"]),
+                    false
+                ),
+                ("Instant".into(), path(&["std", "time", "Instant"]), false),
+                ("Wall".into(), path(&["std", "time", "SystemTime"]), false),
+                ("chan".into(), path(&["std", "sync", "mpsc"]), true),
+                (
+                    "Receiver".into(),
+                    path(&["std", "sync", "mpsc", "Receiver"]),
+                    true
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_groups_globs_and_underscore() {
+        let got = uses("use std::{collections::{HashMap, HashSet}, io::*};\nuse a::B as _;\n");
+        assert_eq!(
+            got,
+            vec![
+                (
+                    "HashMap".into(),
+                    path(&["std", "collections", "HashMap"]),
+                    false
+                ),
+                (
+                    "HashSet".into(),
+                    path(&["std", "collections", "HashSet"]),
+                    false
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn multiline_group_spans_are_recorded() {
+        let s = "pub(crate) use std::sync::{\n    Mutex,\n    RwLock,\n};\n";
+        let f = parse_file(&view(s));
+        assert_eq!(f.uses.len(), 2);
+        assert!(f.uses.iter().all(|b| b.is_pub));
+        assert!(f.uses.iter().all(|b| b.span == (1, 4)));
+    }
+
+    #[test]
+    fn defines_capture_items_but_not_test_items() {
+        let s = "struct Instant(u64);\nenum Barrier { A }\nfn thread_rng() {}\nmod epoch;\n\
+                 #[cfg(test)]\nmod tests {\n    struct SystemTime;\n}\n";
+        let d = parse_file(&view(s)).defines;
+        for n in ["Instant", "Barrier", "thread_rng", "epoch"] {
+            assert!(d.contains(n), "missing {n}: {d:?}");
+        }
+        assert!(!d.contains("SystemTime"), "test-only define leaked: {d:?}");
+    }
+
+    #[test]
+    fn export_chains_resolve_through_crates() {
+        let mut ws = Workspace::default();
+        let shim = parse_file(&view("pub use std::collections::HashMap as FastMap;\n"));
+        ws.add_exports("paragon_shim", &shim);
+        let hop = parse_file(&view("pub use paragon_shim::FastMap as Fast2;\n"));
+        ws.add_exports("paragon_hop", &hop);
+
+        let (rule, canon) = ws
+            .banned("paragon_x", &path(&["paragon_shim", "FastMap"]))
+            .expect("one-hop re-export resolves");
+        assert_eq!(rule, "D1");
+        assert_eq!(canon, path(&["std", "collections", "HashMap"]));
+        let (rule, _) = ws
+            .banned("paragon_x", &path(&["paragon_hop", "Fast2"]))
+            .expect("two-hop re-export resolves");
+        assert_eq!(rule, "D1");
+        // Non-exported items and relative roots stay out of model.
+        assert!(ws
+            .banned("paragon_x", &path(&["paragon_shim", "Other"]))
+            .is_none());
+        assert!(ws
+            .banned("paragon_x", &path(&["self", "sync", "Barrier"]))
+            .is_none());
+        assert!(ws.banned("paragon_x", &path(&["super", "Mutex"])).is_none());
+    }
+
+    #[test]
+    fn crate_root_resolves_through_own_exports() {
+        let mut ws = Workspace::default();
+        let f = parse_file(&view("pub use std::time::Instant as Tick;\n"));
+        ws.add_exports("paragon_me", &f);
+        let (rule, _) = ws
+            .banned("paragon_me", &path(&["crate", "Tick"]))
+            .expect("crate-rooted path maps to own ident");
+        assert_eq!(rule, "D2");
+    }
+
+    #[test]
+    fn cycles_are_cut() {
+        let mut ws = Workspace::default();
+        let a = parse_file(&view("pub use paragon_b::Thing;\n"));
+        ws.add_exports("paragon_a", &a);
+        let b = parse_file(&view("pub use paragon_a::Thing;\n"));
+        ws.add_exports("paragon_b", &b);
+        assert!(ws
+            .banned("paragon_x", &path(&["paragon_a", "Thing"]))
+            .is_none());
+    }
+
+    #[test]
+    fn banned_registry_covers_the_rule_surface() {
+        let cases: &[(&[&str], Option<&str>)] = &[
+            (&["std", "collections", "HashMap"], Some("D1")),
+            (&["std", "collections", "hash_map", "HashMap"], Some("D1")),
+            (&["std", "collections", "BTreeMap"], None),
+            (&["std", "time", "Instant"], Some("D2")),
+            (&["std", "time", "Duration"], None),
+            (&["std", "thread"], Some("D2")),
+            (&["std", "thread", "spawn"], Some("D2")),
+            (&["rand", "thread_rng"], Some("D2")),
+            (&["std", "sync", "Mutex"], Some("C1")),
+            (&["std", "sync", "OnceLock"], Some("C1")),
+            (&["std", "sync", "atomic", "AtomicU64"], Some("C1")),
+            (&["std", "sync", "atomic", "Ordering"], Some("C1")),
+            (&["std", "sync", "Arc"], None),
+            (&["std", "sync", "mpsc"], Some("C2")),
+            (&["std", "sync", "mpsc", "channel"], Some("C2")),
+            (&["std", "cell", "RefCell"], None),
+        ];
+        for (p, want) in cases {
+            assert_eq!(banned_path(&path(p)), *want, "path {p:?}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! SARIF 2.1.0 output for CI code-scanning annotations.
+//!
+//! The shape is the minimal static-analysis profile most code-scanning
+//! UIs accept: one run, a driver with the full rule table (so every
+//! `ruleId` a result references is declared), and one result per
+//! finding with a physical location. Serialization is hand-rolled like
+//! the JSON writer — the workspace is hermetic, so no serde — and the
+//! output is byte-stable for a given finding list (golden-file tested).
+
+use crate::rules::Finding;
+
+/// The rule table shared by SARIF output and docs: `(id, short
+/// description)`.
+pub const RULE_TABLE: &[(&str, &str)] = &[
+    (
+        "D1",
+        "No randomly-seeded containers (HashMap/HashSet) in sim-visible code",
+    ),
+    (
+        "D2",
+        "No wall-clock, ambient entropy, or host threads outside sanctioned modules",
+    ),
+    (
+        "P1",
+        "No panicking constructs on the I/O path; faults become protocol errors",
+    ),
+    (
+        "C1",
+        "No thread-shareable mutable state outside the sanctioned parallel kernel",
+    ),
+    (
+        "C2",
+        "Cross-shard handoff only via the typed frame-channel/epoch-barrier API",
+    ),
+    (
+        "X1",
+        "Cross-file exhaustiveness: protocol, trace, metric, and redundancy vocabularies",
+    ),
+    (
+        "W1",
+        "Waivers must name known rules and carry a justification",
+    ),
+    (
+        "W2",
+        "Waivers must be live: a waiver whose rule never fires is stale",
+    ),
+];
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize findings as a SARIF 2.1.0 log (stable layout: two-space
+/// indent, results in input order).
+pub fn findings_to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"paragon-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md#8-static-analysis--invariants\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULE_TABLE.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            esc(id),
+            esc(desc),
+            if i + 1 < RULE_TABLE.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(f.rule)));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            esc(&f.msg)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{\"uri\": \"{}\"}},\n",
+            esc(&f.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{\"startLine\": {}}}\n",
+            f.line
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_is_valid_and_declares_every_rule() {
+        let s = findings_to_sarif(&[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"results\": [\n      ]"));
+        for (id, _) in RULE_TABLE {
+            assert!(
+                s.contains(&format!("\"id\": \"{id}\"")),
+                "missing rule {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn results_carry_rule_file_and_line() {
+        let f = vec![Finding {
+            rule: "D1",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            msg: "a \"quoted\" message".into(),
+        }];
+        let s = findings_to_sarif(&f);
+        assert!(s.contains("\"ruleId\": \"D1\""));
+        assert!(s.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("a \\\"quoted\\\" message"));
+    }
+}

@@ -94,7 +94,9 @@ fn scan(src: &str) -> (String, Vec<usize>) {
                     out.push(' ');
                     i += 1;
                 }
-                'r' | 'b' if !prev_is_ident(&chars, i) && raw_str_hashes(&chars, i).is_some() => {
+                'r' | 'b' | 'c'
+                    if !prev_is_ident(&chars, i) && raw_str_hashes(&chars, i).is_some() =>
+                {
                     let (hashes, skip) = raw_str_hashes(&chars, i).unwrap_or((0, 1));
                     st = St::RawStr(hashes);
                     for _ in 0..skip {
@@ -102,7 +104,7 @@ fn scan(src: &str) -> (String, Vec<usize>) {
                     }
                     i += skip as usize;
                 }
-                'b' if next == Some('"') => {
+                'b' | 'c' if next == Some('"') => {
                     st = St::Str;
                     out.push_str("  ");
                     i += 2;
@@ -207,12 +209,12 @@ fn prev_is_ident(chars: &[char], i: usize) -> bool {
     i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
 }
 
-/// At `chars[i]` sitting on `r` or `b`: if this starts a raw string
-/// (`r"`, `r#"`, `br#"`, ...), return (hash count, chars consumed up to
-/// and including the opening quote).
+/// At `chars[i]` sitting on `r`, `b`, or `c`: if this starts a raw
+/// string (`r"`, `r#"`, `br#"`, `cr#"`, ...), return (hash count, chars
+/// consumed up to and including the opening quote).
 fn raw_str_hashes(chars: &[char], i: usize) -> Option<(u32, u32)> {
     let mut j = i;
-    if chars.get(j) == Some(&'b') {
+    if matches!(chars.get(j), Some(&'b') | Some(&'c')) {
         j += 1;
     }
     if chars.get(j) != Some(&'r') {
@@ -377,6 +379,32 @@ mod tests {
         let out = strip(src);
         assert!(!out.contains("panic!"));
         assert!(out.contains("'static"));
+    }
+
+    #[test]
+    fn c_string_literals_are_blanked() {
+        // Rust 1.77 C-string literals: `c"…"` and the raw form
+        // `cr#"…"#`. An embedded `"` must not terminate the raw form
+        // early and leak the tail tokens back into code.
+        let src = "let a = c\"HashMap\";\nlet b = cr#\"Mutex \"q\" HashSet\"#;\nlet t = 1;\n";
+        let out = strip(src);
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("Mutex"));
+        assert!(!out.contains("HashSet"));
+        assert!(!out.contains('q'), "embedded quote leaked the tail");
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(out.lines().nth(2).unwrap_or("").contains("let t = 1;"));
+    }
+
+    #[test]
+    fn prefix_letters_inside_identifiers_do_not_open_strings() {
+        // `magic` ends in `c` and `ptr` ends in `r`; neither may be
+        // mistaken for a literal prefix when a string follows later.
+        let src = "let magic = 1; let ptr = 2; let s = \"x\"; Instant::now();\n";
+        let out = strip(src);
+        assert!(out.contains("magic"));
+        assert!(out.contains("ptr"));
+        assert!(out.contains("Instant"));
     }
 
     #[test]

@@ -8,7 +8,10 @@
 use paragon_lint::x1::{
     check_x1, check_x1_metric_names, check_x1_redundancy, parse_enum, prep, Src,
 };
-use paragon_lint::{findings_to_json, lint_file, lint_workspace, FileCfg, Finding};
+use paragon_lint::{
+    build_workspace, cfg_for, findings_to_json, findings_to_sarif, lint_file, lint_file_in,
+    lint_workspace, workspace_sources, FileCfg, Finding,
+};
 
 fn fixture(name: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -75,6 +78,8 @@ fn p1_off_means_panics_pass() {
         d2: true,
         threads: true,
         p1: false,
+        c1: true,
+        c2: true,
     };
     let f = lint_file("p1.rs", &fixture("p1_panic_path.rs"), cfg);
     assert!(f.is_empty(), "unexpected: {f:?}");
@@ -90,6 +95,8 @@ fn thread_ban_holds_in_the_sim_crate_cfg() {
         d2: false,
         threads: true,
         p1: false,
+        c1: true,
+        c2: true,
     };
     let f = lint_file("threads.rs", &fixture("d2_threads.rs"), cfg);
     assert_eq!(pairs(&f), [("D2", 4), ("D2", 7), ("D2", 12)]);
@@ -134,6 +141,169 @@ fn w1_rejects_each_malformation_and_bare_waivers_do_not_silence() {
 fn justified_waivers_silence_line_and_block_scope() {
     let f = lint_file("ok.rs", &fixture("waiver_ok.rs"), FileCfg::all());
     assert!(f.is_empty(), "waived + test-only code must be clean: {f:?}");
+}
+
+#[test]
+fn aliased_imports_resolve_to_their_banned_targets() {
+    // True positives for the resolver: `Map` and `Stamp` are caught at
+    // every use site, and each import line carries exactly one finding
+    // (the spelled-out `HashMap`/`Instant` token on the `use` line — the
+    // import-site pass sees the line is covered and adds no duplicate).
+    let f = lint_file("alias.rs", &fixture("resolve_alias.rs"), FileCfg::all());
+    assert_eq!(
+        pairs(&f),
+        [("D1", 3), ("D2", 4), ("D1", 7), ("D2", 14), ("D2", 15)]
+    );
+    assert!(
+        f[2].msg
+            .contains("resolves to banned `std::collections::HashMap`"),
+        "use-site finding names the resolved target: {}",
+        f[2].msg
+    );
+    assert!(
+        f[3].msg.contains("resolves to banned `std::time::Instant`"),
+        "use-site finding names the resolved target: {}",
+        f[3].msg
+    );
+}
+
+#[test]
+fn local_shadows_and_crate_paths_stay_clean() {
+    // True negatives for the resolver: a locally defined `Instant` and a
+    // crate-relative `Barrier` path must not flag.
+    let f = lint_file("shadow.rs", &fixture("resolve_shadow.rs"), FileCfg::all());
+    assert!(f.is_empty(), "unexpected: {f:?}");
+}
+
+#[test]
+fn c1_flags_every_shared_state_shape() {
+    let f = lint_file("c1.rs", &fixture("c1_concurrency.rs"), FileCfg::all());
+    assert_eq!(
+        pairs(&f),
+        [
+            ("C1", 3),  // use std::sync::Mutex
+            ("C1", 4),  // use std::sync::atomic::AtomicU64
+            ("C1", 6),  // static mut
+            ("C1", 8),  // thread_local!
+            ("C1", 13), // Mutex field
+            ("C1", 14), // AtomicU64 field
+            ("C1", 15), // Arc<RefCell<..>>
+        ]
+    );
+    assert!(
+        f[0].msg.contains("epoch-barrier frame channel"),
+        "the finding must name the sanctioned alternative: {}",
+        f[0].msg
+    );
+    assert!(f[6].msg.contains("Arc<RefCell<"), "{}", f[6].msg);
+}
+
+#[test]
+fn c2_flags_host_channels() {
+    let f = lint_file("c2.rs", &fixture("c2_channels.rs"), FileCfg::all());
+    assert_eq!(pairs(&f), [("C2", 3), ("C2", 6)]);
+    assert!(
+        f[0].msg.contains("frame-channel/epoch-barrier"),
+        "the finding must name the sanctioned API: {}",
+        f[0].msg
+    );
+}
+
+#[test]
+fn sanctioned_modules_are_exempt_from_c_rules_only() {
+    for rel in ["crates/sim/src/parallel.rs", "crates/workload/src/shard.rs"] {
+        let cfg = cfg_for(rel);
+        assert!(!cfg.c1 && !cfg.c2, "{rel} must be C1/C2-sanctioned");
+        assert!(cfg.threads, "{rel} keeps the waiver-policed thread ban");
+        // The same seeded violations, linted as if they lived in a
+        // sanctioned file, come back clean.
+        for fx in ["c1_concurrency.rs", "c2_channels.rs"] {
+            let f = lint_file(rel, &fixture(fx), cfg);
+            assert!(f.is_empty(), "{rel} x {fx}: {f:?}");
+        }
+    }
+    let cfg = cfg_for("crates/os/src/lib.rs");
+    assert!(
+        cfg.c1 && cfg.c2 && cfg.p1,
+        "ordinary files get the full set"
+    );
+}
+
+#[test]
+fn w2_flags_the_stale_waiver_and_spares_the_live_one() {
+    let f = lint_file("w2.rs", &fixture("w2_stale.rs"), FileCfg::all());
+    assert_eq!(pairs(&f), [("W2", 5)]);
+    assert!(f[0].msg.contains("stale waiver"), "{}", f[0].msg);
+    // waiver_ok.rs doubles as the all-live true negative (asserted clean
+    // in `justified_waivers_silence_line_and_block_scope`).
+}
+
+#[test]
+fn multi_rule_waiver_is_tracked_per_rule() {
+    // allow(D1, C1) over a line where only D1 fires: the D1 half
+    // suppresses, the C1 half is reported stale.
+    let f = lint_file("w2m.rs", &fixture("w2_multi.rs"), FileCfg::all());
+    assert_eq!(pairs(&f), [("W2", 4)]);
+    assert!(f[0].msg.contains("C1"), "{}", f[0].msg);
+}
+
+#[test]
+fn c_string_literals_do_not_flag_but_code_after_them_does() {
+    let f = lint_file("raw.rs", &fixture("raw_strings.rs"), FileCfg::all());
+    assert_eq!(
+        pairs(&f),
+        [("D2", 9), ("D2", 10)],
+        "banned words inside c\"..\"/cr#\"..\"# must be blanked: {f:?}"
+    );
+}
+
+#[test]
+fn sarif_output_matches_the_committed_golden() {
+    let f = lint_file("d1_hashmap.rs", &fixture("d1_hashmap.rs"), FileCfg::all());
+    let sarif = findings_to_sarif(&f);
+    assert_eq!(
+        sarif,
+        fixture("golden.sarif"),
+        "SARIF output drifted from tests/fixtures/golden.sarif; if the \
+         change is intentional, regenerate the golden from this output"
+    );
+}
+
+#[test]
+fn workspace_scan_skips_target_and_results_dirs() {
+    // Synthetic workspace with planted D1 violations in build-output and
+    // results directories: none of them may be scanned.
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_skip_ws");
+    let mk = |rel: &str, body: &str| {
+        let p = root.join(rel);
+        std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&p, body).expect("write");
+    };
+    mk("crates/x/Cargo.toml", "[package]\nname = \"x\"\n");
+    mk("crates/x/src/lib.rs", "pub fn ok() -> u32 { 1 }\n");
+    mk(
+        "crates/x/src/target/debug/bad.rs",
+        "use std::collections::HashMap;\n",
+    );
+    mk(
+        "crates/x/src/results/old.rs",
+        "use std::collections::HashSet;\n",
+    );
+    mk(
+        "crates/x/target/debug/bad.rs",
+        "use std::collections::HashMap;\n",
+    );
+    let sources = workspace_sources(&root).expect("scan synthetic workspace");
+    assert_eq!(
+        sources.keys().collect::<Vec<_>>(),
+        ["crates/x/src/lib.rs"],
+        "planted target/ and results/ files leaked into the scan"
+    );
+    let ws = build_workspace(&root, &sources);
+    for (rel, src) in &sources {
+        let f = lint_file_in(rel, src, cfg_for(rel), &ws, "x");
+        assert!(f.is_empty(), "{rel}: {f:?}");
+    }
 }
 
 #[test]

@@ -1,0 +1,16 @@
+//! Fixture: C1 — every shape of thread-shareable mutable state the rule
+//! knows, outside the sanctioned parallel kernel.
+use std::sync::Mutex;
+use std::sync::atomic::AtomicU64;
+
+static mut HITS: u64 = 0;
+
+thread_local! {
+    static SCRATCH: u64 = 0;
+}
+
+struct Shared {
+    guard: Mutex<u64>,
+    count: AtomicU64,
+    cell: Arc<RefCell<u8>>,
+}

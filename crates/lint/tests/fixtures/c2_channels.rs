@@ -1,0 +1,8 @@
+//! Fixture: C2 — host channel construction outside the sanctioned
+//! modules.
+use std::sync::mpsc;
+
+fn wire() {
+    let (tx, rx) = mpsc::channel::<u64>();
+    drop((tx, rx));
+}

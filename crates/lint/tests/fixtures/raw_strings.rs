@@ -1,0 +1,11 @@
+//! Fixture: banned vocabulary inside C-string and raw C-string literals
+//! must not flag — but real code around them still does.
+fn strings() -> usize {
+    let a = c"HashMap Instant Mutex";
+    let b = cr#"thread_rng() mpsc "quoted" HashSet"#;
+    a.to_bytes().len() + b.to_bytes().len()
+}
+
+fn real() -> std::time::Instant {
+    std::time::Instant::now()
+}

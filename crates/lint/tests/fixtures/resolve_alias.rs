@@ -1,0 +1,16 @@
+//! Fixture: use-aliases of banned items are resolved through the symbol
+//! table and caught at every use site, plus once at the import itself.
+use std::collections::HashMap as Map;
+use std::time::Instant as Stamp;
+
+fn lookup(keys: &[u64]) -> usize {
+    let mut m: Map<u64, u64> = Map::new();
+    for k in keys {
+        m.insert(*k, k * 2);
+    }
+    m.len()
+}
+
+fn stamp() -> Stamp {
+    Stamp::now()
+}

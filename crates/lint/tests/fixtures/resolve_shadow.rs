@@ -1,0 +1,13 @@
+//! Fixture: a locally defined type shadows a banned name, and
+//! crate-relative paths never resolve into `std` — neither may flag.
+
+/// Sim-time stamp; shares a name with `std::time::Instant` on purpose.
+pub struct Instant(pub u64);
+
+pub fn tick(t: Instant) -> Instant {
+    Instant(t.0 + 1)
+}
+
+pub fn fence() -> crate::sync::Barrier {
+    crate::sync::Barrier::new(2)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a multi-rule waiver is tracked per named rule — here the D1
+//! half is live and the C1 half is stale.
+fn cache() {
+    // paragon-lint: allow(D1, C1) — host-side diagnostics map, never sim-visible
+    let m = std::collections::HashMap::<u32, u32>::new();
+    let _ = m.len();
+}

@@ -1,0 +1,12 @@
+//! Fixture: W2 — a waiver whose rule never fires on its lines is stale;
+//! a live waiver right next to it stays silent.
+
+fn checked(v: &[u32], pos: usize) -> u32 {
+    // paragon-lint: allow(P1) — pos is clamped by the caller
+    v.get(pos).copied().unwrap_or(0)
+}
+
+fn raw(v: &[u32], pos: usize) -> u32 {
+    // paragon-lint: allow(P1) — pos comes from a bounds-checked ring cursor
+    v[pos]
+}

@@ -7,17 +7,20 @@
 //! reused — fails the generation check and is dropped instead of being
 //! misdelivered (the classic ABA hazard of index reuse).
 //!
-//! Wakers are `Arc`-based (`std::task::Wake`) so they satisfy the `Send +
-//! Sync` bound of `std::task::Waker` without unsafe code; the shared ready
-//! ring behind a `Mutex` is uncontended in practice because the whole
-//! simulation runs on one thread. Each slot caches the `Waker` for its
-//! current occupant, so polling allocates nothing.
+//! Wakers are `Rc`-based with a hand-rolled [`RawWakerVTable`]: a world's
+//! executor, its tasks, and every waker they clone all live on one thread
+//! (worlds are pinned to a single worker for their lifetime, and wakers
+//! never cross the frame channel), so the `Send + Sync` contract of
+//! `std::task::Waker` is vacuously met and the ready ring needs no lock.
+//! Each slot caches the `Waker` for its current occupant, so polling
+//! allocates nothing.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Mutex};
-use std::task::{Wake, Waker};
+use std::rc::Rc;
+use std::task::{RawWaker, RawWakerVTable, Waker};
 
 /// Identifies a spawned task for the lifetime of a simulation.
 ///
@@ -50,36 +53,68 @@ impl TaskId {
 /// Shared between the executor and every waker handed to a task.
 #[derive(Clone, Default)]
 pub(crate) struct ReadyQueue {
-    inner: Arc<Mutex<VecDeque<TaskId>>>,
+    inner: Rc<RefCell<VecDeque<TaskId>>>,
 }
 
 impl ReadyQueue {
     pub(crate) fn push(&self, id: TaskId) {
-        self.inner
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(id);
+        // The borrow lasts only for this statement, so a task waking
+        // itself mid-poll (executor not holding a borrow) cannot trip it.
+        self.inner.borrow_mut().push_back(id);
     }
 
     pub(crate) fn pop(&self) -> Option<TaskId> {
-        self.inner.lock().expect("ready queue poisoned").pop_front()
+        self.inner.borrow_mut().pop_front()
     }
 }
 
-/// Waker for one task: pushes the task id back onto the ready ring.
-pub(crate) struct TaskWaker {
-    pub(crate) id: TaskId,
-    pub(crate) ready: ReadyQueue,
+/// Waker payload for one task: waking pushes the task id back onto the
+/// ready ring.
+struct TaskWaker {
+    id: TaskId,
+    ready: ReadyQueue,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.ready.push(self.id);
-    }
+/// Waker vtable over `Rc<TaskWaker>`.
+///
+/// # Safety
+///
+/// `Waker` requires `Send + Sync`, which `Rc` cannot promise; the vtable
+/// is sound anyway because no waker ever leaves its world's thread: the
+/// executor, the kernel's timer queue, and every sync primitive that
+/// stashes a waker are world-local, worlds are pinned to one worker
+/// thread for their whole run, and cross-world traffic goes through the
+/// frame channel as plain data (never wakers). Every vtable entry is
+/// only ever called with a pointer produced by `Rc::into_raw` in
+/// [`task_waker`] or [`clone_raw`].
+static VTABLE: RawWakerVTable = RawWakerVTable::new(clone_raw, wake_raw, wake_by_ref_raw, drop_raw);
 
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.push(self.id);
-    }
+unsafe fn clone_raw(ptr: *const ()) -> RawWaker {
+    Rc::increment_strong_count(ptr as *const TaskWaker);
+    RawWaker::new(ptr, &VTABLE)
+}
+
+unsafe fn wake_raw(ptr: *const ()) {
+    let w = Rc::from_raw(ptr as *const TaskWaker);
+    w.ready.push(w.id);
+}
+
+unsafe fn wake_by_ref_raw(ptr: *const ()) {
+    let w = &*(ptr as *const TaskWaker);
+    w.ready.push(w.id);
+}
+
+unsafe fn drop_raw(ptr: *const ()) {
+    drop(Rc::from_raw(ptr as *const TaskWaker));
+}
+
+/// Build the waker for `id`; cloning it is an `Rc` count bump.
+fn task_waker(id: TaskId, ready: &ReadyQueue) -> Waker {
+    let w = Rc::new(TaskWaker {
+        id,
+        ready: ready.clone(),
+    });
+    unsafe { Waker::from_raw(RawWaker::new(Rc::into_raw(w) as *const (), &VTABLE)) }
 }
 
 /// The future owned by a task slot.
@@ -95,7 +130,7 @@ pub(crate) struct TaskSlot {
     spawn_seq: u64,
     pub(crate) label: &'static str,
     pub(crate) future: Option<BoxedTask>,
-    /// Cached waker for the current occupant; cloned per poll (an `Arc`
+    /// Cached waker for the current occupant; cloned per poll (an `Rc`
     /// bump) instead of allocating a fresh `TaskWaker` every poll.
     waker: Option<Waker>,
 }
@@ -152,10 +187,7 @@ impl TaskTable {
         slot.spawn_seq = self.next_spawn;
         slot.label = label;
         slot.future = Some(future);
-        slot.waker = Some(Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: ready.clone(),
-        })));
+        slot.waker = Some(task_waker(id, ready));
         self.next_spawn += 1;
         self.live += 1;
         id

@@ -67,6 +67,8 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         Some(t) => (t.in_io.clone(), t.prefetch.clone()),
         None => (Rc::new(Cell::new(0)), PrefetchGauges::default()),
     };
+    let verify_cell: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    let verify_cell2 = verify_cell.clone();
 
     let out: DriverOutput = Rc::new(RefCell::new(None));
     let out2 = out.clone();
@@ -129,6 +131,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
                 t0,
                 in_io: in_io.clone(),
                 prefetch_gauges: prefetch_gauges.clone(),
+                verify_failures: verify_cell2.clone(),
             };
             handles.push(sim2.spawn_named("node-program", node_program(ctx)));
         }
@@ -162,7 +165,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
             prefetch.merge(p);
         }
     }
-    let mut verify_failures = VERIFY_FAILURES.with(|v| v.replace(0));
+    let mut verify_failures = verify_cell.get();
     if cfg.verify_data {
         // Also fsck every I/O node's file system after the run.
         for i in 0..cfg.io_nodes {
@@ -220,15 +223,6 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         trace,
         metrics,
     }
-}
-
-thread_local! {
-    /// Data-verification failures observed by node programs of the run
-    /// currently executing on this thread. Serial runs are
-    /// single-threaded and sequential; sharded runs harvest every worker
-    /// thread's counter once per world and sum, and each failure is
-    /// observed by exactly one world, so the total is exact either way.
-    pub(crate) static VERIFY_FAILURES: RefCell<u64> = const { RefCell::new(0) };
 }
 
 /// Configure and arm the simulation's fault plan from `spec`. The service
@@ -337,6 +331,12 @@ pub(crate) struct NodeCtx {
     pub(crate) in_io: Rc<Cell<i64>>,
     /// Telemetry gauges shared by every prefetch buffer list.
     pub(crate) prefetch_gauges: PrefetchGauges,
+    /// Data-verification failures observed by this world's node
+    /// programs. World-local: serial runs own the only world; sharded
+    /// runs harvest each world's counter once in `finish_world`, and
+    /// each failure is observed by exactly one world, so the sum is
+    /// exact either way.
+    pub(crate) verify_failures: Rc<Cell<u64>>,
 }
 
 /// The demand-read side of one node's program: either a plain PFS handle
@@ -497,7 +497,7 @@ pub(crate) async fn node_program(ctx: NodeCtx) -> NodeResult {
             };
             if let Some(off) = expect {
                 if data[..] != pattern_slice(pattern_seed, off, sz as usize)[..] {
-                    VERIFY_FAILURES.with(|v| *v.borrow_mut() += 1);
+                    ctx.verify_failures.set(ctx.verify_failures.get() + 1);
                 }
             }
         }

@@ -36,9 +36,7 @@ use paragon_sim::{
 };
 
 use crate::config::ExperimentConfig;
-use crate::driver::{
-    arm_faults, node_program, setup_files, DriverOutput, NodeCtx, VERIFY_FAILURES,
-};
+use crate::driver::{arm_faults, node_program, setup_files, DriverOutput, NodeCtx};
 use crate::result::{NodeResult, RunResult};
 use crate::telemetry::{names, Telemetry};
 
@@ -107,6 +105,7 @@ struct World {
     rebuild_pending: Rc<Cell<u64>>,
     replica_failovers: Rc<Cell<u64>>,
     replica_reads: Rc<Cell<u64>>,
+    verify_failures: Rc<Cell<u64>>,
     own: Ownership,
 }
 
@@ -174,6 +173,8 @@ fn build_world(cfg: &ExperimentConfig, plan: &ShardPlan, k: usize, sim: &Sim) ->
         Some(t) => (t.in_io.clone(), t.prefetch.clone()),
         None => (Rc::new(Cell::new(0)), PrefetchGauges::default()),
     };
+    let verify_cell: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    let verify_cell2 = verify_cell.clone();
 
     let out: DriverOutput = Rc::new(RefCell::new(None));
     let out2 = out.clone();
@@ -244,6 +245,7 @@ fn build_world(cfg: &ExperimentConfig, plan: &ShardPlan, k: usize, sim: &Sim) ->
                 t0,
                 in_io: in_io.clone(),
                 prefetch_gauges: prefetch_gauges.clone(),
+                verify_failures: verify_cell2.clone(),
             };
             handles.push(sim2.spawn_named("node-program", node_program(ctx)));
         }
@@ -266,6 +268,7 @@ fn build_world(cfg: &ExperimentConfig, plan: &ShardPlan, k: usize, sim: &Sim) ->
         rebuild_pending,
         replica_failovers,
         replica_reads,
+        verify_failures: verify_cell,
         own,
     }
 }
@@ -280,7 +283,7 @@ fn finish_world(cfg: &ExperimentConfig, k: usize, sim: &Sim, world: World) -> Wo
             sim.pending_task_labels()
         )
     });
-    let mut verify_failures = VERIFY_FAILURES.with(|v| v.replace(0));
+    let mut verify_failures = world.verify_failures.get();
     if cfg.verify_data {
         // fsck only owned I/O nodes: a non-owner world's replica of a
         // file system never saw the measured phase's writes.

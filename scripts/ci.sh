@@ -5,6 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "=== paragon-lint"
+# Workspace invariant checker (crates/lint), first so a rule violation
+# fails the gate before the expensive build/test stages run: D1
+# deterministic containers, D2 no ambient nondeterminism, P1
+# panic-freedom on the I/O path, C1/C2 shard safety (shared mutable
+# state and host channels confined to the sanctioned parallel kernel),
+# X1 protocol/trace exhaustiveness, W1 waiver hygiene, W2 stale-waiver
+# detection. Exits nonzero on any finding; waivers need
+# `// paragon-lint: allow(RULE) — <reason>`.
+cargo run -q -p paragon-lint --release
+
 echo "=== cargo build --release"
 cargo build --release
 
@@ -23,13 +34,6 @@ echo "=== rebuild-storm smoke"
 # drain to exactly zero before the simulation ends.
 cargo test -q --release --test failure_injection rebuild_storm_smoke
 
-echo "=== paragon-lint"
-# Workspace invariant checker (crates/lint): D1 deterministic containers,
-# D2 no ambient nondeterminism, P1 panic-freedom on the I/O path, X1
-# protocol/trace exhaustiveness, W1 waiver hygiene. Exits nonzero on any
-# finding; waivers need `// paragon-lint: allow(RULE) — <reason>`.
-cargo run -q -p paragon-lint --release
-
 echo "=== parallel"
 # Parallel-kernel equivalence gate: every EXT-matrix config, an
 # instrumented run, and a crash+rebuild run must be byte-identical at
@@ -39,6 +43,14 @@ echo "=== parallel"
 # to host threads and nothing else; see DESIGN.md section 11.
 cargo test -q --release --test parallel_equivalence
 cargo test -q --release --test parallel_equivalence full_machine_1024x128 -- --ignored
+
+echo "=== tsan"
+# ThreadSanitizer over the parallel-equivalence suite (scripts/
+# sanitize.sh): checks the kernel's no-data-races-by-construction claim
+# against real interleavings. Needs nightly + rust-src; skips loudly
+# (exit 0, reason printed) when the toolchain isn't present, so the
+# hermetic CI container still passes.
+bash scripts/sanitize.sh
 
 echo "=== metrics"
 # Perf-regression gate: re-run the telemetry-instrumented default
