@@ -216,12 +216,13 @@ const TRACE: &str = "crates/sim/src/trace.rs";
 const SPANS: &str = "crates/workload/src/spans.rs";
 const TELEMETRY: &str = "crates/workload/src/telemetry.rs";
 const REDUNDANCY: &str = "crates/pfs/src/redundancy.rs";
+const PROFILE: &str = "crates/profile/src/lib.rs";
 
 /// Run X1 against the real workspace file set.
 fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
     let mut anchors = Vec::new();
     for path in [
-        PROTO, SERVER, PFS_FS, POINTER, TRACE, SPANS, TELEMETRY, REDUNDANCY,
+        PROTO, SERVER, PFS_FS, POINTER, TRACE, SPANS, TELEMETRY, REDUNDANCY, PROFILE,
     ] {
         match sources.get(path) {
             Some(src) => anchors.push(x1::prep(path, src)),
@@ -239,18 +240,21 @@ fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
         .iter()
         .filter(|(rel, _)| {
             // trace.rs declares kinds and spans.rs consumes them; the
-            // bench CLI and this crate also only consume. None of them
-            // count as emission evidence.
+            // bench CLI, the profiler, and this crate also only
+            // consume. None of them count as emission evidence.
             *rel != TRACE
                 && *rel != SPANS
                 && *rel != PROTO
                 && !rel.starts_with("crates/bench/")
+                && !rel.starts_with("crates/profile/")
                 && !rel.starts_with("crates/lint/")
         })
         .map(|(rel, src)| x1::prep(rel, src))
         .collect();
-    let [proto, server, pfs_fs, pointer, trace, spans, telemetry, redundancy] = &anchors[..] else {
-        unreachable!("anchors holds exactly eight entries");
+    let [proto, server, pfs_fs, pointer, trace, spans, telemetry, redundancy, profile] =
+        &anchors[..]
+    else {
+        unreachable!("anchors holds exactly nine entries");
     };
     let mut findings = x1::check_x1(proto, &[server, pfs_fs], pointer, trace, spans, &emitters);
     // Metric-name vocabulary: users are every scanned source except the
@@ -264,6 +268,17 @@ fn x1_workspace(sources: &BTreeMap<String, String>) -> Vec<Finding> {
         .collect();
     let metric_users: Vec<&x1::Src> = metric_users.iter().collect();
     findings.extend(x1::check_x1_metric_names(telemetry, &metric_users));
+    // The profiler's `bench.kernel.*` scalar vocabulary follows the same
+    // contract: every name declared in its `names` module must be
+    // exported or gated somewhere else in the workspace (the bench CLI
+    // exports them, the telemetry gate classifies the stall fraction).
+    let profile_users: Vec<x1::Src> = sources
+        .iter()
+        .filter(|(rel, _)| *rel != PROFILE && !rel.starts_with("crates/lint/"))
+        .map(|(rel, src)| x1::prep(rel, src))
+        .collect();
+    let profile_users: Vec<&x1::Src> = profile_users.iter().collect();
+    findings.extend(x1::check_x1_metric_names(profile, &profile_users));
     // Redundancy-mode exhaustiveness: every mount-level redundancy mode
     // must be dispatched on somewhere outside its declaring file (the
     // experiment driver and the CLI are the expected sites).

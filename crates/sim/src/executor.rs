@@ -273,6 +273,13 @@ impl Sim {
         self.kernel.borrow_mut().next_event_time()
     }
 
+    /// Calendar-queue resize churn so far: how many times the event
+    /// queue re-bucketed itself. Content-driven and deterministic; the
+    /// kernel self-profiler reports it per shard.
+    pub fn calendar_rebuilds(&self) -> u64 {
+        self.kernel.borrow().calendar_rebuilds()
+    }
+
     /// Snapshot the run counters without driving anything.
     pub fn report(&self) -> RunReport {
         let kernel = self.kernel.borrow();

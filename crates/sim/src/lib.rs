@@ -43,7 +43,10 @@ mod trace;
 pub use calendar::CalendarQueue;
 pub use executor::{derive_seed, JoinHandle, RunReport, Sim, Sleep};
 pub use fault::{DiskFault, FaultPlan, FaultStats, MeshVerdict};
-pub use parallel::{merge_reports, run_sharded, OutFrame, ShardCtx, ShardPlan};
+pub use parallel::{
+    merge_reports, run_sharded, run_sharded_profiled, KernelProfile, OutFrame, ShardCtx,
+    ShardKernelProfile, ShardPlan, WorkerKernelProfile,
+};
 pub use rng::Rng;
 pub use task::TaskId;
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

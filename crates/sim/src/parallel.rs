@@ -199,6 +199,111 @@ impl ShardPlan {
     }
 }
 
+/// Host-side (wall-clock) counters for one shard world, collected only
+/// by [`run_sharded_profiled`]. Nothing here ever feeds back into the
+/// simulation: bytes are identical with and without profiling. The
+/// `_ns` fields are host time and vary run to run; `events_processed`,
+/// `frames_*`, `epochs`, and `calendar_rebuilds` are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardKernelProfile {
+    /// Shard index.
+    pub shard: usize,
+    /// Worker thread that drove this world (`shard % workers`).
+    pub worker: usize,
+    /// Barrier-synchronized epochs this world sat through.
+    pub epochs: u64,
+    /// Virtual events fired by this world's kernel.
+    pub events_processed: u64,
+    /// Cross-shard frames this world exported at epoch barriers.
+    pub frames_out: u64,
+    /// Cross-shard frames injected into this world.
+    pub frames_in: u64,
+    /// Host time spent draining this world's epochs.
+    pub run_ns: u64,
+    /// Calendar-queue resize churn (content-driven, deterministic).
+    pub calendar_rebuilds: u64,
+}
+
+/// Host-side counters for one worker thread of the sharded run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerKernelProfile {
+    /// Worker index.
+    pub worker: usize,
+    /// Host time parked at epoch barriers — the synchronization cost of
+    /// the conservative-lookahead protocol on this thread.
+    pub barrier_stall_ns: u64,
+    /// Host time not parked: building worlds, draining epochs, moving
+    /// frames.
+    pub busy_ns: u64,
+    /// Virtual events fired across this worker's owned worlds.
+    pub events_processed: u64,
+}
+
+/// What the parallel kernel measured about itself during one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Worlds in the partition.
+    pub shards: usize,
+    /// Host threads the worlds were spread over.
+    pub workers: usize,
+    /// End-to-end host time of the run (build through harvest).
+    pub wall_ns: u64,
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardKernelProfile>,
+    /// One entry per worker, in worker order.
+    pub per_worker: Vec<WorkerKernelProfile>,
+}
+
+impl KernelProfile {
+    /// Epochs driven to quiescence (identical across shards by
+    /// construction; reported as the max for robustness).
+    pub fn epochs(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.epochs).max().unwrap_or(0)
+    }
+
+    /// Virtual events fired across every world.
+    pub fn total_events(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// Cross-shard frames handed over at epoch barriers.
+    pub fn cross_shard_frames(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.frames_out).sum()
+    }
+
+    /// Calendar-queue rebuilds summed over every world.
+    pub fn calendar_rebuilds(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.calendar_rebuilds).sum()
+    }
+
+    /// Host time parked at barriers, summed over workers.
+    pub fn barrier_stall_ns(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.barrier_stall_ns).sum()
+    }
+
+    /// Fraction of total worker host time spent parked at epoch
+    /// barriers. `0.0` for a serial run (no barriers exist).
+    pub fn barrier_stall_frac(&self) -> f64 {
+        let stall: u64 = self.barrier_stall_ns();
+        let busy: u64 = self.per_worker.iter().map(|w| w.busy_ns).sum();
+        let denom = stall + busy;
+        if denom == 0 {
+            0.0
+        } else {
+            stall as f64 / denom as f64
+        }
+    }
+
+    /// Virtual events fired per host second, machine-wide.
+    pub fn events_per_host_second(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.total_events() as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
 /// Shared epoch state. One instance coordinates all worker threads.
 struct EpochCore {
     barrier: Barrier,
@@ -254,12 +359,82 @@ where
     B: Fn(usize, &Sim) -> W + Sync,
     F: Fn(usize, &Sim, W) -> T + Sync,
 {
+    run_sharded_inner(plan, build, finish, false).0
+}
+
+/// [`run_sharded`] with kernel self-profiling: identical simulation
+/// bytes, plus host-side counters (epochs, barrier stall, frame volume,
+/// events/sec, calendar churn) harvested from every shard and worker.
+///
+/// Profiling reads the host clock — something the kernel otherwise never
+/// does — which is why it is a separate entry point rather than a
+/// [`ShardPlan`] knob: a plan describes the deterministic partition, and
+/// no configuration of it may imply wall-clock reads. The counters are
+/// write-only from the simulation's point of view, so `--workers` byte
+/// identity holds under profiling too.
+pub fn run_sharded_profiled<W, T, B, F>(
+    plan: &ShardPlan,
+    build: B,
+    finish: F,
+) -> (Vec<T>, KernelProfile)
+where
+    T: Send,
+    B: Fn(usize, &Sim) -> W + Sync,
+    F: Fn(usize, &Sim, W) -> T + Sync,
+{
+    let (out, prof) = run_sharded_inner(plan, build, finish, true);
+    (out, prof.unwrap_or_default())
+}
+
+fn run_sharded_inner<W, T, B, F>(
+    plan: &ShardPlan,
+    build: B,
+    finish: F,
+    profile: bool,
+) -> (Vec<T>, Option<KernelProfile>)
+where
+    T: Send,
+    B: Fn(usize, &Sim) -> W + Sync,
+    F: Fn(usize, &Sim, W) -> T + Sync,
+{
     assert!(plan.shards >= 1, "a machine has at least one shard");
+    // Host-clock reads are confined to these two closures and gated on
+    // `profile`, so an unprofiled run performs none at all.
+    let tick = |on: bool| on.then(std::time::Instant::now);
+    let lap =
+        |t: &Option<std::time::Instant>| t.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
     if plan.shards == 1 {
+        let wall = tick(profile);
         let sim = Sim::new(plan.seed);
         let world = build(0, &sim);
         sim.run();
-        return vec![finish(0, &sim, world)];
+        let out = vec![finish(0, &sim, world)];
+        let prof = profile.then(|| {
+            let report = sim.report();
+            let wall_ns = lap(&wall);
+            KernelProfile {
+                shards: 1,
+                workers: 1,
+                wall_ns,
+                per_shard: vec![ShardKernelProfile {
+                    shard: 0,
+                    worker: 0,
+                    epochs: 0,
+                    events_processed: report.events_processed,
+                    frames_out: 0,
+                    frames_in: 0,
+                    run_ns: wall_ns,
+                    calendar_rebuilds: sim.calendar_rebuilds(),
+                }],
+                per_worker: vec![WorkerKernelProfile {
+                    worker: 0,
+                    barrier_stall_ns: 0,
+                    busy_ns: wall_ns,
+                    events_processed: report.events_processed,
+                }],
+            }
+        });
+        return (out, prof);
     }
     assert!(
         plan.lookahead_ns > 0,
@@ -285,15 +460,23 @@ where
         inboxes: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
     };
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    let shard_profs: Mutex<Vec<ShardKernelProfile>> = Mutex::new(Vec::new());
+    let worker_profs: Mutex<Vec<WorkerKernelProfile>> = Mutex::new(Vec::new());
+    let wall = tick(profile);
 
     // paragon-lint: allow(D2) — the only sanctioned host-thread site: worlds never share mutable state outside the barrier-fenced inbox handoff, and frames are injected in sorted (arrival, src, seq) order, so every interleaving of the OS scheduler yields the same bytes
     std::thread::scope(|scope| {
         for w in 0..workers {
             let core = &core;
             let results = &results;
+            let shard_profs = &shard_profs;
+            let worker_profs = &worker_profs;
             let build = &build;
             let finish = &finish;
+            let tick = &tick;
+            let lap = &lap;
             scope.spawn(move || {
+                let worker_t0 = tick(profile);
                 // Shards round-robin over workers: thread `w` owns every
                 // shard `k` with `k % workers == w`.
                 let owned: Vec<usize> = (w..nshards).step_by(workers).collect();
@@ -313,6 +496,13 @@ where
                     })
                     .collect();
 
+                // Per-owned-world (frames_out, frames_in, run_ns)
+                // accumulators, indexed like `worlds`; folded into the
+                // shard profiles at harvest.
+                let mut accs = vec![(0u64, 0u64, 0u64); worlds.len()];
+                let mut stall_ns = 0u64;
+                let mut epochs = 0u64;
+
                 loop {
                     // Publish: earliest pending event per owned world
                     // (draining ready tasks first, so freshly injected
@@ -325,7 +515,10 @@ where
                         core.next_event[*k].store(t, Ordering::SeqCst);
                     }
                     // The barrier leader turns the minima into one epoch.
-                    if core.barrier.wait().is_leader() {
+                    let t = tick(profile);
+                    let leader = core.barrier.wait().is_leader();
+                    stall_ns += lap(&t);
+                    if leader {
                         let min = core
                             .next_event
                             .iter()
@@ -339,16 +532,23 @@ where
                                 .store(min.saturating_add(plan.lookahead_ns), Ordering::SeqCst);
                         }
                     }
+                    let t = tick(profile);
                     core.barrier.wait();
+                    stall_ns += lap(&t);
                     if core.done.load(Ordering::SeqCst) {
                         break;
                     }
+                    epochs += 1;
                     // Drain the epoch; hand produced frames to their
                     // destination shards.
                     let end = SimTime::from_nanos(core.epoch_end.load(Ordering::SeqCst));
-                    for (_, sim, ctx, _) in &worlds {
+                    for (i, (_, sim, ctx, _)) in worlds.iter().enumerate() {
+                        let t = tick(profile);
                         sim.run_until_exclusive(end);
-                        for frame in ctx.take_outbox() {
+                        accs[i].2 += lap(&t);
+                        let frames = ctx.take_outbox();
+                        accs[i].0 += frames.len() as u64;
+                        for frame in frames {
                             let dst = frame.dst_shard as usize;
                             core.inboxes[dst]
                                 .lock()
@@ -356,19 +556,54 @@ where
                                 .push(frame);
                         }
                     }
+                    let t = tick(profile);
                     core.barrier.wait();
+                    stall_ns += lap(&t);
                     // Inject arrivals in a sorted total order, then let
                     // the spawned delivery tasks register their sleeps.
-                    for (k, sim, ctx, _) in &worlds {
+                    for (i, (k, sim, ctx, _)) in worlds.iter().enumerate() {
                         let mut frames = std::mem::take(
                             &mut *core.inboxes[*k].lock().expect("inbox lock poisoned"),
                         );
                         frames.sort_by_key(|f| (f.arrival_ns, f.src_shard, f.seq));
+                        accs[i].1 += frames.len() as u64;
                         for frame in frames {
                             ctx.inject(frame);
                         }
                         sim.flush_ready();
                     }
+                }
+
+                if profile {
+                    let mut mine = Vec::with_capacity(worlds.len());
+                    let mut events = 0u64;
+                    for (i, (k, sim, _, _)) in worlds.iter().enumerate() {
+                        let report = sim.report();
+                        events += report.events_processed;
+                        mine.push(ShardKernelProfile {
+                            shard: *k,
+                            worker: w,
+                            epochs,
+                            events_processed: report.events_processed,
+                            frames_out: accs[i].0,
+                            frames_in: accs[i].1,
+                            run_ns: accs[i].2,
+                            calendar_rebuilds: sim.calendar_rebuilds(),
+                        });
+                    }
+                    shard_profs
+                        .lock()
+                        .expect("profile lock poisoned")
+                        .extend(mine);
+                    worker_profs
+                        .lock()
+                        .expect("profile lock poisoned")
+                        .push(WorkerKernelProfile {
+                            worker: w,
+                            barrier_stall_ns: stall_ns,
+                            busy_ns: lap(&worker_t0).saturating_sub(stall_ns),
+                            events_processed: events,
+                        });
                 }
 
                 let mut harvested: Vec<(usize, T)> = Vec::with_capacity(worlds.len());
@@ -384,9 +619,22 @@ where
         }
     });
 
+    let prof = profile.then(|| {
+        let mut per_shard = shard_profs.into_inner().expect("profile lock poisoned");
+        per_shard.sort_by_key(|p| p.shard);
+        let mut per_worker = worker_profs.into_inner().expect("profile lock poisoned");
+        per_worker.sort_by_key(|p| p.worker);
+        KernelProfile {
+            shards: nshards,
+            workers,
+            wall_ns: lap(&wall),
+            per_shard,
+            per_worker,
+        }
+    });
     let mut out = results.into_inner().expect("results lock poisoned");
     out.sort_by_key(|(k, _)| *k);
-    out.into_iter().map(|(_, t)| t).collect()
+    (out.into_iter().map(|(_, t)| t).collect(), prof)
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@ use paragon_pfs::{
     pattern_byte, pattern_slice, rebuild_after_crash, IoMode, OpenOptions, ParallelFs, PfsFile,
     PfsFileId, RebuildConfig, RebuildStats, Redundancy,
 };
-use paragon_sim::{ev, EventKind, Sim, SimDuration, SimTime, Track};
+use paragon_sim::{
+    ev, run_sharded, run_sharded_profiled, EventKind, KernelProfile, ShardPlan, Sim, SimDuration,
+    SimTime, Track,
+};
 
 use crate::config::{AccessPattern, ExperimentConfig, FaultSpec};
 use crate::result::{NodeResult, RunResult};
@@ -32,14 +35,62 @@ pub(crate) type DriverOutput = Rc<RefCell<Option<(Vec<NodeResult>, SimDuration)>
 ///
 /// Configs that resolve to more than one shard world (full-machine
 /// EXT-SCALING shapes, or an explicit `shards` override) run on the
-/// parallel kernel; everything else takes the classic serial path below,
-/// byte-for-byte unchanged.
+/// parallel kernel; everything else runs the classic single-world path
+/// through [`ShardPlan::serial`], byte-for-byte what a bare `Sim::run`
+/// would produce.
 pub fn run(cfg: &ExperimentConfig) -> RunResult {
     cfg.validate();
     if cfg.resolved_shards() > 1 {
         return crate::shard::run_sharded_experiment(cfg);
     }
-    let sim = Sim::new(cfg.seed);
+    let mut out = run_sharded(
+        &ShardPlan::serial(cfg.seed),
+        |_, sim| build_serial(cfg, sim),
+        |_, sim, w| finish_serial(cfg, sim, w),
+    );
+    out.pop().expect("serial plan yields exactly one world")
+}
+
+/// [`run`], plus the parallel kernel's self-profile: host-side counters
+/// (epochs, barrier stall, cross-shard frame volume, events per host
+/// second, calendar churn) the kernel collects about itself.
+///
+/// The simulation's bytes are identical to an unprofiled [`run`] —
+/// profiling is write-only from the simulation's point of view — but the
+/// profile's `_ns` fields are wall-clock and vary host to host, which is
+/// why this is a separate entry point rather than an
+/// [`ExperimentConfig`] field: a config describes a deterministic
+/// experiment, and no setting of it may imply host-clock reads.
+pub fn run_profiled(cfg: &ExperimentConfig) -> (RunResult, KernelProfile) {
+    cfg.validate();
+    if cfg.resolved_shards() > 1 {
+        return crate::shard::run_sharded_experiment_profiled(cfg);
+    }
+    let (mut out, prof) = run_sharded_profiled(
+        &ShardPlan::serial(cfg.seed),
+        |_, sim| build_serial(cfg, sim),
+        |_, sim, w| finish_serial(cfg, sim, w),
+    );
+    (
+        out.pop().expect("serial plan yields exactly one world"),
+        prof,
+    )
+}
+
+/// The serial world's live state between build and harvest — the
+/// single-shard analogue of `shard::World`.
+struct SerialWorld {
+    machine: Rc<Machine>,
+    telemetry: Option<Rc<Telemetry>>,
+    out: DriverOutput,
+    rebuild_out: Rc<RefCell<Option<RebuildStats>>>,
+    rebuild_pending: Rc<Cell<u64>>,
+    replica_failovers: Rc<Cell<u64>>,
+    replica_reads: Rc<Cell<u64>>,
+    verify_failures: Rc<Cell<u64>>,
+}
+
+fn build_serial(cfg: &ExperimentConfig, sim: &Sim) -> SerialWorld {
     if cfg.trace_cap > 0 {
         sim.tracer().arm(cfg.trace_cap);
     }
@@ -50,7 +101,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         calib.raid_parity = true;
     }
     let machine = Rc::new(Machine::new(
-        &sim,
+        sim,
         MachineConfig {
             compute_nodes: cfg.compute_nodes,
             io_nodes: cfg.io_nodes,
@@ -60,7 +111,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
     let pfs = ParallelFs::new_with_redundancy(machine.clone(), cfg.redundancy);
     let telemetry = cfg
         .metrics_cadence
-        .map(|cadence| Telemetry::new(&sim, &machine, &pfs, cadence));
+        .map(|cadence| Telemetry::new(sim, &machine, &pfs, cadence));
     // Node programs always get cells to poke; without telemetry they are
     // private dummies and the pokes are inert (no events, no RNG).
     let (in_io, prefetch_gauges) = match &telemetry {
@@ -145,13 +196,26 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         let elapsed = sim2.now().since(t0);
         *out2.borrow_mut() = Some((per_node, elapsed));
     });
-    let report = sim.run();
+    SerialWorld {
+        machine,
+        telemetry,
+        out,
+        rebuild_out,
+        rebuild_pending,
+        replica_failovers,
+        replica_reads,
+        verify_failures: verify_cell,
+    }
+}
+
+fn finish_serial(cfg: &ExperimentConfig, sim: &Sim, w: SerialWorld) -> RunResult {
+    let report = sim.report();
     let trace = sim.tracer().events();
     // Free the world: parked server loops otherwise keep the whole
     // machine (including megabytes of simulated disk contents) alive via
     // an Rc cycle — fatal when a bench harness runs thousands of worlds.
     sim.shutdown();
-    let (per_node, elapsed) = out.borrow_mut().take().unwrap_or_else(|| {
+    let (per_node, elapsed) = w.out.borrow_mut().take().unwrap_or_else(|| {
         panic!(
             "experiment deadlocked; pending: {:?}",
             sim.pending_task_labels()
@@ -165,11 +229,11 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
             prefetch.merge(p);
         }
     }
-    let mut verify_failures = verify_cell.get();
+    let mut verify_failures = w.verify_failures.get();
     if cfg.verify_data {
         // Also fsck every I/O node's file system after the run.
         for i in 0..cfg.io_nodes {
-            let problems = machine.ufs(i).check();
+            let problems = w.machine.ufs(i).check();
             if !problems.is_empty() {
                 eprintln!("fsck failures on I/O node {i}: {problems:?}");
                 verify_failures += problems.len() as u64;
@@ -179,7 +243,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
     let mut disk = paragon_disk::DiskStats::default();
     let mut raid = paragon_disk::RaidStats::default();
     for i in 0..cfg.io_nodes {
-        let s = machine.raid(i).stats();
+        let s = w.machine.raid(i).stats();
         disk.requests += s.requests;
         disk.bytes_read += s.bytes_read;
         disk.bytes_written += s.bytes_written;
@@ -188,12 +252,12 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         disk.near_seeks += s.near_seeks;
         disk.far_seeks += s.far_seeks;
         disk.max_queue_depth = disk.max_queue_depth.max(s.max_queue_depth);
-        let r = machine.raid(i).raid_stats();
+        let r = w.machine.raid(i).raid_stats();
         raid.reconstructed_reads += r.reconstructed_reads;
         raid.reconstructed_bytes += r.reconstructed_bytes;
         raid.parity_rmws += r.parity_rmws;
     }
-    let metrics = telemetry.map(|t| {
+    let metrics = w.telemetry.map(|t| {
         // Distributions are recorded post-run from the per-request
         // timers the node programs already keep.
         for n in &per_node {
@@ -203,7 +267,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         }
         t.snapshot()
     });
-    let rebuild = rebuild_out.borrow_mut().take();
+    let rebuild = w.rebuild_out.borrow_mut().take();
     RunResult {
         read_errors: per_node.iter().map(|n| n.read_errors).sum(),
         per_node,
@@ -217,9 +281,9 @@ pub fn run(cfg: &ExperimentConfig) -> RunResult {
         raid,
         disk,
         rebuild,
-        rebuild_pending: rebuild_pending.get(),
-        replica_failovers: replica_failovers.get(),
-        replica_reads: replica_reads.get(),
+        rebuild_pending: w.rebuild_pending.get(),
+        replica_failovers: w.replica_failovers.get(),
+        replica_reads: w.replica_reads.get(),
         trace,
         metrics,
     }

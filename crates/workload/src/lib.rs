@@ -17,7 +17,7 @@ pub mod spans;
 pub mod telemetry;
 
 pub use config::{AccessPattern, ExperimentConfig, FaultSpec, StripeLayout};
-pub use driver::run;
+pub use driver::{run, run_profiled};
 pub use result::{NodeResult, RunResult};
 pub use spans::{
     fault_events, kind_class, read_spans, KindClass, ReadSpan, SpanBreakdown, SpanKind,

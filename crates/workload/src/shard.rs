@@ -31,8 +31,8 @@ use paragon_machine::{Machine, MachineConfig};
 use paragon_metrics::{HistSummary, Histogram, MetricsSnapshot};
 use paragon_pfs::{rebuild_after_crash, ParallelFs, RebuildConfig, RebuildStats, Redundancy};
 use paragon_sim::{
-    ev, merge_reports, merge_shard_events, run_sharded, EventKind, RunReport, ShardPlan, Sim,
-    SimDuration, TraceEvent, Track,
+    ev, merge_reports, merge_shard_events, run_sharded, run_sharded_profiled, EventKind, RunReport,
+    ShardPlan, Sim, SimDuration, TraceEvent, Track,
 };
 
 use crate::config::ExperimentConfig;
@@ -135,6 +135,21 @@ pub(crate) fn run_sharded_experiment(cfg: &ExperimentConfig) -> RunResult {
         |k, sim, world| finish_world(cfg, k, sim, world),
     );
     merge_outcomes(cfg, outcomes)
+}
+
+/// [`run_sharded_experiment`] under kernel self-profiling: identical
+/// merged bytes, plus the host-side counters every shard and worker
+/// collected about the kernel itself.
+pub(crate) fn run_sharded_experiment_profiled(
+    cfg: &ExperimentConfig,
+) -> (RunResult, paragon_sim::KernelProfile) {
+    let plan = plan(cfg);
+    let (outcomes, prof) = run_sharded_profiled(
+        &plan,
+        |k, sim| build_world(cfg, &plan, k, sim),
+        |k, sim, world| finish_world(cfg, k, sim, world),
+    );
+    (merge_outcomes(cfg, outcomes), prof)
 }
 
 fn build_world(cfg: &ExperimentConfig, plan: &ShardPlan, k: usize, sim: &Sim) -> World {

@@ -470,6 +470,13 @@ fn span_consistency(demand: &[crate::spans::ReadSpan], disk: f64, mesh: f64) -> 
 /// run the parallel trial, so it is absent-safe in both directions (a
 /// baseline without it accepts a current report that has it, and vice
 /// versa) and needs no committed baseline value.
+///
+/// The kernel self-profile's `bench.kernel.*` scalars (declared in
+/// `paragon_profile::names`) follow the same absent-safe rule: they are
+/// host-measured and only exported when `--bench` runs the self-profiled
+/// trial. Of them, only the barrier-stall fraction is gated — absolutely,
+/// against the one-sided [`KERNEL_STALL_CEILING`]; the rest are
+/// informational.
 pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) -> Vec<String> {
     let mut violations = Vec::new();
     let empty = std::collections::BTreeMap::new();
@@ -492,10 +499,28 @@ pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) ->
             ));
         }
     }
+    if let Some(c) = cur
+        .get(paragon_profile::names::KERNEL_BARRIER_STALL_FRAC)
+        .and_then(Json::as_f64)
+    {
+        if c > KERNEL_STALL_CEILING {
+            violations.push(format!(
+                "{}: {c} above the absolute ceiling {KERNEL_STALL_CEILING}",
+                paragon_profile::names::KERNEL_BARRIER_STALL_FRAC
+            ));
+        }
+    }
     for (name, bval) in base {
         let Some(b) = bval.as_f64() else { continue };
         if name == PARALLEL_SPEEDUP_SCALAR {
             continue; // gated absolutely against the current report above
+        }
+        if name.starts_with(KERNEL_SCALAR_PREFIX) {
+            // Kernel self-profile scalars are host-measured and only
+            // present when `--bench` ran the self-profiled trial; the
+            // stall fraction is gated absolutely above, the rest are
+            // informational. Absent-safe in both directions.
+            continue;
         }
         if name.starts_with("bench.") {
             if let Some(c) = cur.get(name).and_then(Json::as_f64) {
@@ -530,12 +555,30 @@ pub fn metrics_check(current: &Json, baseline: &Json, tolerance: Option<f64>) ->
         }
     }
     for name in cur.keys() {
-        if !base.contains_key(name) && name != PARALLEL_SPEEDUP_SCALAR {
+        if !base.contains_key(name)
+            && name != PARALLEL_SPEEDUP_SCALAR
+            && !name.starts_with(KERNEL_SCALAR_PREFIX)
+        {
             violations.push(format!("unexpected scalar {name} not in baseline"));
         }
     }
     violations
 }
+
+/// Name prefix of the kernel self-profile's scalars (declared in
+/// `paragon_profile::names`): absent-safe in both directions in
+/// [`metrics_check`], because they are host-measured and only exported
+/// when `--bench` runs the self-profiled trial.
+const KERNEL_SCALAR_PREFIX: &str = "bench.kernel.";
+
+/// Absolute one-sided ceiling for
+/// [`paragon_profile::names::KERNEL_BARRIER_STALL_FRAC`]: if workers
+/// spend more than this fraction of their summed host time parked at
+/// epoch barriers, the shard cut (or the lookahead) has degenerated to
+/// lockstep serialization and the parallel kernel is doing no useful
+/// overlapping work. Wide on purpose — tiny CI shapes stall much more
+/// than full-machine shapes — so only a pathological regression trips.
+pub const KERNEL_STALL_CEILING: f64 = 0.95;
 
 /// Host-timed scalar `--bench` adds on multicore hosts: how much faster
 /// the sharded bench shape runs on four workers than on one. See
@@ -584,11 +627,50 @@ pub fn render_report(report: &Json) -> String {
         }
     ));
     out.push_str(&format!(
-        "bandwidth: {:.2} MB/s   mean read: {:.3} ms   Little's law L/(λW) = {:.3}\n\n",
+        "bandwidth: {:.2} MB/s   mean read: {:.3} ms   Little's law L/(λW) = {:.3}\n",
         scalar("bandwidth_mb_s"),
         scalar("read_time_mean_s") * 1e3,
         scalar("littles_law.ratio"),
     ));
+    // The cross-check's W is a mean; the distribution behind it matters
+    // just as much (a fat p99 with a healthy mean is the classic
+    // stuck-in-a-queue signature), so the read-time percentiles ride
+    // along on the same line group.
+    let hists = report.get("histograms").and_then(Json::as_obj);
+    if let Some(h) = hists.and_then(|hs| hs.get(names::READ_TIME_S)) {
+        let f = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "read.time_s percentiles: p50 {:.3} ms   p90 {:.3} ms   p99 {:.3} ms   max {:.3} ms   (n = {})\n",
+            f("p50") * 1e3,
+            f("p90") * 1e3,
+            f("p99") * 1e3,
+            f("max") * 1e3,
+            f("count") as u64,
+        ));
+    }
+    out.push('\n');
+
+    // Every recorded distribution, through its tail.
+    if let Some(hs) = hists.filter(|hs| !hs.is_empty()) {
+        let mut t = Table::new(
+            "histograms (measured phase)",
+            &["name", "count", "mean", "p50", "p90", "p99", "max"],
+        );
+        for (name, h) in hs {
+            let f = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            t.row(&[
+                name.clone(),
+                format!("{}", f("count") as u64),
+                format!("{:.6}", f("mean")),
+                format!("{:.6}", f("p50")),
+                format!("{:.6}", f("p90")),
+                format!("{:.6}", f("p99")),
+                format!("{:.6}", f("max")),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
 
     // Queue-depth / occupancy profiles over the measured phase.
     if let Some(series) = report.get("series").and_then(Json::as_obj) {
@@ -716,6 +798,17 @@ mod tests {
         let text = render_report(&report);
         assert!(text.contains("bottleneck:"));
         assert!(text.contains("queue depths over time"));
+        // The read-time distribution is printed through its tail, next
+        // to the Little's-law cross-check it contextualizes.
+        assert!(
+            text.contains("read.time_s percentiles: p50"),
+            "missing percentile line:\n{text}"
+        );
+        assert!(text.contains("p99"), "percentiles stop short of p99");
+        assert!(
+            text.contains("histograms (measured phase)"),
+            "missing histogram table:\n{text}"
+        );
     }
 
     #[test]
@@ -833,6 +926,30 @@ mod tests {
         assert!(v[0].contains("absolute floor"));
         let stale = report_with(&[("a", 1.0), (PARALLEL_SPEEDUP_SCALAR, 0.9)]);
         assert_eq!(metrics_check(&slow, &stale, None).len(), 1);
+    }
+
+    #[test]
+    fn check_gates_kernel_stall_frac_against_an_absolute_ceiling() {
+        use paragon_profile::names::{KERNEL_BARRIER_STALL_FRAC, KERNEL_EPOCHS};
+        let base = report_with(&[("a", 1.0)]);
+        // Kernel self-profile scalars are host-measured and absent-safe
+        // in both directions: present only in the current report they
+        // are not "unexpected", present only in the baseline they are
+        // not "missing".
+        let cur = report_with(&[
+            ("a", 1.0),
+            (KERNEL_BARRIER_STALL_FRAC, 0.4),
+            (KERNEL_EPOCHS, 12.0),
+        ]);
+        assert!(metrics_check(&cur, &base, None).is_empty());
+        assert!(metrics_check(&report_with(&[("a", 1.0)]), &cur, None).is_empty());
+        // The stall fraction alone has an absolute one-sided ceiling.
+        let stalled = report_with(&[("a", 1.0), (KERNEL_BARRIER_STALL_FRAC, 0.99)]);
+        let v = metrics_check(&stalled, &base, None);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("absolute ceiling"));
+        // And the ceiling holds even against a stale worse baseline.
+        assert_eq!(metrics_check(&stalled, &stalled, None).len(), 1);
     }
 
     #[test]

@@ -69,6 +69,18 @@ echo "=== bench"
 # Regenerate with `paragonctl metrics run --bench --seed 42`.
 cargo run -q -p paragon-bench --release --bin paragonctl -- metrics check --bench --seed 42
 
+echo "=== profile"
+# Profiler acceptance gate: the critical-path blame report must be
+# byte-identical across host worker counts, its nine-leg integer
+# accounting exact on every EXT-matrix config (including a seeded
+# replica-failover run whose blame report is pinned as a golden), the
+# Perfetto export byte-stable against tests/goldens/, and the kernel
+# self-profile must leave the trace hash untouched. Regenerate goldens
+# after an intentional trace-schema change with
+# `PARAGON_BLESS=1 cargo test --test profile_goldens`.
+cargo test -q --release --test profile_goldens
+cargo test -q -p paragon-profile
+
 echo "=== cargo fmt --check"
 cargo fmt --check
 

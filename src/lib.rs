@@ -14,6 +14,7 @@
 //!   prefetch engine.
 //! * [`workload`] — synthetic SPMD workloads and the experiment driver.
 //! * [`metrics`] — tables, ASCII figures, and result aggregation.
+//! * [`profile`] — critical-path blame, Perfetto export, kernel self-profiling.
 
 pub use paragon_core as prefetch;
 pub use paragon_disk as disk;
@@ -22,6 +23,7 @@ pub use paragon_mesh as mesh;
 pub use paragon_metrics as metrics;
 pub use paragon_os as os;
 pub use paragon_pfs as pfs;
+pub use paragon_profile as profile;
 pub use paragon_sim as sim;
 pub use paragon_ufs as ufs;
 pub use paragon_workload as workload;

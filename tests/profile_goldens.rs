@@ -1,0 +1,199 @@
+//! Profiler acceptance suite: the critical-path blame report must be a
+//! pure function of `(seed, config)` — byte-identical at any host worker
+//! count — its integer accounting must be exact on every EXT-matrix
+//! config, the Perfetto export is pinned byte-for-byte against a
+//! committed golden, and the kernel self-profile must observe without
+//! perturbing (same trace hash profiled and unprofiled).
+//!
+//! Regenerate the goldens after an intentional trace-schema change with
+//! `PARAGON_BLESS=1 cargo test --test profile_goldens`.
+
+mod common;
+
+use common::{cfg, ext_matrix};
+use paragon::machine::Calibration;
+use paragon::pfs::{IoMode, Redundancy};
+use paragon::profile::{critical_paths, export_perfetto, render_critical_path};
+use paragon::sim::SimDuration;
+use paragon::workload::{
+    run, run_profiled, AccessPattern, ExperimentConfig, FaultSpec, StripeLayout,
+};
+
+/// Compare `actual` against the committed golden at `rel` (repo-root
+/// relative); `PARAGON_BLESS=1` rewrites the golden instead.
+fn golden(rel: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    if std::env::var_os("PARAGON_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {rel} ({e}); regenerate with PARAGON_BLESS=1"));
+    assert_eq!(
+        actual, want,
+        "{rel} drifted; if the change is intentional, regenerate with PARAGON_BLESS=1"
+    );
+}
+
+/// Force `c` onto four shard worlds with the recorder armed.
+fn sharded(mut c: ExperimentConfig, workers: usize) -> ExperimentConfig {
+    c.shards = Some(4);
+    c.workers = workers;
+    if c.trace_cap == 0 {
+        c.trace_cap = 200_000;
+    }
+    c
+}
+
+/// RF=2 M_RECORD shape with I/O node 1 crashed mid-stream, mirroring
+/// the failure-injection suite: every foreground read that hits the
+/// dead primary must fail over to a surviving replica.
+fn failover_cfg(seed: u64) -> ExperimentConfig {
+    let mut calib = Calibration::paragon_1995();
+    calib.rpc_attempt_timeout = SimDuration::from_millis(250);
+    ExperimentConfig {
+        seed,
+        compute_nodes: 4,
+        io_nodes: 6,
+        calib,
+        mode: IoMode::MRecord,
+        fast_path: true,
+        stripe_unit: 64 * 1024,
+        layout: StripeLayout::Across { factor: 4 },
+        request_size: 64 * 1024,
+        file_size: 8 << 20,
+        delay: SimDuration::ZERO,
+        prefetch: None,
+        access: AccessPattern::ModeDriven,
+        separate_files: false,
+        verify_data: true,
+        trace_cap: 500_000,
+        faults: FaultSpec {
+            ion_crash: Some((1, SimDuration::from_millis(50), SimDuration::from_secs(30))),
+            ..FaultSpec::default()
+        },
+        redundancy: Redundancy::Replicated { rf: 2 },
+        metrics_cadence: None,
+        shards: None,
+        workers: 1,
+    }
+}
+
+/// The acceptance bar from the issue: the blame report is byte-identical
+/// across host worker counts on the same sharded plan.
+#[test]
+fn critical_path_blame_is_worker_count_invariant() {
+    let one = run(&sharded(cfg(11, IoMode::MRecord), 1));
+    let two = run(&sharded(cfg(11, IoMode::MRecord), 2));
+    assert_eq!(one.trace_hash, two.trace_hash, "traces diverged first");
+    let a = render_critical_path(&one.trace, 5);
+    let b = render_critical_path(&two.trace, 5);
+    assert_eq!(a, b, "blame report must not depend on --workers");
+    assert!(a.contains("critical-path blame over"));
+}
+
+/// Exact integer accounting on the whole EXT matrix: for every config,
+/// every completed read's nine legs sum to its end-to-end latency to
+/// the nanosecond, and the disk overlap never goes negative (u64 makes
+/// that structural, but a saturating bug would show up as a huge value).
+#[test]
+fn blame_sums_exactly_across_the_ext_matrix() {
+    for (name, mut c) in ext_matrix() {
+        c.trace_cap = 200_000;
+        let r = run(&c);
+        let paths = critical_paths(&r.trace);
+        assert!(!paths.is_empty(), "{name}: no completed reads in trace");
+        for p in &paths {
+            assert_eq!(
+                p.legs.iter().sum::<u64>(),
+                p.total_ns(),
+                "{name}: req {} legs do not sum to the span",
+                p.req
+            );
+            assert!(
+                p.overlap_hidden_ns < SimDuration::from_secs(3600).as_nanos(),
+                "{name}: req {} absurd hidden overlap {}",
+                p.req,
+                p.overlap_hidden_ns
+            );
+        }
+    }
+}
+
+/// A mid-stream I/O-node crash with replica failover must still yield
+/// exactly one well-formed DAG per request — retries absorbed, not
+/// orphaned — and the seeded run's blame report is pinned as a golden.
+#[test]
+fn failover_run_yields_one_dag_per_request_and_a_pinned_blame_report() {
+    let r = run(&failover_cfg(40));
+    assert_eq!(r.read_errors, 0, "failover must mask the crash");
+    assert!(r.replica_failovers > 0, "crash window never bit");
+
+    let paths = critical_paths(&r.trace);
+    assert!(!paths.is_empty());
+    for w in paths.windows(2) {
+        assert!(w[0].req < w[1].req, "duplicate DAG for req {}", w[1].req);
+    }
+    let faulted: Vec<_> = paths.iter().filter(|p| p.faults > 0).collect();
+    assert!(
+        !faulted.is_empty(),
+        "no request path observed the failover events"
+    );
+    for p in &paths {
+        assert_eq!(
+            p.legs.iter().sum::<u64>(),
+            p.total_ns(),
+            "req {}: a failed-over span must still account exactly",
+            p.req
+        );
+    }
+
+    golden(
+        "tests/goldens/failover_critical_path.txt",
+        &render_critical_path(&r.trace, 3),
+    );
+}
+
+/// The Chrome-trace export is pinned byte-for-byte: any drift in event
+/// placement, track naming, or counter sampling shows up as a diff.
+#[test]
+fn perfetto_export_matches_the_pinned_golden() {
+    let mut c = cfg(11, IoMode::MRecord);
+    c.file_size = 512 * 1024;
+    c.trace_cap = 200_000;
+    c.metrics_cadence = Some(SimDuration::from_millis(20));
+    let r = run(&c);
+    let json = export_perfetto(&r.trace, r.metrics.as_ref());
+    assert!(json.starts_with('{') && json.ends_with("]}\n"));
+    golden("tests/goldens/perfetto_mrecord.json", &json);
+}
+
+/// Self-profiling must observe, never perturb: the profiled run's trace
+/// hash equals the unprofiled run's, and the profile itself is sane.
+#[test]
+fn kernel_self_profile_observes_without_perturbing() {
+    let c = sharded(cfg(11, IoMode::MRecord), 2);
+    let plain = run(&c);
+    let (profiled, prof) = run_profiled(&c);
+    assert_eq!(
+        plain.trace_hash, profiled.trace_hash,
+        "profiling changed the simulation"
+    );
+    assert_eq!(plain.elapsed, profiled.elapsed);
+    assert_eq!(prof.shards, 4);
+    assert_eq!(prof.workers, 2);
+    assert!(prof.epochs() > 0, "sharded run must cross epochs");
+    assert!(prof.total_events() > 0);
+    let stall = prof.barrier_stall_frac();
+    assert!(
+        (0.0..=1.0).contains(&stall),
+        "stall frac {stall} out of range"
+    );
+
+    // The serial driver reports a degenerate single-shard profile.
+    let (_, serial) = run_profiled(&cfg(11, IoMode::MRecord));
+    assert_eq!(serial.shards, 1);
+    assert_eq!(serial.workers, 1);
+    assert!(serial.total_events() > 0);
+    assert_eq!(serial.cross_shard_frames(), 0, "one world, no frames");
+}
